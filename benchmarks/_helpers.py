@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's figures or in-text tables at
+full scale, prints the table, and writes it to ``benchmarks/results/``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_INSTRUCTIONS`` -- per-benchmark instruction budget
+  (default 20 000 000, about 7 ms of 3 GHz execution per run).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_instructions() -> int:
+    """Per-run instruction budget for the harness."""
+    return int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", 20_000_000))
+
+
+def save_table(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)
+    print(f"[saved to {path}]")

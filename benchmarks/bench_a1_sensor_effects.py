@@ -1,0 +1,71 @@
+"""Ablation A1: the cost of realistic thermal sensors.
+
+The paper budgets 3 degrees of design margin for sensor noise and offset
+(85 C emergency -> 82 C practical limit).  This ablation measures what
+ideal sensing would buy: with error-free sensors the same techniques
+regulate closer to the true limit and lose less performance.
+"""
+
+from _helpers import bench_instructions, save_table
+
+from repro.analysis import render_table
+from repro.core.metrics import mean_slowdown
+from repro.dtm import DvsPolicy, HybPolicy, NoDtmPolicy
+from repro.sensors import SensorArray, SensorParameters
+from repro.sim import SimulationEngine
+from repro.workloads import build_spec_suite
+
+SETTLE = 2.0e-3
+
+
+def _suite_mean(policy_factory, sensor_params) -> tuple:
+    instructions = bench_instructions()
+    slowdowns = []
+    violations = 0
+    for workload in build_spec_suite():
+        baseline_engine = SimulationEngine(workload, policy=NoDtmPolicy())
+        init = baseline_engine.compute_initial_temperatures()
+        baseline = baseline_engine.run(
+            instructions, initial=init.copy(), settle_time_s=SETTLE
+        )
+        engine = SimulationEngine(
+            workload,
+            policy=policy_factory(),
+            sensors=SensorArray(
+                baseline_engine.hotspot.floorplan,
+                parameters=sensor_params,
+                seed=0,
+            ),
+        )
+        run = engine.run(
+            instructions, initial=init.copy(), settle_time_s=SETTLE
+        )
+        slowdowns.append(run.elapsed_s / baseline.elapsed_s)
+        violations += run.violations
+    return mean_slowdown(slowdowns), violations
+
+
+def _run() -> str:
+    realistic = SensorParameters()
+    ideal = SensorParameters.ideal()
+    rows = []
+    for name, factory in (("DVS", DvsPolicy), ("Hyb", HybPolicy)):
+        real_mean, real_viol = _suite_mean(factory, realistic)
+        ideal_mean, ideal_viol = _suite_mean(factory, ideal)
+        rows.append([name, real_mean, real_viol, ideal_mean, ideal_viol])
+    return render_table(
+        [
+            "technique",
+            "realistic slowdown",
+            "viol",
+            "ideal-sensor slowdown",
+            "viol",
+        ],
+        rows,
+        title="A1: sensor noise/offset ablation",
+    )
+
+
+def test_a1_sensor_effects(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_table("a1_sensor_effects", table)

@@ -1,0 +1,37 @@
+"""Ablation A2: global clock gating versus fetch gating.
+
+The paper argues fetch gating over clock gating for the ILP component:
+clock gating buys extra power (the clock tree stops too) but stops *all*
+progress, so there is no ILP left to hide behind.  This ablation runs both
+under identical integral control and compares slowdown at equal protection.
+"""
+
+from _helpers import bench_instructions, save_table
+
+from repro.analysis import render_table
+from repro.core.evaluation import evaluate_policy, run_baselines
+from repro.dtm import ClockGatingPolicy, FetchGatingPolicy
+
+
+def _run() -> str:
+    baselines = run_baselines(instructions=bench_instructions())
+    fg = evaluate_policy(FetchGatingPolicy, baselines)
+    cg = evaluate_policy(ClockGatingPolicy, baselines)
+    benchmarks = sorted(fg.slowdowns)
+    rows = [
+        [b, fg.slowdowns[b], cg.slowdowns[b]] for b in benchmarks
+    ]
+    rows.append(["MEAN", fg.mean_slowdown, cg.mean_slowdown])
+    table = render_table(
+        ["benchmark", "FG slowdown", "CG slowdown"],
+        rows,
+        title="A2: fetch gating vs global clock gating "
+              f"(violations: FG {fg.total_violations}, "
+              f"CG {cg.total_violations})",
+    )
+    return table
+
+
+def test_a2_clock_vs_fetch(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_table("a2_clock_vs_fetch", table)

@@ -1,0 +1,36 @@
+"""Ablation A4 (paper future work): reactive versus predictive hybrid DTM.
+
+Section 6: "Techniques for predicting thermal stress and responding
+proactively ... may further reduce the overhead of DTM."  This bench runs
+the forecast-driven hybrid (`PredictiveHybPolicy`) against the reactive
+Hyb across the suite.
+"""
+
+from _helpers import bench_instructions, save_table
+
+from repro.analysis import render_table
+from repro.core.evaluation import evaluate_policy, run_baselines
+from repro.dtm import HybPolicy, PredictiveHybPolicy
+
+
+def _run() -> str:
+    baselines = run_baselines(instructions=bench_instructions())
+    reactive = evaluate_policy(HybPolicy, baselines)
+    predictive = evaluate_policy(PredictiveHybPolicy, baselines)
+    rows = [
+        [b, reactive.slowdowns[b], predictive.slowdowns[b]]
+        for b in sorted(reactive.slowdowns)
+    ]
+    rows.append(["MEAN", reactive.mean_slowdown, predictive.mean_slowdown])
+    return render_table(
+        ["benchmark", "Hyb (reactive)", "Pred-Hyb (forecast)"],
+        rows,
+        title="A4: reactive vs predictive hybrid DTM "
+              f"(violations: reactive {reactive.total_violations}, "
+              f"predictive {predictive.total_violations})",
+    )
+
+
+def test_a4_predictive_dtm(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_table("a4_predictive", table)

@@ -1,0 +1,75 @@
+"""Ablation A5 (paper future work): the a-priori cooling figure of merit.
+
+Section 5.1 asks for "a figure of merit that is an a-priori measure of
+cooling, independent of the specific experimental thermal setup".  This
+bench tabulates kelvin-of-fast-cooling per percent-of-slowdown for fetch
+gating levels, binary DVS, and clock gating, computed from the models
+alone, and shows that the FG/DVS merit crossover predicts the duty cycle
+the Figure 3a simulation sweep finds empirically.
+"""
+
+from _helpers import save_table
+
+from repro.analysis import (
+    cooling_figure_of_merit,
+    predicted_crossover_gating,
+    render_table,
+)
+from repro.floorplan import build_alpha21364_floorplan
+from repro.power import PowerModel
+from repro.thermal import HotSpotModel
+from repro.uarch.interval import DtmActuation
+from repro.workloads import build_benchmark
+
+GATING_LEVELS = (0.05, 0.1, 0.2, 1.0 / 3.0, 0.5, 2.0 / 3.0)
+
+
+def _run() -> str:
+    floorplan = build_alpha21364_floorplan()
+    hotspot = HotSpotModel(floorplan)
+    power_model = PowerModel(floorplan)
+    phase = build_benchmark("gzip").phases[0]
+    curve = power_model.vf_curve
+
+    rows = []
+    for fraction in GATING_LEVELS:
+        merit = cooling_figure_of_merit(
+            phase, DtmActuation(gating_fraction=fraction), hotspot, power_model
+        )
+        rows.append(
+            [f"FG duty {1.0 / fraction:.1f}", merit.cooling_k,
+             merit.slowdown, merit.merit]
+        )
+    for ratio in (0.85, 0.90):
+        merit = cooling_figure_of_merit(
+            phase,
+            DtmActuation(
+                relative_frequency=curve.relative_frequency(ratio * 1.3)
+            ),
+            hotspot,
+            power_model,
+        )
+        rows.append(
+            [f"DVS {ratio:.2f}", merit.cooling_k, merit.slowdown, merit.merit]
+        )
+    merit = cooling_figure_of_merit(
+        phase, DtmActuation(clock_enabled_fraction=0.7), hotspot, power_model
+    )
+    rows.append(["CG duty 0.3", merit.cooling_k, merit.slowdown, merit.merit])
+
+    crossover = predicted_crossover_gating(phase, hotspot, power_model)
+    table = render_table(
+        ["response", "fast cooling (K)", "slowdown", "merit (K/%)"],
+        rows,
+        title="A5: a-priori cooling figure of merit (gzip deflate phase)",
+    )
+    return (
+        f"{table}\n\npredicted FG/DVS crossover: gating fraction "
+        f"{crossover:.3f} = duty cycle {1.0 / crossover:.1f} "
+        f"(simulated Figure 3a sweep bottoms out at duty 3-4)"
+    )
+
+
+def test_a5_figure_of_merit(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_table("a5_figure_of_merit", table)

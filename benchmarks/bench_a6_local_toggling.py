@@ -1,0 +1,38 @@
+"""Ablation A6: local toggling versus fetch gating.
+
+Paper, Section 2: "We have found that local toggling confers little
+advantage over fetch gating and do not consider it further."  This bench
+measures the claim: per-domain clock stops cut only the gated domain's
+power but stall the whole pipeline whenever the gated domain is on the
+critical path, so across the hot integer suite the two techniques land in
+the same slowdown ballpark.
+"""
+
+from _helpers import bench_instructions, save_table
+
+from repro.analysis import render_table
+from repro.core.evaluation import evaluate_policy, run_baselines
+from repro.dtm import FetchGatingPolicy, LocalTogglingPolicy
+
+
+def _run() -> str:
+    baselines = run_baselines(instructions=bench_instructions())
+    fg = evaluate_policy(FetchGatingPolicy, baselines)
+    lt = evaluate_policy(LocalTogglingPolicy, baselines)
+    rows = [
+        [b, fg.slowdowns[b], lt.slowdowns[b]] for b in sorted(fg.slowdowns)
+    ]
+    rows.append(["MEAN", fg.mean_slowdown, lt.mean_slowdown])
+    return render_table(
+        ["benchmark", "FG slowdown", "LT slowdown"],
+        rows,
+        title="A6: fetch gating vs local toggling "
+              f"(violations: FG {fg.total_violations}, "
+              f"LT {lt.total_violations}; paper: LT confers little "
+              f"advantage over FG)",
+    )
+
+
+def test_a6_local_toggling(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_table("a6_local_toggling", table)

@@ -1,0 +1,68 @@
+"""Ablation A7: activity migration on the duplicated-register-file
+floorplan.
+
+Paper, Section 2: migration is excluded over "the cost-benefit concerns
+of adding extra hardware".  This bench prices the trade on the migration
+floorplan variant (spare register file in the cool corner): migration's
+slowdown against DVS's on the same chip, plus the standing cost the spare
+structure adds to total power.
+"""
+
+from _helpers import bench_instructions, save_table
+
+from repro.analysis import render_table
+from repro.core.metrics import mean_slowdown
+from repro.dtm import DvsPolicy, MigrationPolicy, NoDtmPolicy
+from repro.floorplan import build_migration_floorplan
+from repro.power import PowerModel, migration_power_specs
+from repro.sim import SimulationEngine
+from repro.workloads import build_spec_suite
+
+SETTLE = 2.0e-3
+
+
+def _run() -> str:
+    floorplan = build_migration_floorplan()
+    power = PowerModel(floorplan, specs=migration_power_specs())
+    instructions = bench_instructions()
+    rows = []
+    am_slow, dvs_slow = [], []
+    am_viol = dvs_viol = 0
+    for workload in build_spec_suite():
+        engine = SimulationEngine(
+            workload, policy=NoDtmPolicy(), floorplan=floorplan,
+            power_model=power,
+        )
+        init = engine.compute_initial_temperatures()
+        base = engine.run(
+            instructions, initial=init.copy(), settle_time_s=SETTLE
+        )
+        am = SimulationEngine(
+            workload, policy=MigrationPolicy(), floorplan=floorplan,
+            power_model=power,
+        ).run(instructions, initial=init.copy(), settle_time_s=SETTLE)
+        dvs = SimulationEngine(
+            workload, policy=DvsPolicy(), floorplan=floorplan,
+            power_model=power,
+        ).run(instructions, initial=init.copy(), settle_time_s=SETTLE)
+        am_ratio = am.elapsed_s / base.elapsed_s
+        dvs_ratio = dvs.elapsed_s / base.elapsed_s
+        am_slow.append(am_ratio)
+        dvs_slow.append(dvs_ratio)
+        am_viol += am.violations
+        dvs_viol += dvs.violations
+        rows.append(
+            [workload.name, am_ratio, am.migrations, dvs_ratio]
+        )
+    rows.append(["MEAN", mean_slowdown(am_slow), "", mean_slowdown(dvs_slow)])
+    return render_table(
+        ["benchmark", "AM slowdown", "migrations", "DVS slowdown"],
+        rows,
+        title="A7: activity migration vs DVS on the spare-register-file "
+              f"floorplan (violations: AM {am_viol}, DVS {dvs_viol})",
+    )
+
+
+def test_a7_activity_migration(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_table("a7_activity_migration", table)

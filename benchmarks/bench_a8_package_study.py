@@ -1,0 +1,76 @@
+"""Ablation A8: the package-cost trade DTM enables.
+
+The paper's motivation (Section 1): cooling solutions cost $1-3+ per watt,
+and DTM "allows the thermal package to be designed for power densities
+exhibited by typical applications" -- a 20 % thermal-design-power cut on
+the Pentium 4.  This bench sweeps the sink-to-air convection resistance
+(cheaper package = higher resistance) and reports, per package: whether
+the unmanaged suite violates at all (does the package even *need* DTM),
+whether Hyb still eliminates violations, and what Hyb's slowdown costs.
+The sweep exposes both ends: an expensive package makes DTM unnecessary,
+and too cheap a package exceeds DTM's authority.
+"""
+
+from _helpers import bench_instructions, save_table
+
+from repro.analysis import render_table
+from repro.core.metrics import mean_slowdown
+from repro.dtm import HybPolicy, NoDtmPolicy
+from repro.sim import SimulationEngine
+from repro.thermal import ThermalPackage
+from repro.workloads import build_spec_suite
+
+RESISTANCES = (0.80, 0.90, 1.00, 1.10)
+SETTLE = 2.0e-3
+
+
+def _run() -> str:
+    instructions = bench_instructions()
+    rows = []
+    for resistance in RESISTANCES:
+        package = ThermalPackage(convection_resistance=resistance)
+        base_viol = hyb_viol = 0
+        slowdowns = []
+        max_unmanaged = -1e9
+        for workload in build_spec_suite():
+            engine = SimulationEngine(
+                workload, policy=NoDtmPolicy(), package=package
+            )
+            init = engine.compute_initial_temperatures()
+            base = engine.run(
+                instructions, initial=init.copy(), settle_time_s=SETTLE
+            )
+            hyb = SimulationEngine(
+                workload, policy=HybPolicy(), package=package
+            ).run(instructions, initial=init.copy(), settle_time_s=SETTLE)
+            base_viol += base.violations
+            hyb_viol += hyb.violations
+            slowdowns.append(hyb.elapsed_s / base.elapsed_s)
+            max_unmanaged = max(max_unmanaged, base.max_true_temp_c)
+        rows.append(
+            [
+                resistance,
+                max_unmanaged,
+                base_viol,
+                hyb_viol,
+                mean_slowdown(slowdowns),
+            ]
+        )
+    return render_table(
+        [
+            "R_conv (K/W)",
+            "unmanaged max (C)",
+            "unmanaged viol",
+            "Hyb viol",
+            "Hyb slowdown",
+        ],
+        rows,
+        title="A8: package-cost sweep (cheaper package = higher R_conv; "
+              "DTM converts package cost into bounded slowdown until its "
+              "authority runs out)",
+    )
+
+
+def test_a8_package_study(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_table("a8_package_study", table)

@@ -1,0 +1,74 @@
+"""Ablation A9 (paper future work): dual-core thermal management.
+
+"Thermal management on multi-threaded and multi-core systems remains
+poorly understood."  This bench runs a hot/mild workload pair on the
+thermally coupled dual-core die under four managers -- nothing, per-core
+Hyb, core hopping alone, and hopping plus Hyb -- and reports chip
+throughput, peak temperature and protection.  Core hopping exploits the
+resource a single-core chip does not have: a second, cooler copy of the
+hotspot structure, one thread-migration away.
+"""
+
+from _helpers import save_table
+
+from repro.analysis import render_table
+from repro.dtm import HybPolicy
+from repro.multicore import CoreHopper, MultiCoreEngine
+from repro.workloads import build_benchmark
+
+DURATION_S = 4.0e-3
+SETTLE_S = 1.5e-3
+
+PAIRS = (
+    ("crafty", "mesa"),
+    ("crafty", "gcc"),
+    ("gzip", "eon"),
+)
+
+
+def _run() -> str:
+    rows = []
+    for hot_name, other_name in PAIRS:
+        workloads = [build_benchmark(hot_name), build_benchmark(other_name)]
+        engine = MultiCoreEngine(workloads)
+        init = engine.compute_initial_temperatures()
+        configs = {
+            "none": MultiCoreEngine(workloads),
+            "Hyb/core": MultiCoreEngine(
+                workloads, policies=[HybPolicy(), HybPolicy()]
+            ),
+            "hopping": MultiCoreEngine(workloads, hopper=CoreHopper()),
+            "hop+Hyb": MultiCoreEngine(
+                workloads,
+                policies=[HybPolicy(), HybPolicy()],
+                hopper=CoreHopper(),
+            ),
+        }
+        baseline_ips = None
+        for label, configured in configs.items():
+            result = configured.run(
+                DURATION_S, initial=init.copy(), settle_time_s=SETTLE_S
+            )
+            if baseline_ips is None:
+                baseline_ips = result.throughput_ips
+            rows.append(
+                [
+                    f"{hot_name}+{other_name}",
+                    label,
+                    result.throughput_ips / baseline_ips,
+                    result.max_true_temp_c,
+                    result.violations,
+                    result.swaps,
+                ]
+            )
+    return render_table(
+        ["pair", "manager", "rel throughput", "max C", "viol", "swaps"],
+        rows,
+        title="A9: dual-core thermal management "
+              "(shared die + package, one V/f domain)",
+    )
+
+
+def test_a9_multicore(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_table("a9_multicore", table)

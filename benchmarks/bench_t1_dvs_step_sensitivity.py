@@ -1,0 +1,39 @@
+"""In-text table T1: DVS voltage step-count sensitivity.
+
+Paper result: continuous / 10 / 5 / 3 / 2 voltage levels all perform the
+same for DTM -- within 0.4 % for DVS-stall and 0.01 % for DVS-ideal --
+so binary DVS is all a thermal solution needs.
+"""
+
+from _helpers import bench_instructions, save_table
+
+from repro.analysis import render_table
+from repro.analysis.experiments import t1_dvs_step_sensitivity
+from repro.dtm.dvs import CONTINUOUS_LEVEL_COUNT
+
+
+def _run() -> str:
+    results = t1_dvs_step_sensitivity(instructions=bench_instructions())
+    counts = sorted(results["stall"])
+    rows = []
+    for count in counts:
+        label = "continuous" if count == CONTINUOUS_LEVEL_COUNT else str(count)
+        rows.append(
+            [label, results["stall"][count], results["ideal"][count]]
+        )
+    spread_stall = max(results["stall"].values()) - min(results["stall"].values())
+    spread_ideal = max(results["ideal"].values()) - min(results["ideal"].values())
+    table = render_table(
+        ["levels", "DVS-stall slowdown", "DVS-ideal slowdown"],
+        rows,
+        title="T1: DVS step-count sensitivity",
+    )
+    return (
+        f"{table}\n\nspread: stall {spread_stall * 100:.3f}% "
+        f"(paper < 0.4%), ideal {spread_ideal * 100:.3f}% (paper < 0.01%)"
+    )
+
+
+def test_t1_dvs_step_sensitivity(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_table("t1_dvs_steps", table)

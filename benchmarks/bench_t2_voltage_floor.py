@@ -1,0 +1,32 @@
+"""In-text table T2: the lowest safe DVS voltage.
+
+Paper result: 85 % of nominal is the largest low-voltage setting that
+eliminates all thermal violations under the low-cost package.
+"""
+
+from _helpers import bench_instructions, save_table
+
+from repro.analysis import render_table
+from repro.analysis.experiments import t2_voltage_floor
+
+
+def _run() -> str:
+    result = t2_voltage_floor(instructions=bench_instructions())
+    rows = [
+        [ratio, result.mean_slowdowns[ratio], result.violations[ratio]]
+        for ratio in sorted(result.violations)
+    ]
+    table = render_table(
+        ["v_low / v_nominal", "mean slowdown", "violations"],
+        rows,
+        title="T2: binary-DVS low-voltage sweep",
+    )
+    return (
+        f"{table}\n\nlargest violation-free setting: "
+        f"{result.largest_safe_ratio} (paper: 0.85)"
+    )
+
+
+def test_t2_voltage_floor(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_table("t2_voltage_floor", table)

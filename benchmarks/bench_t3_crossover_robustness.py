@@ -1,0 +1,54 @@
+"""In-text table T3: crossover-point robustness.
+
+Paper (Section 5.1): the ILP/DVS crossover duty cycle is insensitive to
+the binary-DVS low-voltage setting -- "the interaction of fetch duty cycle
+with ILP is purely an architectural phenomenon and remains the same even
+as the low voltage varies".
+"""
+
+from _helpers import bench_instructions, save_table
+
+from repro.analysis import render_table
+from repro.core import find_crossover
+from repro.core.evaluation import evaluate_policy, run_baselines
+from repro.core.crossover import CrossoverResult
+from repro.dtm.fetch_gating import duty_cycle_to_gating_fraction
+from repro.dtm.hybrid import PIHybConfig, PIHybPolicy
+
+DUTY_CYCLES = (10.0, 4.0, 3.0, 2.0, 1.5)
+V_LOW_RATIOS = (0.80, 0.85, 0.90)
+
+
+def _run() -> str:
+    baselines = run_baselines(instructions=bench_instructions())
+    rows = []
+    for ratio in V_LOW_RATIOS:
+        evaluations = {}
+        for duty in DUTY_CYCLES:
+            config = PIHybConfig(
+                max_gating_fraction=duty_cycle_to_gating_fraction(duty),
+                v_low_ratio=ratio,
+            )
+            evaluations[duty] = evaluate_policy(
+                lambda config=config: PIHybPolicy(config),
+                baselines,
+                dvs_mode="stall",
+            )
+        result = CrossoverResult(dvs_mode="stall", evaluations=evaluations)
+        crossover = find_crossover(result)
+        rows.append(
+            [ratio, crossover]
+            + [evaluations[d].mean_slowdown for d in DUTY_CYCLES]
+        )
+    return render_table(
+        ["v_low ratio", "crossover duty"]
+        + [f"duty {d:g}" for d in DUTY_CYCLES],
+        rows,
+        title="T3: crossover duty cycle across low-voltage settings "
+              "(paper: identical crossover for all)",
+    )
+
+
+def test_t3_crossover_robustness(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_table("t3_crossover_robustness", table)

@@ -1,0 +1,43 @@
+"""In-text table T4: unmanaged thermal character of the benchmark suite.
+
+Paper (Section 3): the nine hottest SPEC CPU2000 benchmarks all operate
+above the trigger temperature most of the time under the low-cost package,
+and the hottest unit is always the integer register file.
+"""
+
+from _helpers import bench_instructions, save_table
+
+from repro.analysis import render_table
+from repro.analysis.experiments import t4_benchmark_characterisation
+
+
+def _run() -> str:
+    rows = []
+    for row in t4_benchmark_characterisation(instructions=bench_instructions()):
+        rows.append(
+            [
+                row.benchmark,
+                row.hottest_block,
+                row.max_temp_c,
+                row.fraction_above_trigger,
+                row.mean_power_w,
+                row.mean_ipc,
+            ]
+        )
+    return render_table(
+        [
+            "benchmark",
+            "hottest block",
+            "max temp (C)",
+            "time above trigger",
+            "mean power (W)",
+            "mean IPC",
+        ],
+        rows,
+        title="T4: no-DTM benchmark characterisation",
+    )
+
+
+def test_t4_characterisation(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_table("t4_characterisation", table)

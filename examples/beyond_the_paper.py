@@ -1,0 +1,68 @@
+"""Beyond the paper: the excluded techniques and future-work extensions.
+
+Runs, on one severe benchmark, the techniques the paper mentions but does
+not evaluate -- local toggling and activity migration -- alongside the
+forecast-driven predictive hybrid, and compares them with the paper's own
+line-up.
+
+Run:  python examples/beyond_the_paper.py
+"""
+
+from repro import SimulationEngine, build_benchmark, make_policy
+from repro.dtm import LocalTogglingPolicy, MigrationPolicy, PredictiveHybPolicy
+from repro.floorplan import build_migration_floorplan
+from repro.power import PowerModel, migration_power_specs
+
+INSTRUCTIONS = 6_000_000
+SETTLE_S = 2.0e-3
+
+
+def main() -> None:
+    workload = build_benchmark("crafty")
+    print(f"benchmark: {workload.name} ({workload.description})\n")
+
+    # Standard floorplan: the paper's techniques plus LT and Pred-Hyb.
+    baseline_engine = SimulationEngine(workload, policy=make_policy("none"))
+    initial = baseline_engine.compute_initial_temperatures()
+    baseline = baseline_engine.run(
+        INSTRUCTIONS, initial=initial.copy(), settle_time_s=SETTLE_S
+    )
+    print(f"{'technique':<22} {'slowdown':>9} {'max C':>7} {'violations':>11}")
+    candidates = [
+        ("FG (paper)", make_policy("FG")),
+        ("DVS (paper)", make_policy("DVS")),
+        ("Hyb (paper)", make_policy("Hyb")),
+        ("local toggling", LocalTogglingPolicy()),
+        ("predictive hybrid", PredictiveHybPolicy()),
+    ]
+    for label, policy in candidates:
+        run = SimulationEngine(workload, policy=policy).run(
+            INSTRUCTIONS, initial=initial.copy(), settle_time_s=SETTLE_S
+        )
+        print(f"{label:<22} {run.elapsed_s / baseline.elapsed_s:>9.4f} "
+              f"{run.max_true_temp_c:>7.2f} {run.violations:>11d}")
+
+    # Migration needs its own floorplan (the spare register file).
+    floorplan = build_migration_floorplan()
+    power = PowerModel(floorplan, specs=migration_power_specs())
+    mig_baseline_engine = SimulationEngine(
+        workload, policy=make_policy("none"), floorplan=floorplan,
+        power_model=power,
+    )
+    mig_initial = mig_baseline_engine.compute_initial_temperatures()
+    mig_baseline = mig_baseline_engine.run(
+        INSTRUCTIONS, initial=mig_initial.copy(), settle_time_s=SETTLE_S
+    )
+    run = SimulationEngine(
+        workload, policy=MigrationPolicy(), floorplan=floorplan,
+        power_model=power,
+    ).run(INSTRUCTIONS, initial=mig_initial.copy(), settle_time_s=SETTLE_S)
+    print(f"{'activity migration*':<22} "
+          f"{run.elapsed_s / mig_baseline.elapsed_s:>9.4f} "
+          f"{run.max_true_temp_c:>7.2f} {run.violations:>11d}")
+    print("\n* on the duplicated-register-file floorplan variant "
+          f"({run.migrations} migrations)")
+
+
+if __name__ == "__main__":
+    main()

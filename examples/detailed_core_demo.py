@@ -1,0 +1,65 @@
+"""Driving the cycle-level out-of-order core directly.
+
+Runs the detailed 21264-class machine on a synthetic integer phase,
+reports its microarchitectural statistics, and then measures the ILP
+response -- how cycle-IPC degrades as fetch gating deepens -- which is the
+architectural phenomenon behind the paper's crossover point.
+
+Run:  python examples/detailed_core_demo.py
+"""
+
+from repro.analysis import render_table
+from repro.uarch import DetailedCore, characterise_ilp_response
+from repro.uarch.trace import TraceParameters
+
+PHASE = TraceParameters(
+    working_set_bytes=96 * 1024,
+    sequential_fraction=0.75,
+    dep_distance_mean=10.0,
+    branch_predictability=0.95,
+)
+
+
+def main() -> None:
+    print("running the detailed core (20k warmup + 40k measured cycles)...")
+    core = DetailedCore.warmed(PHASE, seed=1)
+    core.run(max_cycles=20_000)
+    core.reset_statistics()
+    result = core.run(max_cycles=40_000)
+
+    print(f"\n  IPC:                  {result.ipc:.3f}")
+    print(f"  branch mispredicts:   {result.branch_mispredict_rate:.1%}")
+    print(f"  I-cache miss rate:    {result.icache_miss_rate:.2%}")
+    print(f"  D-cache miss rate:    {result.dcache_miss_rate:.2%}")
+    print(f"  L2 miss rate:         {result.l2_miss_rate:.2%}")
+
+    hot_blocks = sorted(
+        result.activities.items(), key=lambda kv: kv[1], reverse=True
+    )[:6]
+    print("\n  busiest blocks (normalised switching activity):")
+    for block, activity in hot_blocks:
+        print(f"    {block:8s} {activity:.3f}")
+
+    print("\nmeasuring the ILP response (one core per duty cycle)...")
+    gatings = [0.0, 0.1, 0.2, 1.0 / 3.0, 0.5, 2.0 / 3.0]
+    response = characterise_ilp_response(
+        PHASE, gatings, cycles_per_point=25_000
+    )
+    rows = []
+    for point in response.points:
+        duty = "inf" if point.gating_fraction == 0.0 else (
+            f"{1.0 / point.gating_fraction:.1f}"
+        )
+        rows.append([duty, point.gating_fraction, point.ipc_rel,
+                     1.0 - point.ipc_rel])
+    print()
+    print(render_table(
+        ["duty cycle", "gated fraction", "relative IPC", "slowdown"],
+        rows,
+        title="ILP response: mild gating is hidden by the out-of-order "
+              "window; deep gating starves it",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Thermal regulation dynamics: DVS versus hybrid, step by step.
+
+Records the per-step hotspot temperature and actuation for crafty (the
+most severe benchmark) under binary DVS and under Hyb, and renders both
+as an ASCII strip chart.  You can watch DVS pin the low voltage while the
+hybrid splits the work between fetch gating and DVS.
+
+Run:  python examples/thermal_trace.py
+"""
+
+from repro import (
+    EngineConfig,
+    NoDtmPolicy,
+    SimulationEngine,
+    build_benchmark,
+    make_policy,
+)
+
+INSTRUCTIONS = 6_000_000
+SETTLE_S = 1.5e-3
+CHART_WIDTH = 60
+TEMP_LO, TEMP_HI = 80.0, 87.0
+
+
+def strip_chart(trace, label):
+    print(f"\n--- {label} ---")
+    print(f"temperature axis: {TEMP_LO:.0f} C .. {TEMP_HI:.0f} C, "
+          f"trigger 81.8, emergency 85; one row per ~8 thermal steps")
+    print("state: '.'=nominal  'g'=fetch gated  'V'=low voltage")
+    for point in trace[::8]:
+        span = TEMP_HI - TEMP_LO
+        column = int(
+            (min(max(point.hottest_temp_c, TEMP_LO), TEMP_HI) - TEMP_LO)
+            / span * (CHART_WIDTH - 1)
+        )
+        if point.voltage < 1.3 - 1e-9:
+            state = "V"
+        elif point.gating_fraction > 0.0:
+            state = "g"
+        else:
+            state = "."
+        line = [" "] * CHART_WIDTH
+        trigger_col = int((81.8 - TEMP_LO) / span * (CHART_WIDTH - 1))
+        emergency_col = int((85.0 - TEMP_LO) / span * (CHART_WIDTH - 1))
+        line[trigger_col] = "|"
+        line[emergency_col] = "!"
+        line[column] = "*"
+        print(f"{point.time_s * 1e3:7.3f} ms {state} {''.join(line)} "
+              f"{point.hottest_temp_c:6.2f}")
+
+
+def main() -> None:
+    workload = build_benchmark("crafty")
+    baseline_engine = SimulationEngine(workload, policy=NoDtmPolicy())
+    initial = baseline_engine.compute_initial_temperatures()
+
+    for name in ("DVS", "Hyb"):
+        engine = SimulationEngine(
+            workload,
+            policy=make_policy(name),
+            config=EngineConfig(record_trace=True),
+        )
+        run = engine.run(
+            INSTRUCTIONS, initial=initial.copy(), settle_time_s=SETTLE_S
+        )
+        strip_chart(run.trace, f"{name}: crafty, {INSTRUCTIONS / 1e6:.0f}M "
+                               f"instructions")
+        print(f"violations: {run.violations}, switches: {run.dvs_switches}, "
+              f"low-V residency: {run.dvs_low_time_s / run.elapsed_s:.0%}, "
+              f"mean gating: {run.mean_gating_fraction:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs fail; this legacy entry point lets
+``pip install -e .`` fall back to ``setup.py develop``.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

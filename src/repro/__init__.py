@@ -1,0 +1,106 @@
+"""repro: a reproduction of "Hybrid Architectural Dynamic Thermal
+Management" (Kevin Skadron, DATE 2004).
+
+The package rebuilds the paper's whole evaluation stack in Python:
+
+* :mod:`repro.floorplan` -- the Alpha 21364-like floorplan;
+* :mod:`repro.thermal` -- a HotSpot-style compact RC thermal model;
+* :mod:`repro.power` -- Wattch-style block power with temperature-
+  dependent leakage and the DVS voltage/frequency curve;
+* :mod:`repro.uarch` -- a cycle-level out-of-order core plus the fast
+  interval engine;
+* :mod:`repro.sensors` -- noisy, offset on-chip thermal sensors;
+* :mod:`repro.dtm` -- fetch gating, clock gating, DVS, and the paper's
+  hybrid techniques;
+* :mod:`repro.workloads` -- synthetic stand-ins for the nine hottest SPEC
+  CPU2000 benchmarks;
+* :mod:`repro.sim` -- the coupled simulation engine;
+* :mod:`repro.core` / :mod:`repro.analysis` -- the evaluation harness
+  that regenerates every figure and in-text result.
+
+Quick start::
+
+    from repro import SimulationEngine, build_benchmark, make_policy
+
+    workload = build_benchmark("gzip")
+    engine = SimulationEngine(workload, policy=make_policy("Hyb"))
+    result = engine.run(10_000_000, settle_time_s=2e-3)
+    print(result.summary())
+"""
+
+from repro.version import __version__
+from repro.errors import (
+    DtmConfigError,
+    FloorplanError,
+    PowerModelError,
+    ReproError,
+    SimulationError,
+    ThermalModelError,
+    ThermalViolationError,
+    WorkloadError,
+)
+from repro.floorplan import Floorplan, build_alpha21364_floorplan
+from repro.thermal import HotSpotModel, ThermalPackage
+from repro.power import PowerModel, Technology, VoltageFrequencyCurve
+from repro.sensors import SensorArray, SensorParameters
+from repro.dtm import (
+    DvsConfig,
+    DvsPolicy,
+    FetchGatingPolicy,
+    HybConfig,
+    HybPolicy,
+    NoDtmPolicy,
+    PIHybConfig,
+    PIHybPolicy,
+    ThermalThresholds,
+)
+from repro.workloads import Workload, build_benchmark, build_spec_suite
+from repro.sim import EngineConfig, RunResult, SimulationEngine
+from repro.core import (
+    evaluate_techniques,
+    make_policy,
+    overhead_reduction,
+    slowdown_factor,
+    sweep_duty_cycles,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "FloorplanError",
+    "ThermalModelError",
+    "PowerModelError",
+    "WorkloadError",
+    "DtmConfigError",
+    "SimulationError",
+    "ThermalViolationError",
+    "Floorplan",
+    "build_alpha21364_floorplan",
+    "HotSpotModel",
+    "ThermalPackage",
+    "PowerModel",
+    "Technology",
+    "VoltageFrequencyCurve",
+    "SensorArray",
+    "SensorParameters",
+    "ThermalThresholds",
+    "NoDtmPolicy",
+    "DvsPolicy",
+    "DvsConfig",
+    "FetchGatingPolicy",
+    "HybPolicy",
+    "HybConfig",
+    "PIHybPolicy",
+    "PIHybConfig",
+    "Workload",
+    "build_benchmark",
+    "build_spec_suite",
+    "SimulationEngine",
+    "EngineConfig",
+    "RunResult",
+    "make_policy",
+    "evaluate_techniques",
+    "sweep_duty_cycles",
+    "slowdown_factor",
+    "overhead_reduction",
+]

@@ -1,0 +1,33 @@
+"""Experiment runners, statistics and table rendering for the paper's
+figures and in-text results."""
+
+from repro.analysis.tables import render_table
+from repro.analysis.significance import PairedComparison, paired_comparison
+from repro.analysis.figure_of_merit import (
+    CoolingMerit,
+    cooling_figure_of_merit,
+    predicted_crossover_gating,
+)
+from repro.analysis.experiments import (
+    fig3a_pihyb_duty_sweep,
+    fig3b_fg_vs_dvs,
+    fig4_technique_comparison,
+    t1_dvs_step_sensitivity,
+    t2_voltage_floor,
+    t4_benchmark_characterisation,
+)
+
+__all__ = [
+    "render_table",
+    "CoolingMerit",
+    "cooling_figure_of_merit",
+    "predicted_crossover_gating",
+    "PairedComparison",
+    "paired_comparison",
+    "fig3a_pihyb_duty_sweep",
+    "fig3b_fg_vs_dvs",
+    "fig4_technique_comparison",
+    "t1_dvs_step_sensitivity",
+    "t2_voltage_floor",
+    "t4_benchmark_characterisation",
+]

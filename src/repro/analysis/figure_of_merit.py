@@ -1,0 +1,203 @@
+"""An a-priori figure of merit for DTM responses (paper future work).
+
+Section 5.1 of the paper: "we would eventually like a figure of merit
+that is an a-priori measure of cooling, independent of the specific
+experimental thermal setup; developing such a metric is an interesting
+and important area for future work."
+
+This module provides one.  For a workload phase and a candidate DTM
+actuation it computes, from the models alone (no co-simulation):
+
+* the **fast cooling** at the hotspot: the die-level temperature drop the
+  actuation buys on the timescale DTM operates at.  Package nodes
+  (spreader, sink) have time constants of seconds, so they are held
+  fixed and the die-node block of the conductance matrix gives the
+  short-horizon Green's function: ``dT_die = L_dd^-1 dP_die``;
+* the **slowdown** of the actuation from the phase's performance model;
+* their ratio, ``merit`` in kelvin of cooling per percent of slowdown.
+
+Ranking actuations by merit predicts the crossover structure the paper
+finds by exhaustive simulation: mild fetch gating has very high merit
+(speculation trimming is almost free), deep fetch gating's merit
+collapses once ILP is exhausted, and DVS's merit is flat -- so the best
+policy uses FG up to the crossover and DVS beyond it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.power.model import PowerModel
+from repro.thermal.hotspot import HotSpotModel
+from repro.uarch.interval import DtmActuation
+from repro.workloads.phases import Phase
+
+
+@dataclass(frozen=True)
+class CoolingMerit:
+    """Predicted effect of one DTM actuation on one phase."""
+
+    actuation: DtmActuation
+    hotspot_block: str
+    cooling_k: float
+    slowdown: float
+
+    @property
+    def merit(self) -> float:
+        """Kelvin of fast cooling per percent of slowdown (infinite when
+        the actuation is free, 0 when it cools nothing)."""
+        overhead_pct = max(self.slowdown - 1.0, 0.0) * 100.0
+        if self.cooling_k <= 0.0:
+            return 0.0
+        if overhead_pct <= 1e-12:
+            return float("inf")
+        return self.cooling_k / overhead_pct
+
+
+def _phase_slowdown(phase: Phase, actuation: DtmActuation) -> float:
+    """Wall-clock slowdown of the phase under a sustained actuation."""
+    cpi0 = 1.0 / phase.base_ipc
+    cpi_mem = phase.memory_cpi_fraction * cpi0
+    ipc_gated = phase.base_ipc * phase.ilp_response.ipc_rel(
+        actuation.gating_fraction
+    )
+    cpi_core = max(1.0 / ipc_gated - cpi_mem, 1e-9)
+    cycles_per_instr = cpi_core + cpi_mem * actuation.relative_frequency
+    seconds_per_instr = cycles_per_instr / actuation.relative_frequency
+    seconds_per_instr /= max(actuation.clock_enabled_fraction, 1e-9)
+    return seconds_per_instr / cpi0
+
+
+def _die_green_function(hotspot: HotSpotModel) -> np.ndarray:
+    """Inverse of the die-node conductance block: the short-horizon
+    thermal response with the package held fixed."""
+    network = hotspot.network
+    n_die = len(network.block_names)
+    return np.linalg.inv(network.conductance[:n_die, :n_die])
+
+
+def cooling_figure_of_merit(
+    phase: Phase,
+    actuation: DtmActuation,
+    hotspot: HotSpotModel,
+    power_model: PowerModel,
+    reference_temps: Optional[Dict[str, float]] = None,
+    hotspot_block: str = "IntReg",
+) -> CoolingMerit:
+    """Compute the a-priori cooling/slowdown merit of an actuation.
+
+    Parameters
+    ----------
+    phase:
+        The workload phase supplying activities and the ILP response.
+    actuation:
+        The candidate operating point (gating, relative frequency from
+        the V/f curve, clock duty).
+    hotspot, power_model:
+        The thermal and power substrates.
+    reference_temps:
+        Temperatures used for the leakage term; defaults to 85 C
+        everywhere (the emergency threshold, where merit matters).
+    hotspot_block:
+        The block whose fast cooling is evaluated.
+    """
+    if hotspot_block not in hotspot.block_names:
+        raise ReproError(f"unknown hotspot block {hotspot_block!r}")
+    tech = power_model.technology
+    if reference_temps is None:
+        reference_temps = {name: 85.0 for name in hotspot.block_names}
+
+    # Map the actuation's relative frequency back to a voltage on the
+    # curve (DVS actuations move V and f together; gating keeps nominal).
+    curve = power_model.vf_curve
+    if actuation.relative_frequency >= 1.0 - 1e-12:
+        voltage = tech.vdd_nominal
+    else:
+        target = actuation.relative_frequency
+        lo, hi = tech.vth * 1.01, tech.vdd_nominal
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if curve.relative_frequency(mid) < target:
+                lo = mid
+            else:
+                hi = mid
+        voltage = hi
+    frequency = curve.frequency(voltage)
+
+    # Activities under nominal operation and under the actuation.
+    nominal_acts = phase.activity_model.activities(1.0, 1.0)
+    cpi0 = 1.0 / phase.base_ipc
+    cpi_mem = phase.memory_cpi_fraction * cpi0
+    ipc_gated = phase.base_ipc * phase.ilp_response.ipc_rel(
+        actuation.gating_fraction
+    )
+    cpi_core = max(1.0 / ipc_gated - cpi_mem, 1e-9)
+    cpi_actual = cpi_core + cpi_mem * actuation.relative_frequency
+    commit_rel = min((1.0 / cpi_actual) / phase.base_ipc, 1.0)
+    gated_acts = phase.activity_model.activities(
+        1.0 - actuation.gating_fraction, commit_rel
+    )
+
+    nominal_power = power_model.block_powers(
+        nominal_acts, tech.vdd_nominal, tech.frequency_nominal, reference_temps
+    )
+    actuated_power = power_model.block_powers(
+        gated_acts,
+        voltage,
+        frequency,
+        reference_temps,
+        actuation.clock_enabled_fraction,
+    )
+
+    block_names = list(hotspot.network.block_names)
+    delta = np.array(
+        [nominal_power[name] - actuated_power[name] for name in block_names]
+    )
+    green = _die_green_function(hotspot)
+    row = block_names.index(hotspot_block)
+    cooling = float(green[row] @ delta)
+
+    return CoolingMerit(
+        actuation=actuation,
+        hotspot_block=hotspot_block,
+        cooling_k=cooling,
+        slowdown=_phase_slowdown(phase, actuation),
+    )
+
+
+def predicted_crossover_gating(
+    phase: Phase,
+    hotspot: HotSpotModel,
+    power_model: PowerModel,
+    v_low_ratio: float = 0.85,
+    grid: int = 40,
+) -> float:
+    """Predict the ILP/DVS crossover gating fraction from merits alone.
+
+    Returns the largest gating fraction at which fetch gating's merit
+    still matches or beats binary DVS's -- the point beyond which a
+    hybrid policy should switch responses.
+    """
+    tech = power_model.technology
+    v_low = v_low_ratio * tech.vdd_nominal
+    dvs = cooling_figure_of_merit(
+        phase,
+        DtmActuation(
+            relative_frequency=power_model.vf_curve.relative_frequency(v_low)
+        ),
+        hotspot,
+        power_model,
+    )
+    best = 0.0
+    for index in range(1, grid):
+        fraction = index / grid * 0.9
+        fg = cooling_figure_of_merit(
+            phase, DtmActuation(gating_fraction=fraction), hotspot, power_model
+        )
+        if fg.merit >= dvs.merit:
+            best = fraction
+    return best

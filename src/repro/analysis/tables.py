@@ -1,0 +1,46 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ReproError
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are printed with four decimals (slowdown factors need the
+    precision); everything else via ``str``.
+    """
+    if not headers:
+        raise ReproError("table needs headers")
+    formatted: List[List[str]] = [[_format_cell(v) for v in row] for row in rows]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in formatted))
+        if formatted
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in formatted:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

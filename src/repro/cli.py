@@ -1,0 +1,213 @@
+"""Command-line interface.
+
+Run one simulation, evaluate the technique set, sweep the crossover, or
+characterise the suite -- from a shell, without writing harness code::
+
+    python -m repro run --benchmark gzip --policy Hyb
+    python -m repro evaluate --dvs-mode stall
+    python -m repro sweep --duty-cycles 20 10 5 3 2 1.5
+    python -m repro characterise
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import t4_benchmark_characterisation
+from repro.analysis.tables import render_table
+from repro.core.crossover import sweep_duty_cycles
+from repro.core.evaluation import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_SETTLE_TIME_S,
+    evaluate_techniques,
+    run_baselines,
+)
+from repro.core.metrics import slowdown_factor
+from repro.core.policies import POLICY_NAMES, make_policy
+from repro.sim.config import EngineConfig
+from repro.sim.engine import SimulationEngine
+from repro.workloads.spec import SPEC_BENCHMARK_NAMES, build_benchmark
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--instructions", type=int, default=DEFAULT_INSTRUCTIONS,
+        help="per-run instruction budget (default %(default)s)",
+    )
+    parser.add_argument(
+        "--dvs-mode", choices=("stall", "ideal"), default="stall",
+        help="DVS switching model (default %(default)s)",
+    )
+    parser.add_argument(
+        "--settle-ms", type=float, default=DEFAULT_SETTLE_TIME_S * 1e3,
+        help="unmeasured lead-in in milliseconds (default %(default)s)",
+    )
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("benchmarks:")
+    for name in SPEC_BENCHMARK_NAMES:
+        workload = build_benchmark(name)
+        print(f"  {name:8s} {workload.description}")
+    print("\npolicies:")
+    for name in POLICY_NAMES:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    workload = build_benchmark(args.benchmark)
+    config = EngineConfig(dvs_mode=args.dvs_mode)
+    settle = args.settle_ms * 1e-3
+
+    baseline_engine = SimulationEngine(workload, policy=make_policy("none"))
+    initial = baseline_engine.compute_initial_temperatures()
+    baseline = baseline_engine.run(
+        args.instructions, initial=initial.copy(), settle_time_s=settle
+    )
+    engine = SimulationEngine(
+        workload, policy=make_policy(args.policy), config=config
+    )
+    run = engine.run(
+        args.instructions, initial=initial.copy(), settle_time_s=settle
+    )
+
+    print(f"benchmark: {workload.name} ({workload.description})")
+    print(f"policy:    {args.policy} (DVS-{args.dvs_mode})")
+    rows = [[key, value] for key, value in run.summary().items()]
+    if args.policy != "none":
+        rows.append(["slowdown_factor", slowdown_factor(run, baseline)])
+    print(render_table(["metric", "value"], rows))
+    return 0 if run.violation_free else 1
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    baselines = run_baselines(
+        instructions=args.instructions,
+        settle_time_s=args.settle_ms * 1e-3,
+    )
+    results = evaluate_techniques(
+        names=tuple(args.techniques), dvs_mode=args.dvs_mode,
+        baselines=baselines,
+    )
+    rows = [
+        [name, evaluation.mean_slowdown, evaluation.total_violations]
+        for name, evaluation in results.items()
+    ]
+    print(render_table(
+        ["technique", "mean slowdown", "violations"], rows,
+        title=f"technique comparison (DVS-{args.dvs_mode}, "
+              f"{args.instructions / 1e6:.0f}M instructions/run)",
+    ))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    baselines = run_baselines(
+        instructions=args.instructions,
+        settle_time_s=args.settle_ms * 1e-3,
+    )
+    result = sweep_duty_cycles(
+        duty_cycles=tuple(args.duty_cycles), dvs_mode=args.dvs_mode,
+        baselines=baselines,
+    )
+    rows = [
+        [duty, evaluation.mean_slowdown, evaluation.total_violations]
+        for duty, evaluation in sorted(
+            result.evaluations.items(), reverse=True
+        )
+    ]
+    print(render_table(
+        ["max duty cycle", "mean slowdown", "violations"], rows,
+        title=f"PI-Hyb duty-cycle sweep (DVS-{args.dvs_mode})",
+    ))
+    print(f"best duty cycle: {result.best_duty_cycle:g}")
+    return 0
+
+
+def _cmd_characterise(args: argparse.Namespace) -> int:
+    rows = [
+        [
+            row.benchmark,
+            row.hottest_block,
+            row.max_temp_c,
+            row.fraction_above_trigger,
+            row.mean_power_w,
+            row.mean_ipc,
+        ]
+        for row in t4_benchmark_characterisation(
+            instructions=args.instructions
+        )
+    ]
+    print(render_table(
+        ["benchmark", "hottest", "max C", "above trigger",
+         "power W", "IPC"],
+        rows,
+        title="unmanaged benchmark characterisation",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid architectural DTM reproduction (Skadron, "
+                    "DATE 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and policies")
+
+    run_parser = sub.add_parser("run", help="run one benchmark/policy pair")
+    run_parser.add_argument(
+        "--benchmark", required=True, choices=SPEC_BENCHMARK_NAMES
+    )
+    run_parser.add_argument("--policy", required=True, choices=POLICY_NAMES)
+    _add_common(run_parser)
+
+    eval_parser = sub.add_parser(
+        "evaluate", help="compare techniques across the suite (Figure 4)"
+    )
+    eval_parser.add_argument(
+        "--techniques", nargs="+", default=["FG", "DVS", "PI-Hyb", "Hyb"],
+        choices=[n for n in POLICY_NAMES if n != "none"],
+    )
+    _add_common(eval_parser)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="PI-Hyb duty-cycle sweep (Figure 3a)"
+    )
+    sweep_parser.add_argument(
+        "--duty-cycles", nargs="+", type=float,
+        default=[20.0, 10.0, 5.0, 4.0, 3.0, 2.5, 2.0, 1.5],
+    )
+    _add_common(sweep_parser)
+
+    char_parser = sub.add_parser(
+        "characterise", help="unmanaged thermal characterisation"
+    )
+    _add_common(char_parser)
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "evaluate": _cmd_evaluate,
+    "sweep": _cmd_sweep,
+    "characterise": _cmd_characterise,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

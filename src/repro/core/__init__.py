@@ -1,0 +1,45 @@
+"""The paper's contribution-level API.
+
+High-level entry points a user of the library calls directly:
+
+* :func:`repro.core.policies.make_policy` -- construct any of the paper's
+  DTM techniques by name;
+* :mod:`repro.core.evaluation` -- run a technique (or all of them) over
+  the benchmark suite and compute slowdown factors;
+* :mod:`repro.core.crossover` -- the Section 5.1 crossover-point search;
+* :mod:`repro.core.metrics` -- slowdown factors, DTM overhead and the
+  paper's "reduction in DTM overhead" metric.
+"""
+
+from repro.core.metrics import (
+    dtm_overhead,
+    mean_slowdown,
+    overhead_reduction,
+    slowdown_factor,
+)
+from repro.core.policies import POLICY_NAMES, make_policy
+from repro.core.evaluation import (
+    BenchmarkEvaluation,
+    SuiteEvaluation,
+    evaluate_policy,
+    evaluate_techniques,
+    run_baselines,
+)
+from repro.core.crossover import CrossoverResult, find_crossover, sweep_duty_cycles
+
+__all__ = [
+    "slowdown_factor",
+    "dtm_overhead",
+    "overhead_reduction",
+    "mean_slowdown",
+    "make_policy",
+    "POLICY_NAMES",
+    "BenchmarkEvaluation",
+    "SuiteEvaluation",
+    "evaluate_policy",
+    "evaluate_techniques",
+    "run_baselines",
+    "CrossoverResult",
+    "find_crossover",
+    "sweep_duty_cycles",
+]

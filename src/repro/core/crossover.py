@@ -1,0 +1,94 @@
+"""Crossover-point search (paper, Section 5.1).
+
+Sweeps the maximum fetch-gating duty cycle of a hybrid technique (or the
+fixed duty of stand-alone fetch gating) and reports the slowdown at each
+point; the crossover is where the best technique changes between the ILP
+response and DVS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.evaluation import (
+    SuiteEvaluation,
+    _Baselines,
+    evaluate_policy,
+    run_baselines,
+)
+from repro.dtm.fetch_gating import duty_cycle_to_gating_fraction
+from repro.dtm.hybrid import PIHybConfig, PIHybPolicy
+from repro.errors import DtmConfigError
+
+PAPER_DUTY_CYCLES = (20.0, 10.0, 5.0, 4.0, 3.0, 2.5, 2.0, 1.5)
+"""The duty-cycle grid of the paper's Figure 3 sweep."""
+
+
+@dataclass
+class CrossoverResult:
+    """Outcome of a duty-cycle sweep."""
+
+    dvs_mode: str
+    evaluations: Dict[float, SuiteEvaluation]
+
+    @property
+    def mean_slowdowns(self) -> Dict[float, float]:
+        """Mean slowdown per duty cycle."""
+        return {
+            duty: evaluation.mean_slowdown
+            for duty, evaluation in self.evaluations.items()
+        }
+
+    @property
+    def best_duty_cycle(self) -> float:
+        """The duty cycle with the lowest mean slowdown."""
+        means = self.mean_slowdowns
+        return min(means, key=means.get)
+
+
+def sweep_duty_cycles(
+    duty_cycles: Sequence[float] = PAPER_DUTY_CYCLES,
+    dvs_mode: str = "stall",
+    baselines: Optional[_Baselines] = None,
+    instructions: Optional[int] = None,
+) -> CrossoverResult:
+    """Sweep PI-Hyb's maximum duty cycle over the suite (Figure 3a).
+
+    Returns per-duty-cycle suite evaluations; the minimum of the mean
+    slowdown identifies the crossover.
+    """
+    if not duty_cycles:
+        raise DtmConfigError("need at least one duty cycle")
+    if baselines is None:
+        kwargs = {}
+        if instructions is not None:
+            kwargs["instructions"] = instructions
+        baselines = run_baselines(**kwargs)
+    evaluations: Dict[float, SuiteEvaluation] = {}
+    for duty in duty_cycles:
+        fraction = duty_cycle_to_gating_fraction(duty)
+        config = PIHybConfig(max_gating_fraction=fraction)
+        evaluations[duty] = evaluate_policy(
+            lambda config=config: PIHybPolicy(config),
+            baselines,
+            dvs_mode=dvs_mode,
+        )
+    return CrossoverResult(dvs_mode=dvs_mode, evaluations=evaluations)
+
+
+def find_crossover(
+    result: CrossoverResult, rise_threshold: float = 0.005
+) -> float:
+    """Locate the crossover duty cycle in a sweep.
+
+    The crossover is the smallest duty cycle (deepest gating) whose mean
+    slowdown is still within ``rise_threshold`` of the sweep minimum --
+    beyond it, gating harder costs more than switching to DVS.
+    """
+    means = result.mean_slowdowns
+    best = min(means.values())
+    eligible: List[float] = [
+        duty for duty, slow in means.items() if slow <= best + rise_threshold
+    ]
+    return min(eligible)

@@ -1,0 +1,62 @@
+"""Performance metrics for DTM comparisons.
+
+The paper reports *slowdown factors* (DTM runtime over unmanaged runtime),
+*DTM overhead* (slowdown minus one), and improvements as a *reduction in
+DTM overhead*: a hybrid running 5.5 % faster than DVS whose overhead is
+22 % has reduced the overhead by about 25 %.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SimulationError
+from repro.sim.results import RunResult
+
+
+def slowdown_factor(run: RunResult, baseline: RunResult) -> float:
+    """Wall-clock slowdown of ``run`` relative to ``baseline``.
+
+    Both runs must have committed the same instruction budget on the same
+    benchmark; anything else is a harness bug, so it raises.
+    """
+    if run.benchmark != baseline.benchmark:
+        raise SimulationError(
+            f"cannot compare {run.benchmark!r} against baseline "
+            f"{baseline.benchmark!r}"
+        )
+    if abs(run.instructions - baseline.instructions) > 0.5:
+        raise SimulationError(
+            "slowdown requires equal instruction budgets "
+            f"({run.instructions} vs {baseline.instructions})"
+        )
+    return run.elapsed_s / baseline.elapsed_s
+
+
+def dtm_overhead(slowdown: float) -> float:
+    """DTM overhead: the fractional runtime increase (slowdown - 1)."""
+    if slowdown < 1.0 - 1e-9:
+        raise SimulationError(
+            f"slowdown {slowdown} below 1.0: DTM cannot speed a run up"
+        )
+    return max(0.0, slowdown - 1.0)
+
+
+def overhead_reduction(reference_slowdown: float, improved_slowdown: float) -> float:
+    """Fraction of the reference technique's DTM overhead eliminated.
+
+    The paper's headline: hybrid DTM reduces DVS's overhead by about 25 %.
+    """
+    reference = dtm_overhead(reference_slowdown)
+    improved = dtm_overhead(improved_slowdown)
+    if reference <= 0.0:
+        raise SimulationError("reference technique has no overhead to reduce")
+    return (reference - improved) / reference
+
+
+def mean_slowdown(slowdowns: Sequence[float]) -> float:
+    """Arithmetic mean slowdown across benchmarks (the paper averages its
+    per-benchmark slowdowns)."""
+    if not slowdowns:
+        raise SimulationError("no slowdowns to average")
+    return sum(slowdowns) / len(slowdowns)

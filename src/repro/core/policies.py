@@ -1,0 +1,78 @@
+"""Policy factory: construct any of the paper's techniques by name."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dtm.base import DtmPolicy
+from repro.dtm.clock_gating import ClockGatingConfig, ClockGatingPolicy
+from repro.dtm.dvs import DvsConfig, DvsPolicy
+from repro.dtm.fetch_gating import FetchGatingConfig, FetchGatingPolicy
+from repro.dtm.hybrid import HybConfig, HybPolicy, PIHybConfig, PIHybPolicy
+from repro.dtm.local_toggling import LocalTogglingConfig, LocalTogglingPolicy
+from repro.dtm.none import NoDtmPolicy
+from repro.dtm.predictive import PredictiveHybConfig, PredictiveHybPolicy
+from repro.dtm.thresholds import ThermalThresholds
+from repro.errors import DtmConfigError
+
+POLICY_NAMES = ("none", "FG", "CG", "LT", "DVS", "Hyb", "PI-Hyb", "Pred-Hyb")
+"""Names accepted by :func:`make_policy`.
+
+Activity migration ("AM") is deliberately absent: it requires the
+migration floorplan and power specs, so it is constructed explicitly (see
+``repro.dtm.migration``)."""
+
+
+def make_policy(
+    name: str,
+    thresholds: Optional[ThermalThresholds] = None,
+    config=None,
+) -> DtmPolicy:
+    """Build a DTM policy by its table name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`POLICY_NAMES` (case sensitive, as printed in the
+        paper's figures).
+    thresholds:
+        Thermal thresholds shared by all techniques.
+    config:
+        Optional technique-specific config object (``DvsConfig``,
+        ``FetchGatingConfig``, ``ClockGatingConfig``, ``HybConfig`` or
+        ``PIHybConfig``); defaults to the paper's configuration.
+    """
+    if name == "none":
+        if config is not None:
+            raise DtmConfigError("the no-DTM baseline takes no config")
+        return NoDtmPolicy()
+    if name == "FG":
+        _check(config, FetchGatingConfig, name)
+        return FetchGatingPolicy(config, thresholds)
+    if name == "CG":
+        _check(config, ClockGatingConfig, name)
+        return ClockGatingPolicy(config, thresholds)
+    if name == "LT":
+        _check(config, LocalTogglingConfig, name)
+        return LocalTogglingPolicy(config, thresholds)
+    if name == "Pred-Hyb":
+        _check(config, PredictiveHybConfig, name)
+        return PredictiveHybPolicy(config, thresholds)
+    if name == "DVS":
+        _check(config, DvsConfig, name)
+        return DvsPolicy(config, thresholds)
+    if name == "Hyb":
+        _check(config, HybConfig, name)
+        return HybPolicy(config, thresholds)
+    if name == "PI-Hyb":
+        _check(config, PIHybConfig, name)
+        return PIHybPolicy(config, thresholds)
+    raise DtmConfigError(f"unknown policy {name!r}; choose from {POLICY_NAMES}")
+
+
+def _check(config, expected_type, name: str) -> None:
+    if config is not None and not isinstance(config, expected_type):
+        raise DtmConfigError(
+            f"policy {name!r} expects a {expected_type.__name__}, "
+            f"got {type(config).__name__}"
+        )

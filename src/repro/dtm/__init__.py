@@ -1,0 +1,66 @@
+"""Dynamic thermal management techniques.
+
+All techniques implement :class:`~repro.dtm.base.DtmPolicy`: given the
+latest sensor readings they return the operating point (fetch-gating duty,
+supply voltage, clock-enable fraction) the engine should apply.  Switching
+mechanics -- the 10 us DVS stall or delayed-effect window -- are applied by
+the simulation engine, not the policies, because they are properties of the
+voltage regulation hardware, not of the control law.
+
+Techniques (paper, Section 4):
+
+* :class:`DvsPolicy` -- binary or multi-step dynamic voltage scaling with a
+  PI controller and a low-pass filter on voltage increases;
+* :class:`FetchGatingPolicy` -- integral-controlled fetch duty cycle;
+* :class:`ClockGatingPolicy` -- Pentium 4-style global clock gating;
+* :class:`HybPolicy` -- the paper's contribution: a fixed fetch-gating
+  level between two thresholds and binary DVS above the second, with no
+  feedback control at all;
+* :class:`PIHybPolicy` -- feedback-controlled fetch gating up to the
+  crossover duty cycle, then DVS;
+* :class:`PredictiveHybPolicy` -- extension (paper future work): the
+  hybrid driven by a short-horizon temperature forecast;
+* :class:`NoDtmPolicy` -- the always-nominal baseline.
+"""
+
+from repro.dtm.base import DtmCommand, DtmPolicy
+from repro.dtm.thresholds import ThermalThresholds
+from repro.dtm.controllers import IntegralController, LowPassFilter, PIController
+from repro.dtm.none import NoDtmPolicy
+from repro.dtm.dvs import DvsConfig, DvsPolicy
+from repro.dtm.fetch_gating import FetchGatingConfig, FetchGatingPolicy
+from repro.dtm.clock_gating import ClockGatingConfig, ClockGatingPolicy
+from repro.dtm.hybrid import HybConfig, HybPolicy, PIHybConfig, PIHybPolicy
+from repro.dtm.predictive import PredictiveHybConfig, PredictiveHybPolicy
+from repro.dtm.local_toggling import LocalTogglingConfig, LocalTogglingPolicy
+from repro.dtm.domains import CLOCK_DOMAINS, domain_criticality, domain_of
+from repro.dtm.migration import MigrationConfig, MigrationPolicy
+
+__all__ = [
+    "DtmCommand",
+    "DtmPolicy",
+    "ThermalThresholds",
+    "PIController",
+    "IntegralController",
+    "LowPassFilter",
+    "NoDtmPolicy",
+    "DvsConfig",
+    "DvsPolicy",
+    "FetchGatingConfig",
+    "FetchGatingPolicy",
+    "ClockGatingConfig",
+    "ClockGatingPolicy",
+    "HybConfig",
+    "HybPolicy",
+    "PIHybConfig",
+    "PIHybPolicy",
+    "PredictiveHybConfig",
+    "PredictiveHybPolicy",
+    "LocalTogglingConfig",
+    "LocalTogglingPolicy",
+    "CLOCK_DOMAINS",
+    "domain_of",
+    "domain_criticality",
+    "MigrationConfig",
+    "MigrationPolicy",
+]

@@ -1,0 +1,94 @@
+"""DTM policy interface.
+
+A policy is a pure control law: sensor readings in, desired operating
+point out.  The engine enforces the physical consequences (DVS switch
+stalls, actual frequency from the V/f curve, power, heat).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+from repro.errors import DtmConfigError
+
+
+@dataclass(frozen=True)
+class DtmCommand:
+    """The operating point a policy requests.
+
+    Parameters
+    ----------
+    gating_fraction:
+        Fetch-gating duty in [0, 1): fraction of cycles on which fetch is
+        gated (the paper's duty cycle x corresponds to ``1/x``).
+    voltage:
+        Requested supply voltage in volts; the engine maps it to the
+        highest safe frequency via the V/f curve.
+    clock_enabled_fraction:
+        Fraction of time the global clock runs, in (0, 1]; below 1.0 only
+        for clock-gating techniques.
+    domain_gating:
+        Local-toggling duties per clock domain (see
+        :mod:`repro.dtm.domains`); empty for every other technique.
+    migration:
+        Activity migration as ``(source_block, target_block, fraction)``:
+        the engine moves that fraction of the source block's switching
+        activity onto the target (a spare structure on a migration
+        floorplan).  ``None`` for every other technique.
+    """
+
+    gating_fraction: float
+    voltage: float
+    clock_enabled_fraction: float = 1.0
+    domain_gating: Mapping[str, float] = field(default_factory=dict)
+    migration: Optional[Tuple[str, str, float]] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.gating_fraction < 1.0:
+            raise DtmConfigError("gating fraction must be in [0, 1)")
+        if self.voltage <= 0.0:
+            raise DtmConfigError("voltage must be > 0")
+        if not 0.0 < self.clock_enabled_fraction <= 1.0:
+            raise DtmConfigError("clock enabled fraction must be in (0, 1]")
+        object.__setattr__(self, "domain_gating", dict(self.domain_gating))
+        for domain, duty in self.domain_gating.items():
+            if not 0.0 <= duty < 1.0:
+                raise DtmConfigError(
+                    f"domain {domain!r} toggle duty must be in [0, 1)"
+                )
+        if self.migration is not None:
+            source, target, fraction = self.migration
+            if source == target:
+                raise DtmConfigError("migration source and target must differ")
+            if not 0.0 < fraction <= 1.0:
+                raise DtmConfigError("migration fraction must be in (0, 1]")
+
+
+class DtmPolicy(abc.ABC):
+    """Base class for all DTM techniques."""
+
+    #: Short identifier used in result tables ("FG", "DVS", "Hyb", ...).
+    name: str = "base"
+
+    @abc.abstractmethod
+    def update(
+        self, readings: Mapping[str, float], time_s: float, dt_s: float
+    ) -> DtmCommand:
+        """Compute the operating point from fresh sensor ``readings``.
+
+        Called once per sensor sample (10 kHz).  ``dt_s`` is the time since
+        the previous call, which feedback controllers need.
+        """
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Return all controller state to power-on condition."""
+
+    @staticmethod
+    def hottest(readings: Mapping[str, float]) -> float:
+        """Hottest observed temperature -- what the comparators act on."""
+        if not readings:
+            raise DtmConfigError("policy update needs at least one reading")
+        return max(readings.values())

@@ -1,0 +1,94 @@
+"""Global clock gating (Pentium 4-style).
+
+The entire clock is stopped for a fraction of the time, eliminating clock
+tree power as well as activity, but also stopping all progress: unlike
+fetch gating there is no ILP to hide behind, so slowdown tracks the duty
+directly.  The duty is set by an integral controller like fetch gating's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.dtm.base import DtmCommand, DtmPolicy
+from repro.dtm.controllers import IntegralController
+from repro.dtm.thresholds import ThermalThresholds
+from repro.errors import DtmConfigError
+
+
+@dataclass(frozen=True)
+class ClockGatingConfig:
+    """Configuration of the clock-gating policy.
+
+    Parameters
+    ----------
+    ki:
+        Integral gain in duty units per Kelvin-second.
+    max_duty:
+        Largest fraction of time the clock may be stopped.
+    nominal_voltage:
+        Supply voltage (clock gating never touches it).
+    """
+
+    ki: float = 600.0
+    max_duty: float = 0.9
+    nominal_voltage: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.ki <= 0.0:
+            raise DtmConfigError("ki must be > 0")
+        if not 0.0 < self.max_duty < 1.0:
+            raise DtmConfigError("max duty must be in (0, 1)")
+        if self.nominal_voltage <= 0.0:
+            raise DtmConfigError("voltage must be > 0")
+
+
+class ClockGatingPolicy(DtmPolicy):
+    """Integral-controlled global clock stop at nominal voltage."""
+
+    name = "CG"
+
+    def __init__(
+        self,
+        config: Optional[ClockGatingConfig] = None,
+        thresholds: Optional[ThermalThresholds] = None,
+    ):
+        self._config = config if config is not None else ClockGatingConfig()
+        self._thresholds = (
+            thresholds if thresholds is not None else ThermalThresholds()
+        )
+        self._controller = IntegralController(
+            ki=self._config.ki,
+            setpoint=self._thresholds.trigger_c,
+            output_min=0.0,
+            output_max=self._config.max_duty,
+        )
+        self._duty = 0.0
+
+    @property
+    def config(self) -> ClockGatingConfig:
+        """The policy configuration."""
+        return self._config
+
+    @property
+    def duty(self) -> float:
+        """Current fraction of time the clock is stopped."""
+        return self._duty
+
+    def update(
+        self, readings: Mapping[str, float], time_s: float, dt_s: float
+    ) -> DtmCommand:
+        """Integrate the temperature error into a new stop duty."""
+        hottest = self.hottest(readings)
+        self._duty = self._controller.update(hottest, dt_s)
+        return DtmCommand(
+            gating_fraction=0.0,
+            voltage=self._config.nominal_voltage,
+            clock_enabled_fraction=max(1.0 - self._duty, 1e-3),
+        )
+
+    def reset(self) -> None:
+        """Run the clock continuously and clear the integral state."""
+        self._controller.reset()
+        self._duty = 0.0

@@ -1,0 +1,125 @@
+"""Feedback-control building blocks for DTM policies.
+
+The paper uses a PI controller for multi-step DVS, an integral controller
+for fetch gating ("a few registers, an adder, and a multiplier"), and a
+simple low-pass filter to keep binary decisions from chattering on sensor
+noise.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DtmConfigError
+
+
+class PIController:
+    """Discrete proportional-integral controller with anti-windup.
+
+    Drives its output toward keeping ``measurement`` at ``setpoint``.  The
+    output is clamped to [output_min, output_max]; while clamped, the
+    integral term is frozen (anti-windup), which matters because thermal
+    plants are slow and windup would badly overshoot.
+
+    Sign convention: a *positive* error (measurement above setpoint) pushes
+    the output *up*; callers wanting "hotter means stronger response" feed
+    ``measurement - setpoint`` as-is.
+    """
+
+    def __init__(
+        self,
+        kp: float,
+        ki: float,
+        setpoint: float,
+        output_min: float,
+        output_max: float,
+    ):
+        if output_min >= output_max:
+            raise DtmConfigError("output_min must be < output_max")
+        if kp < 0.0 or ki < 0.0:
+            raise DtmConfigError("gains must be >= 0")
+        if kp == 0.0 and ki == 0.0:
+            raise DtmConfigError("at least one gain must be non-zero")
+        self._kp = kp
+        self._ki = ki
+        self._setpoint = setpoint
+        self._min = output_min
+        self._max = output_max
+        self._integral = 0.0
+
+    @property
+    def setpoint(self) -> float:
+        """The regulation target."""
+        return self._setpoint
+
+    def update(self, measurement: float, dt: float) -> float:
+        """Advance the controller by ``dt`` seconds and return the new
+        output."""
+        if dt <= 0.0:
+            raise DtmConfigError("controller dt must be > 0")
+        error = measurement - self._setpoint
+        candidate_integral = self._integral + error * dt
+        output = self._kp * error + self._ki * candidate_integral
+        if self._min <= output <= self._max:
+            self._integral = candidate_integral
+            return output
+        # Clamped: keep the integral only if it moves the output back
+        # inside the range (standard conditional anti-windup).
+        clamped = min(max(output, self._min), self._max)
+        unwinding = (output > self._max and error < 0.0) or (
+            output < self._min and error > 0.0
+        )
+        if unwinding:
+            self._integral = candidate_integral
+        return clamped
+
+    def reset(self) -> None:
+        """Zero the integral state."""
+        self._integral = 0.0
+
+
+class IntegralController(PIController):
+    """Pure integral controller (the paper's fetch-gating controller)."""
+
+    def __init__(
+        self, ki: float, setpoint: float, output_min: float, output_max: float
+    ):
+        super().__init__(
+            kp=0.0, ki=ki, setpoint=setpoint, output_min=output_min,
+            output_max=output_max,
+        )
+
+
+class LowPassFilter:
+    """First-order exponential smoother.
+
+    ``alpha`` is the per-sample blend weight of the new value: small alpha
+    means heavy smoothing.  The paper applies such a filter only to
+    decisions that *relax* the DTM response (raising the voltage), never to
+    the compulsory tightening direction.
+    """
+
+    def __init__(self, alpha: float):
+        if not 0.0 < alpha <= 1.0:
+            raise DtmConfigError("alpha must be in (0, 1]")
+        self._alpha = alpha
+        self._value: float = 0.0
+        self._primed = False
+
+    @property
+    def value(self) -> float:
+        """Current filtered value (0.0 before the first sample)."""
+        return self._value
+
+    def update(self, sample: float) -> float:
+        """Blend in ``sample`` and return the filtered value.  The first
+        sample primes the filter exactly."""
+        if not self._primed:
+            self._value = sample
+            self._primed = True
+        else:
+            self._value += self._alpha * (sample - self._value)
+        return self._value
+
+    def reset(self) -> None:
+        """Forget all state."""
+        self._value = 0.0
+        self._primed = False

@@ -1,0 +1,70 @@
+"""Clock domains for local toggling.
+
+The paper's related work includes "local toggling, in which the processor
+domain(s) in thermal stress are slowed or stopped"; the paper reports that
+it "confers little advantage over fetch gating" and drops it.  To let the
+library reproduce that finding rather than assert it, the floorplan's
+blocks are grouped into the four clock domains a 21264-class machine could
+plausibly gate independently.
+
+A domain's *criticality* estimates how directly stopping it stalls commit:
+the integer core and memory pipeline stall everything; the front end is
+buffered by the fetch queue; the FP cluster only matters to FP code (this
+is local toggling's one genuine win).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import DtmConfigError
+
+CLOCK_DOMAINS: Mapping[str, Tuple[str, ...]] = {
+    "frontend": ("Icache", "Bpred", "ITB", "IntMap", "FPMap"),
+    "int": ("IntQ", "IntReg", "IntExec"),
+    "fp": ("FPQ", "FPReg", "FPAdd", "FPMul"),
+    "mem": ("LdStQ", "Dcache", "DTB"),
+}
+"""Gateable domains; L2 stays on its own always-running clock."""
+
+_DOMAIN_OF: Dict[str, str] = {
+    block: domain
+    for domain, blocks in CLOCK_DOMAINS.items()
+    for block in blocks
+}
+
+
+def domain_of(block: str) -> str:
+    """The clock domain containing ``block``.
+
+    Blocks outside any gateable domain (the L2 banks) raise, since a
+    local-toggling policy cannot act on them.
+    """
+    try:
+        return _DOMAIN_OF[block]
+    except KeyError:
+        raise DtmConfigError(
+            f"block {block!r} is not in a gateable clock domain"
+        ) from None
+
+
+def domain_criticality(
+    domain: str, base_activities: Mapping[str, float]
+) -> float:
+    """How much of commit throughput stopping ``domain`` removes, per unit
+    duty, for a phase with the given base activities.
+
+    The integer and memory domains serialise the whole pipeline (1.0);
+    the front end is partially hidden by fetch buffering (0.85); the FP
+    cluster's criticality scales with how much FP work the phase does.
+    """
+    if domain not in CLOCK_DOMAINS:
+        raise DtmConfigError(f"unknown clock domain {domain!r}")
+    if domain in ("int", "mem"):
+        return 1.0
+    if domain == "frontend":
+        return 0.85
+    fp_activity = max(
+        base_activities.get(block, 0.0) for block in CLOCK_DOMAINS["fp"]
+    )
+    return min(1.0, 2.5 * fp_activity)

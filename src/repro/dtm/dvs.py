@@ -1,0 +1,170 @@
+"""Dynamic voltage scaling policies.
+
+Binary DVS (the paper's recommendation) is a pair of comparators: observed
+temperature above the trigger selects the low voltage immediately; returning
+to the high voltage is gated through a low-pass filter so sensor noise near
+the threshold does not thrash the regulator.
+
+Multi-step DVS (continuous / 10 / 5 / 3 levels) uses a PI controller to set
+the voltage to the highest level that regulates temperature, quantising
+*down* to the nearest available level (safety requires DTM to be
+conservative).  As the paper shows -- and the step-sensitivity bench
+reproduces -- the extra levels buy almost nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional
+
+from repro.dtm.base import DtmCommand, DtmPolicy
+from repro.dtm.controllers import LowPassFilter, PIController
+from repro.dtm.thresholds import ThermalThresholds
+from repro.errors import DtmConfigError
+from repro.power.technology import Technology, default_technology
+from repro.power.vf_curve import VoltageFrequencyCurve
+
+CONTINUOUS_LEVEL_COUNT = 100
+"""Level count used to approximate continuous DVS."""
+
+
+@dataclass(frozen=True)
+class DvsConfig:
+    """Configuration of a DVS policy.
+
+    Parameters
+    ----------
+    level_count:
+        Number of voltage levels (2 = binary).  Use
+        :data:`CONTINUOUS_LEVEL_COUNT` for effectively continuous DVS.
+    v_low_ratio:
+        Lowest voltage as a fraction of nominal (paper: 0.85 is the largest
+        value that eliminates violations).
+    kp, ki:
+        PI gains for multi-step control, in depth-units per Kelvin and per
+        Kelvin-second respectively.
+    raise_filter_alpha:
+        Low-pass blend weight for the filtered temperature used by
+        *increase* decisions.
+    raise_margin_c:
+        The filtered temperature must fall this far below the trigger
+        before the voltage may rise.
+    """
+
+    level_count: int = 2
+    v_low_ratio: float = 0.85
+    kp: float = 0.3
+    ki: float = 800.0
+    raise_filter_alpha: float = 0.25
+    raise_margin_c: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.level_count < 2:
+            raise DtmConfigError("DVS needs at least 2 levels")
+        if not 0.0 < self.v_low_ratio < 1.0:
+            raise DtmConfigError("v_low_ratio must be in (0, 1)")
+        if self.raise_margin_c < 0.0:
+            raise DtmConfigError("raise margin must be >= 0")
+
+    @staticmethod
+    def continuous(**overrides) -> "DvsConfig":
+        """A finely quantised configuration approximating continuous DVS."""
+        overrides.setdefault("level_count", CONTINUOUS_LEVEL_COUNT)
+        return DvsConfig(**overrides)
+
+
+class DvsPolicy(DtmPolicy):
+    """Voltage scaling under comparator (binary) or PI (multi-step)
+    control."""
+
+    name = "DVS"
+
+    def __init__(
+        self,
+        config: Optional[DvsConfig] = None,
+        thresholds: Optional[ThermalThresholds] = None,
+        technology: Optional[Technology] = None,
+    ):
+        self._config = config if config is not None else DvsConfig()
+        self._thresholds = (
+            thresholds if thresholds is not None else ThermalThresholds()
+        )
+        self._tech = technology if technology is not None else default_technology()
+        curve = VoltageFrequencyCurve(self._tech)
+        v_low = self._config.v_low_ratio * self._tech.vdd_nominal
+        self._voltages: List[float] = [
+            voltage for voltage, _ in curve.levels(self._config.level_count, v_low)
+        ]
+        self._level = len(self._voltages) - 1  # start at nominal
+        self._filter = LowPassFilter(self._config.raise_filter_alpha)
+        if self._config.level_count > 2:
+            # Depth in [0, 1]: 0 = nominal voltage, 1 = lowest level.
+            self._controller: Optional[PIController] = PIController(
+                kp=self._config.kp,
+                ki=self._config.ki,
+                setpoint=self._thresholds.trigger_c,
+                output_min=0.0,
+                output_max=1.0,
+            )
+        else:
+            self._controller = None
+
+    @property
+    def config(self) -> DvsConfig:
+        """The policy configuration."""
+        return self._config
+
+    @property
+    def voltages(self) -> List[float]:
+        """Available voltage levels, lowest first."""
+        return list(self._voltages)
+
+    @property
+    def current_level(self) -> int:
+        """Index into :attr:`voltages` of the current setting."""
+        return self._level
+
+    def _command(self) -> DtmCommand:
+        return DtmCommand(
+            gating_fraction=0.0, voltage=self._voltages[self._level]
+        )
+
+    def _update_binary(self, hottest: float, filtered: float) -> None:
+        if hottest > self._thresholds.trigger_c:
+            self._level = 0  # compulsory, unfiltered
+        elif filtered < self._thresholds.trigger_c - self._config.raise_margin_c:
+            self._level = len(self._voltages) - 1
+
+    def _update_multistep(self, hottest: float, filtered: float, dt: float) -> None:
+        depth = self._controller.update(hottest, dt)
+        top = len(self._voltages) - 1
+        # Depth maps linearly onto the level range; quantise *down* in
+        # voltage (up in depth) so the setting is always safe.
+        import math
+
+        target_level = top - math.ceil(depth * top - 1e-9)
+        target_level = min(max(target_level, 0), top)
+        if target_level < self._level:
+            self._level = target_level  # compulsory lowering
+        elif target_level > self._level:
+            if filtered < self._thresholds.trigger_c - self._config.raise_margin_c:
+                self._level = target_level
+
+    def update(
+        self, readings: Mapping[str, float], time_s: float, dt_s: float
+    ) -> DtmCommand:
+        """One comparator/PI evaluation per sensor sample."""
+        hottest = self.hottest(readings)
+        filtered = self._filter.update(hottest)
+        if self._controller is None:
+            self._update_binary(hottest, filtered)
+        else:
+            self._update_multistep(hottest, filtered, dt_s)
+        return self._command()
+
+    def reset(self) -> None:
+        """Back to nominal voltage with cleared filters/controllers."""
+        self._level = len(self._voltages) - 1
+        self._filter.reset()
+        if self._controller is not None:
+            self._controller.reset()

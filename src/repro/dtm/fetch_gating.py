@@ -1,0 +1,189 @@
+"""Fetch gating under integral control.
+
+Fetch is prevented at some duty cycle, reducing the instruction flow and
+hence unit activities and power densities.  The duty cycle is a
+feedback-control problem; the paper uses an integral controller ("a few
+registers, an adder, and a multiplier").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.dtm.base import DtmCommand, DtmPolicy
+from repro.dtm.controllers import IntegralController
+from repro.dtm.thresholds import ThermalThresholds
+from repro.errors import DtmConfigError
+
+
+def duty_cycle_to_gating_fraction(duty_cycle: float) -> float:
+    """Convert the paper's duty-cycle convention to a gating fraction.
+
+    A duty cycle of x means "skip fetch once every x cycles", i.e. a
+    gating fraction of 1/x; x = 0.33 gates fetch two out of every three
+    cycles (fraction 2/3).
+    """
+    if duty_cycle <= 1.0:
+        # x <= 1 means gating more often than every cycle; the paper's
+        # x = 0.33 notation extends the convention below 1.
+        if duty_cycle <= 0.0:
+            raise DtmConfigError("duty cycle must be > 0")
+    fraction = 1.0 / duty_cycle
+    if fraction >= 1.0:
+        raise DtmConfigError(
+            f"duty cycle {duty_cycle} would gate every cycle (fraction >= 1)"
+        )
+    return fraction
+
+
+def gating_fraction_to_duty_cycle(fraction: float) -> float:
+    """Inverse of :func:`duty_cycle_to_gating_fraction`."""
+    if not 0.0 < fraction < 1.0:
+        raise DtmConfigError("gating fraction must be in (0, 1)")
+    return 1.0 / fraction
+
+
+@dataclass(frozen=True)
+class FetchGatingConfig:
+    """Configuration of the integral-controlled fetch-gating policy.
+
+    Parameters
+    ----------
+    ki:
+        Integral gain in gating-fraction units per Kelvin-second.
+    max_gating_fraction:
+        Saturation limit of the controller; the paper finds 2/3 (duty
+        cycle 0.33) is required for stand-alone FG to eliminate all
+        violations.
+    nominal_voltage:
+        Supply voltage (FG never touches it).
+    """
+
+    ki: float = 600.0
+    max_gating_fraction: float = 2.0 / 3.0
+    nominal_voltage: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.ki <= 0.0:
+            raise DtmConfigError("ki must be > 0")
+        if not 0.0 < self.max_gating_fraction < 1.0:
+            raise DtmConfigError("max gating fraction must be in (0, 1)")
+        if self.nominal_voltage <= 0.0:
+            raise DtmConfigError("voltage must be > 0")
+
+
+class FixedFetchGatingPolicy(DtmPolicy):
+    """Fetch gating at one fixed duty cycle, engaged above the trigger.
+
+    This is the stand-alone-FG configuration of the paper's Figure 3b
+    sweep: a single gating level applied whenever the observed temperature
+    demands a response (most such levels are insufficient to eliminate
+    violations -- that is the point of the figure).  De-escalation goes
+    through a low-pass filter like the hybrid's.
+    """
+
+    name = "FG-fixed"
+
+    def __init__(
+        self,
+        gating_fraction: float,
+        thresholds: Optional[ThermalThresholds] = None,
+        nominal_voltage: float = 1.3,
+        release_filter_alpha: float = 0.25,
+        release_margin_c: float = 0.3,
+    ):
+        if not 0.0 < gating_fraction < 1.0:
+            raise DtmConfigError("gating fraction must be in (0, 1)")
+        self._fraction = gating_fraction
+        self._thresholds = (
+            thresholds if thresholds is not None else ThermalThresholds()
+        )
+        self._voltage = nominal_voltage
+        self._margin = release_margin_c
+        from repro.dtm.controllers import LowPassFilter
+
+        self._filter = LowPassFilter(release_filter_alpha)
+        self._engaged = False
+
+    @property
+    def gating_fraction(self) -> float:
+        """The fixed duty level."""
+        return self._fraction
+
+    @property
+    def engaged(self) -> bool:
+        """Whether gating is currently applied."""
+        return self._engaged
+
+    def update(
+        self, readings: Mapping[str, float], time_s: float, dt_s: float
+    ) -> DtmCommand:
+        """Comparator against the trigger; filtered release."""
+        hottest = self.hottest(readings)
+        filtered = self._filter.update(hottest)
+        if hottest > self._thresholds.trigger_c:
+            self._engaged = True
+        elif filtered < self._thresholds.trigger_c - self._margin:
+            self._engaged = False
+        return DtmCommand(
+            gating_fraction=self._fraction if self._engaged else 0.0,
+            voltage=self._voltage,
+        )
+
+    def reset(self) -> None:
+        """Disengage and clear the filter."""
+        self._engaged = False
+        self._filter.reset()
+
+
+class FetchGatingPolicy(DtmPolicy):
+    """Integral-controlled fetch gating at nominal voltage."""
+
+    name = "FG"
+
+    def __init__(
+        self,
+        config: Optional[FetchGatingConfig] = None,
+        thresholds: Optional[ThermalThresholds] = None,
+    ):
+        self._config = config if config is not None else FetchGatingConfig()
+        self._thresholds = (
+            thresholds if thresholds is not None else ThermalThresholds()
+        )
+        self._controller = IntegralController(
+            ki=self._config.ki,
+            setpoint=self._thresholds.trigger_c,
+            output_min=0.0,
+            output_max=self._config.max_gating_fraction,
+        )
+        self._fraction = 0.0
+
+    @property
+    def config(self) -> FetchGatingConfig:
+        """The policy configuration."""
+        return self._config
+
+    @property
+    def gating_fraction(self) -> float:
+        """Current commanded gating fraction."""
+        return self._fraction
+
+    def update(
+        self, readings: Mapping[str, float], time_s: float, dt_s: float
+    ) -> DtmCommand:
+        """Integrate the temperature error into a new duty cycle."""
+        hottest = self.hottest(readings)
+        self._fraction = self._controller.update(hottest, dt_s)
+        # Guard against float drift pushing the fraction to 1.0.
+        self._fraction = min(self._fraction, math.nextafter(1.0, 0.0) * 0.999)
+        return DtmCommand(
+            gating_fraction=self._fraction,
+            voltage=self._config.nominal_voltage,
+        )
+
+    def reset(self) -> None:
+        """Stop gating and clear the integral state."""
+        self._controller.reset()
+        self._fraction = 0.0

@@ -1,0 +1,268 @@
+"""Hybrid DTM: the paper's contribution.
+
+Two variants (Section 4.2):
+
+* :class:`PIHybPolicy` ("PI-Hyb") -- feedback-controlled fetch gating whose
+  duty cycle is capped at the ILP/DVS crossover point; when the controller
+  saturates there and temperature still rises, the policy switches to
+  (binary) DVS instead of gating harder.
+* :class:`HybPolicy` ("Hyb") -- no feedback control at all: one fixed
+  fetch-gating level between the trigger threshold and a second, slightly
+  higher threshold, and the low voltage above that.  Just comparators
+  against two thresholds -- simpler than any controller, and the paper
+  shows it sacrifices nothing.
+
+Note this is a *hybrid*, not a fallback: the switch to DVS happens at the
+point where fetch gating stops being the lower-overhead response, well
+before its cooling capability is exhausted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.dtm.base import DtmCommand, DtmPolicy
+from repro.dtm.controllers import IntegralController, LowPassFilter
+from repro.dtm.thresholds import ThermalThresholds
+from repro.errors import DtmConfigError
+
+DEFAULT_CROSSOVER_GATING_FRACTION = 1.0 / 3.0
+"""The crossover for DVS with switching stalls: duty cycle 3 (skip fetch
+once every three cycles)."""
+
+IDEAL_DVS_CROSSOVER_GATING_FRACTION = 1.0 / 20.0
+"""The crossover for idealised DVS: only the mildest gating (duty cycle
+20) beats a regulator with no switching overhead."""
+
+
+class HybridState(enum.Enum):
+    """Which response a hybrid policy currently applies."""
+
+    NOMINAL = "nominal"
+    ILP = "ilp"
+    DVS = "dvs"
+
+
+@dataclass(frozen=True)
+class HybConfig:
+    """Configuration of the controller-free hybrid (Hyb).
+
+    Parameters
+    ----------
+    gating_fraction:
+        The single fixed fetch-gating level, matched to the crossover
+        point.
+    second_threshold_offset_c:
+        The DVS threshold sits this far above the trigger; between the two
+        thresholds the fixed ILP response is applied.
+    v_low_ratio:
+        Low voltage as a fraction of nominal (binary DVS).
+    nominal_voltage:
+        Supply voltage when DVS is not engaged.
+    release_filter_alpha, release_margin_c:
+        Low-pass filter and margin applied to *de-escalation* decisions
+        (DVS -> FG -> nominal); escalation is compulsory and immediate.
+    """
+
+    gating_fraction: float = DEFAULT_CROSSOVER_GATING_FRACTION
+    second_threshold_offset_c: float = 1.4
+    v_low_ratio: float = 0.85
+    nominal_voltage: float = 1.3
+    release_filter_alpha: float = 0.25
+    release_margin_c: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.gating_fraction < 1.0:
+            raise DtmConfigError("gating fraction must be in (0, 1)")
+        if self.second_threshold_offset_c <= 0.0:
+            raise DtmConfigError("second threshold offset must be > 0")
+        if not 0.0 < self.v_low_ratio < 1.0:
+            raise DtmConfigError("v_low_ratio must be in (0, 1)")
+        if self.release_margin_c < 0.0:
+            raise DtmConfigError("release margin must be >= 0")
+
+
+class HybPolicy(DtmPolicy):
+    """Fixed-level fetch gating plus binary DVS, driven by two comparators.
+
+    Implementation cost in hardware: two threshold comparisons instead of
+    binary DVS's one -- still far simpler than feedback control.
+    """
+
+    name = "Hyb"
+
+    def __init__(
+        self,
+        config: Optional[HybConfig] = None,
+        thresholds: Optional[ThermalThresholds] = None,
+    ):
+        self._config = config if config is not None else HybConfig()
+        self._thresholds = (
+            thresholds if thresholds is not None else ThermalThresholds()
+        )
+        self._state = HybridState.NOMINAL
+        self._filter = LowPassFilter(self._config.release_filter_alpha)
+
+    @property
+    def config(self) -> HybConfig:
+        """The policy configuration."""
+        return self._config
+
+    @property
+    def state(self) -> HybridState:
+        """Current response state."""
+        return self._state
+
+    def _command(self) -> DtmCommand:
+        if self._state is HybridState.DVS:
+            return DtmCommand(
+                gating_fraction=0.0,
+                voltage=self._config.v_low_ratio * self._config.nominal_voltage,
+            )
+        if self._state is HybridState.ILP:
+            return DtmCommand(
+                gating_fraction=self._config.gating_fraction,
+                voltage=self._config.nominal_voltage,
+            )
+        return DtmCommand(gating_fraction=0.0, voltage=self._config.nominal_voltage)
+
+    def update(
+        self, readings: Mapping[str, float], time_s: float, dt_s: float
+    ) -> DtmCommand:
+        """Two comparators: trigger engages FG, trigger+offset engages
+        DVS; de-escalation goes through the low-pass filter."""
+        hottest = self.hottest(readings)
+        filtered = self._filter.update(hottest)
+        trigger = self._thresholds.trigger_c
+        second = trigger + self._config.second_threshold_offset_c
+        margin = self._config.release_margin_c
+
+        # Compulsory escalation on the raw reading.
+        if hottest > second:
+            self._state = HybridState.DVS
+        elif hottest > trigger and self._state is HybridState.NOMINAL:
+            self._state = HybridState.ILP
+        # Filtered de-escalation.
+        elif self._state is HybridState.DVS and filtered < second - margin:
+            self._state = HybridState.ILP
+        elif self._state is HybridState.ILP and filtered < trigger - margin:
+            self._state = HybridState.NOMINAL
+        return self._command()
+
+    def reset(self) -> None:
+        """Back to nominal with a cleared filter."""
+        self._state = HybridState.NOMINAL
+        self._filter.reset()
+
+
+@dataclass(frozen=True)
+class PIHybConfig:
+    """Configuration of the feedback-controlled hybrid (PI-Hyb).
+
+    Parameters
+    ----------
+    max_gating_fraction:
+        Cap of the fetch-gating controller -- the crossover point.  Beyond
+        it the policy engages DVS rather than gating harder.
+    ki:
+        Integral gain of the fetch-gating controller.
+    engage_margin_c:
+        With the controller saturated, the observed temperature must
+        exceed the trigger by this much before DVS engages.
+    v_low_ratio, nominal_voltage:
+        Binary DVS levels.
+    release_filter_alpha, release_margin_c:
+        De-escalation filter (DVS back to FG).
+    """
+
+    max_gating_fraction: float = DEFAULT_CROSSOVER_GATING_FRACTION
+    ki: float = 600.0
+    engage_margin_c: float = 0.2
+    v_low_ratio: float = 0.85
+    nominal_voltage: float = 1.3
+    release_filter_alpha: float = 0.25
+    release_margin_c: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.max_gating_fraction < 1.0:
+            raise DtmConfigError("max gating fraction must be in (0, 1)")
+        if self.ki <= 0.0:
+            raise DtmConfigError("ki must be > 0")
+        if self.engage_margin_c < 0.0:
+            raise DtmConfigError("engage margin must be >= 0")
+        if not 0.0 < self.v_low_ratio < 1.0:
+            raise DtmConfigError("v_low_ratio must be in (0, 1)")
+        if self.release_margin_c < 0.0:
+            raise DtmConfigError("release margin must be >= 0")
+
+
+class PIHybPolicy(DtmPolicy):
+    """Integral-controlled fetch gating up to the crossover, then binary
+    DVS."""
+
+    name = "PI-Hyb"
+
+    def __init__(
+        self,
+        config: Optional[PIHybConfig] = None,
+        thresholds: Optional[ThermalThresholds] = None,
+    ):
+        self._config = config if config is not None else PIHybConfig()
+        self._thresholds = (
+            thresholds if thresholds is not None else ThermalThresholds()
+        )
+        self._controller = IntegralController(
+            ki=self._config.ki,
+            setpoint=self._thresholds.trigger_c,
+            output_min=0.0,
+            output_max=self._config.max_gating_fraction,
+        )
+        self._filter = LowPassFilter(self._config.release_filter_alpha)
+        self._state = HybridState.ILP  # ILP covers the nominal (duty 0) case
+
+    @property
+    def config(self) -> PIHybConfig:
+        """The policy configuration."""
+        return self._config
+
+    @property
+    def state(self) -> HybridState:
+        """Current response state (ILP with duty 0 is nominal
+        operation)."""
+        return self._state
+
+    def update(
+        self, readings: Mapping[str, float], time_s: float, dt_s: float
+    ) -> DtmCommand:
+        """Run the fetch-gating controller; hand over to DVS when it
+        saturates at the crossover and heat keeps coming."""
+        hottest = self.hottest(readings)
+        filtered = self._filter.update(hottest)
+        fraction = self._controller.update(hottest, dt_s)
+        config = self._config
+        trigger = self._thresholds.trigger_c
+
+        saturated = fraction >= config.max_gating_fraction - 1e-9
+        if self._state is HybridState.ILP:
+            if saturated and hottest > trigger + config.engage_margin_c:
+                self._state = HybridState.DVS
+        else:
+            if filtered < trigger - config.release_margin_c:
+                self._state = HybridState.ILP
+
+        if self._state is HybridState.DVS:
+            return DtmCommand(
+                gating_fraction=0.0,
+                voltage=config.v_low_ratio * config.nominal_voltage,
+            )
+        return DtmCommand(
+            gating_fraction=fraction, voltage=config.nominal_voltage
+        )
+
+    def reset(self) -> None:
+        """Back to ungated nominal with cleared controller state."""
+        self._controller.reset()
+        self._filter.reset()
+        self._state = HybridState.ILP

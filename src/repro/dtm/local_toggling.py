@@ -1,0 +1,127 @@
+"""Local toggling: per-domain clock stop (related work the paper drops).
+
+"Local toggling, in which the processor domain(s) in thermal stress are
+slowed or stopped" (citing Skadron et al., ISCA 2003).  The paper states:
+"We have found that local toggling confers little advantage over fetch
+gating and do not consider it further."  This implementation lets the
+library *measure* that finding (see ``benchmarks/bench_a6_local_toggling``)
+instead of taking it on faith.
+
+The policy stops the clock of whichever domain holds the hottest sensor,
+at a duty set by an integral controller.  The catch the paper alludes to:
+the hotspot domain (the integer core) is on the commit critical path, so
+stopping it stalls everything -- the power cut is local but the slowdown
+is global, which is exactly why fetch gating (which lets the window drain
+and exploits ILP) wins at mild stress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.dtm.base import DtmCommand, DtmPolicy
+from repro.dtm.controllers import IntegralController
+from repro.dtm.domains import CLOCK_DOMAINS, domain_of
+from repro.dtm.thresholds import ThermalThresholds
+from repro.errors import DtmConfigError
+
+
+@dataclass(frozen=True)
+class LocalTogglingConfig:
+    """Configuration of the local-toggling policy.
+
+    Parameters
+    ----------
+    ki:
+        Integral gain in duty units per Kelvin-second (shared by the
+        per-domain controllers).
+    max_duty:
+        Largest fraction of time a domain's clock may be stopped.
+    nominal_voltage:
+        Supply voltage (local toggling never touches it).
+    """
+
+    ki: float = 600.0
+    max_duty: float = 0.9
+    nominal_voltage: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.ki <= 0.0:
+            raise DtmConfigError("ki must be > 0")
+        if not 0.0 < self.max_duty < 1.0:
+            raise DtmConfigError("max duty must be in (0, 1)")
+        if self.nominal_voltage <= 0.0:
+            raise DtmConfigError("voltage must be > 0")
+
+
+class LocalTogglingPolicy(DtmPolicy):
+    """Integral-controlled per-domain clock stop.
+
+    One controller per gateable clock domain; each sample drives the
+    controller of the domain containing the hottest reading with that
+    reading, and relaxes the others toward zero with the coolest reading
+    in their own domain.
+    """
+
+    name = "LT"
+
+    def __init__(
+        self,
+        config: Optional[LocalTogglingConfig] = None,
+        thresholds: Optional[ThermalThresholds] = None,
+    ):
+        self._config = config if config is not None else LocalTogglingConfig()
+        self._thresholds = (
+            thresholds if thresholds is not None else ThermalThresholds()
+        )
+        self._controllers: Dict[str, IntegralController] = {
+            domain: IntegralController(
+                ki=self._config.ki,
+                setpoint=self._thresholds.trigger_c,
+                output_min=0.0,
+                output_max=self._config.max_duty,
+            )
+            for domain in CLOCK_DOMAINS
+        }
+        self._duties: Dict[str, float] = {domain: 0.0 for domain in CLOCK_DOMAINS}
+
+    @property
+    def config(self) -> LocalTogglingConfig:
+        """The policy configuration."""
+        return self._config
+
+    @property
+    def duties(self) -> Dict[str, float]:
+        """Current per-domain stop duties (copy)."""
+        return dict(self._duties)
+
+    def update(
+        self, readings: Mapping[str, float], time_s: float, dt_s: float
+    ) -> DtmCommand:
+        """Drive each domain's controller with its own hottest sensor."""
+        per_domain: Dict[str, float] = {}
+        for block, temp in readings.items():
+            try:
+                domain = domain_of(block)
+            except DtmConfigError:
+                continue  # L2 banks have no gateable clock
+            if domain not in per_domain or temp > per_domain[domain]:
+                per_domain[domain] = temp
+        for domain, controller in self._controllers.items():
+            measurement = per_domain.get(domain, self._thresholds.trigger_c - 5.0)
+            self._duties[domain] = controller.update(measurement, dt_s)
+        active = {
+            domain: duty for domain, duty in self._duties.items() if duty > 1e-9
+        }
+        return DtmCommand(
+            gating_fraction=0.0,
+            voltage=self._config.nominal_voltage,
+            domain_gating=active,
+        )
+
+    def reset(self) -> None:
+        """Release every domain and clear the controllers."""
+        for controller in self._controllers.values():
+            controller.reset()
+        self._duties = {domain: 0.0 for domain in CLOCK_DOMAINS}

@@ -1,0 +1,134 @@
+"""Activity migration (related work the paper excludes, implemented).
+
+"Migrating computation" moves work from a hot unit to a spare copy placed
+in a cooler part of the die, ping-ponging when the active copy heats up
+(Heo/Barr/Asanovic, ISLPED 2003).  The paper leaves it out over "the
+cost-benefit concerns of adding extra hardware for migration"; with the
+:func:`~repro.floorplan.migration.build_migration_floorplan` variant this
+policy lets the library price that trade:
+
+* benefit -- the hotspot's power density is time-shared over two
+  register-file copies far apart on the die;
+* cost -- a pipeline flush per migration (engine-applied stall) and a
+  small throughput penalty while running on the remote copy (longer
+  bypass paths), plus the idle copy's standing leakage and clock power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.dtm.base import DtmCommand, DtmPolicy
+from repro.dtm.controllers import LowPassFilter
+from repro.dtm.thresholds import ThermalThresholds
+from repro.errors import DtmConfigError
+from repro.floorplan.migration import SPARE_REGISTER_FILE
+
+
+@dataclass(frozen=True)
+class MigrationConfig:
+    """Configuration of the activity-migration policy.
+
+    Parameters
+    ----------
+    hot_block, spare_block:
+        The migrating structure and its duplicate.
+    remote_penalty:
+        Fractional throughput loss while running on the spare copy
+        (longer bypass/wakeup paths).
+    release_filter_alpha, release_margin_c:
+        Filtered decision for returning home once everything is cool.
+    nominal_voltage:
+        Supply voltage (migration never touches it).
+    """
+
+    hot_block: str = "IntReg"
+    spare_block: str = SPARE_REGISTER_FILE
+    remote_penalty: float = 0.03
+    release_filter_alpha: float = 0.25
+    release_margin_c: float = 0.5
+    nominal_voltage: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.hot_block == self.spare_block:
+            raise DtmConfigError("hot and spare blocks must differ")
+        if not 0.0 <= self.remote_penalty < 1.0:
+            raise DtmConfigError("remote penalty must be in [0, 1)")
+        if self.release_margin_c < 0.0:
+            raise DtmConfigError("release margin must be >= 0")
+        if self.nominal_voltage <= 0.0:
+            raise DtmConfigError("voltage must be > 0")
+
+
+class MigrationPolicy(DtmPolicy):
+    """Threshold-driven ping-pong between a hot block and its spare.
+
+    Above the trigger on the *currently active* copy, work migrates to
+    the other copy; when the filtered temperature of both copies falls
+    below trigger minus margin, work returns home and stays there.
+    """
+
+    name = "AM"
+
+    def __init__(
+        self,
+        config: Optional[MigrationConfig] = None,
+        thresholds: Optional[ThermalThresholds] = None,
+    ):
+        self._config = config if config is not None else MigrationConfig()
+        self._thresholds = (
+            thresholds if thresholds is not None else ThermalThresholds()
+        )
+        self._away = False
+        self._filter = LowPassFilter(self._config.release_filter_alpha)
+
+    @property
+    def config(self) -> MigrationConfig:
+        """The policy configuration."""
+        return self._config
+
+    @property
+    def away(self) -> bool:
+        """True while work runs on the spare copy."""
+        return self._away
+
+    def update(
+        self, readings: Mapping[str, float], time_s: float, dt_s: float
+    ) -> DtmCommand:
+        """Ping-pong on the active copy's temperature."""
+        config = self._config
+        trigger = self._thresholds.trigger_c
+        home_temp = readings.get(config.hot_block)
+        if home_temp is None:
+            raise DtmConfigError(
+                f"no reading for migrating block {config.hot_block!r}"
+            )
+        spare_temp = readings.get(config.spare_block, home_temp)
+        active_temp = spare_temp if self._away else home_temp
+        pair_max = self._filter.update(max(home_temp, spare_temp))
+
+        if active_temp > trigger:
+            self._away = not self._away
+        elif self._away and pair_max < trigger - config.release_margin_c:
+            self._away = False
+
+        if self._away:
+            return DtmCommand(
+                gating_fraction=0.0,
+                voltage=config.nominal_voltage,
+                migration=(
+                    config.hot_block,
+                    config.spare_block,
+                    1.0,
+                ),
+                clock_enabled_fraction=1.0 - config.remote_penalty,
+            )
+        return DtmCommand(
+            gating_fraction=0.0, voltage=config.nominal_voltage
+        )
+
+    def reset(self) -> None:
+        """Return home and clear the filter."""
+        self._away = False
+        self._filter.reset()

@@ -1,0 +1,29 @@
+"""The no-DTM baseline: always run at nominal."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.dtm.base import DtmCommand, DtmPolicy
+
+
+class NoDtmPolicy(DtmPolicy):
+    """Always-nominal operation; thermal violations are allowed.
+
+    Used to establish the baseline runtime against which slowdown factors
+    are computed, and to measure benchmarks' unmanaged thermal behaviour.
+    """
+
+    name = "none"
+
+    def __init__(self, nominal_voltage: float = 1.3):
+        self._command = DtmCommand(gating_fraction=0.0, voltage=nominal_voltage)
+
+    def update(
+        self, readings: Mapping[str, float], time_s: float, dt_s: float
+    ) -> DtmCommand:
+        """Ignore the readings and stay at nominal."""
+        return self._command
+
+    def reset(self) -> None:
+        """Stateless; nothing to reset."""

@@ -1,0 +1,44 @@
+"""Thermal thresholds (paper, Section 3).
+
+* ``emergency_c`` (85 C): the junction temperature the chip must never
+  exceed (2001 ITRS recommendation).
+* ``practical_limit_c`` (82 C): emergency minus the worst-case sensor
+  error (1 degree of noise plus up to 2 degrees of fixed offset).
+* ``trigger_c`` (81.8 C): the *observed* temperature at which DTM engages,
+  slightly below the practical limit to give the response time to act.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DtmConfigError
+
+
+@dataclass(frozen=True)
+class ThermalThresholds:
+    """Trigger / practical-limit / emergency temperatures in Celsius."""
+
+    emergency_c: float = 85.0
+    practical_limit_c: float = 82.0
+    trigger_c: float = 81.8
+
+    def __post_init__(self) -> None:
+        if not self.trigger_c <= self.practical_limit_c <= self.emergency_c:
+            raise DtmConfigError(
+                "thresholds must satisfy trigger <= practical limit <= emergency"
+            )
+
+    @property
+    def sensor_margin_c(self) -> float:
+        """Design margin reserved for sensor error."""
+        return self.emergency_c - self.practical_limit_c
+
+    def above_trigger(self, observed_c: float) -> bool:
+        """True when an observed temperature demands a DTM response."""
+        return observed_c > self.trigger_c
+
+    def in_violation(self, true_c: float) -> bool:
+        """True when a *true* temperature violates the emergency
+        threshold."""
+        return true_c > self.emergency_c

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can distinguish modelling problems from
+programming errors with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class FloorplanError(ReproError):
+    """A floorplan is geometrically invalid (overlap, gap, bad block)."""
+
+
+class ThermalModelError(ReproError):
+    """The thermal RC network could not be built or solved."""
+
+
+class PowerModelError(ReproError):
+    """The power model was configured or queried inconsistently."""
+
+
+class WorkloadError(ReproError):
+    """A workload or phase description is invalid."""
+
+
+class DtmConfigError(ReproError):
+    """A DTM technique was configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The coupled simulation reached an invalid state."""
+
+
+class ThermalViolationError(SimulationError):
+    """Raised when a run configured as violation-free exceeds the emergency
+    threshold, i.e. the DTM technique under test failed to protect the chip."""
+
+    def __init__(self, temperature_c, threshold_c, time_s, block):
+        self.temperature_c = temperature_c
+        self.threshold_c = threshold_c
+        self.time_s = time_s
+        self.block = block
+        super().__init__(
+            f"thermal violation: {block} reached {temperature_c:.2f} C "
+            f"(> {threshold_c:.2f} C) at t={time_s * 1e3:.3f} ms"
+        )

@@ -1,0 +1,42 @@
+"""Chip floorplans: block geometry, adjacency, and the Alpha 21364-like
+floorplan used throughout the paper (Figure 2).
+
+A floorplan is a set of non-overlapping rectangular blocks that tile the
+die.  It is the single geometric input both the thermal RC model and the
+power model are derived from, mirroring HotSpot's planning-stage workflow
+where "only microarchitectural parameters and estimates of block areas are
+needed".
+"""
+
+from repro.floorplan.block import Block
+from repro.floorplan.floorplan import Adjacency, Floorplan
+from repro.floorplan.alpha21364 import (
+    ALL_BLOCKS,
+    CORE_BLOCKS,
+    FRONTEND_BLOCKS,
+    HOTTEST_BLOCK,
+    L2_BLOCKS,
+    build_alpha21364_floorplan,
+)
+from repro.floorplan.hotspot_io import dump_flp, load_flp, parse_flp, save_flp
+from repro.floorplan.migration import SPARE_REGISTER_FILE, build_migration_floorplan
+from repro.floorplan.validate import validate_floorplan
+
+__all__ = [
+    "Block",
+    "Floorplan",
+    "Adjacency",
+    "build_alpha21364_floorplan",
+    "validate_floorplan",
+    "build_migration_floorplan",
+    "SPARE_REGISTER_FILE",
+    "parse_flp",
+    "dump_flp",
+    "load_flp",
+    "save_flp",
+    "ALL_BLOCKS",
+    "CORE_BLOCKS",
+    "L2_BLOCKS",
+    "FRONTEND_BLOCKS",
+    "HOTTEST_BLOCK",
+]

@@ -1,0 +1,105 @@
+"""The Alpha 21364-like floorplan of the paper's Figure 2.
+
+The chip is a 21264-class out-of-order core in one corner of the die with a
+large L2 cache filling the remaining area (the paper replaces the 21364's
+multiprocessor router logic with additional cache).  Coordinates follow the
+HotSpot ev6 planning-stage floorplan style: a 16 mm x 16 mm die, a 6.2 mm x
+6.2 mm core in the upper-middle region, and three L2 banks wrapping it.
+
+Exact published coordinates are not available in the paper, so the block
+set, relative sizes, and adjacency structure of Figure 2 are reproduced:
+I-cache and D-cache at the bottom of the core, a strip of small FP/predictor
+blocks above them, queues and map logic next, and the integer register file
+and integer execution units at the top.  The integer register file is a
+small, high-activity block, which is what makes it the chip's hotspot.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.floorplan.block import Block
+from repro.floorplan.floorplan import Floorplan
+from repro.units import MM
+
+DIE_SIDE = 16.0 * MM
+"""Die edge length (metres)."""
+
+CORE_X0 = 4.9 * MM
+"""x coordinate of the left edge of the CPU core region."""
+
+CORE_Y0 = 9.8 * MM
+"""y coordinate of the bottom edge of the CPU core region."""
+
+L2_BLOCKS = ("L2", "L2_left", "L2_right")
+"""Level-2 cache banks surrounding the core."""
+
+FRONTEND_BLOCKS = ("Icache", "Bpred", "ITB", "IntMap", "FPMap")
+"""Blocks whose activity tracks the fetch/rename rate."""
+
+CORE_BLOCKS = (
+    "Icache",
+    "Dcache",
+    "Bpred",
+    "DTB",
+    "FPAdd",
+    "FPReg",
+    "FPMul",
+    "FPMap",
+    "IntMap",
+    "IntQ",
+    "FPQ",
+    "LdStQ",
+    "ITB",
+    "IntReg",
+    "IntExec",
+)
+"""All CPU-core blocks (everything except the L2 banks)."""
+
+ALL_BLOCKS = L2_BLOCKS + CORE_BLOCKS
+"""Every block on the die, L2 first, in floorplan order."""
+
+HOTTEST_BLOCK = "IntReg"
+"""The integer register file: the hottest unit for every benchmark in the
+paper."""
+
+# (name, x, y, width, height) in millimetres.  The rows tile the 6.2 mm-wide
+# core exactly; validate_floorplan() checks full die coverage in tests.
+_BLOCK_GEOMETRY_MM = (
+    # L2 wraps the core: bottom band plus left and right columns.
+    ("L2", 0.0, 0.0, 16.0, 9.8),
+    ("L2_left", 0.0, 9.8, 4.9, 6.2),
+    ("L2_right", 11.1, 9.8, 4.9, 6.2),
+    # Bottom of the core: first-level caches.
+    ("Icache", 4.9, 9.8, 3.1, 2.6),
+    ("Dcache", 8.0, 9.8, 3.1, 2.6),
+    # Thin strip of predictor / FP blocks.
+    ("Bpred", 4.9, 12.4, 1.1, 0.7),
+    ("DTB", 6.0, 12.4, 0.9, 0.7),
+    ("FPAdd", 6.9, 12.4, 1.1, 0.7),
+    ("FPReg", 8.0, 12.4, 1.0, 0.7),
+    ("FPMul", 9.0, 12.4, 1.1, 0.7),
+    ("FPMap", 10.1, 12.4, 1.0, 0.7),
+    # Queues and map logic.
+    ("IntMap", 4.9, 13.1, 1.2, 1.0),
+    ("IntQ", 6.1, 13.1, 1.3, 1.0),
+    ("FPQ", 7.4, 13.1, 0.9, 1.0),
+    ("LdStQ", 8.3, 13.1, 1.4, 1.0),
+    ("ITB", 9.7, 13.1, 1.4, 1.0),
+    # Top of the core: integer register file and execution units.
+    ("IntReg", 4.9, 14.1, 2.2, 1.9),
+    ("IntExec", 7.1, 14.1, 4.0, 1.9),
+)
+
+
+def build_alpha21364_floorplan() -> Floorplan:
+    """Build the Alpha 21364-like floorplan of Figure 2.
+
+    Returns a fully tiling 16 mm x 16 mm floorplan with the 18 blocks listed
+    in :data:`ALL_BLOCKS`.
+    """
+    blocks: List[Block] = [
+        Block(name=name, x=x * MM, y=y * MM, width=w * MM, height=h * MM)
+        for name, x, y, w, h in _BLOCK_GEOMETRY_MM
+    ]
+    return Floorplan(blocks, name="alpha21364")

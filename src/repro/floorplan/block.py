@@ -1,0 +1,117 @@
+"""Rectangular floorplan blocks.
+
+Blocks are axis-aligned rectangles in die coordinates (metres), with the
+origin at the lower-left corner of the die.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FloorplanError
+
+_EDGE_TOLERANCE = 1e-9
+"""Geometric slack (metres) below which coordinates are considered equal."""
+
+
+@dataclass(frozen=True)
+class Block:
+    """One rectangular microarchitectural block on the die.
+
+    Parameters
+    ----------
+    name:
+        Unique block identifier, e.g. ``"IntReg"``.
+    x, y:
+        Lower-left corner in metres.
+    width, height:
+        Extents in metres; must be strictly positive.
+    """
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FloorplanError("block name must be non-empty")
+        if self.name.startswith("__"):
+            raise FloorplanError(
+                f"block name {self.name!r} may not start with '__' "
+                f"(reserved for thermal package nodes)"
+            )
+        if self.width <= 0 or self.height <= 0:
+            raise FloorplanError(
+                f"block {self.name!r} has non-positive extent "
+                f"({self.width} x {self.height})"
+            )
+        if self.x < 0 or self.y < 0:
+            raise FloorplanError(
+                f"block {self.name!r} has negative origin ({self.x}, {self.y})"
+            )
+
+    # --- derived geometry ---------------------------------------------------
+
+    @property
+    def right(self) -> float:
+        """x coordinate of the right edge (metres)."""
+        return self.x + self.width
+
+    @property
+    def top(self) -> float:
+        """y coordinate of the top edge (metres)."""
+        return self.y + self.height
+
+    @property
+    def area(self) -> float:
+        """Block area in m^2."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """(x, y) of the block centre in metres."""
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    # --- relations to other blocks -------------------------------------------
+
+    def overlaps(self, other: "Block") -> bool:
+        """True if the two block interiors intersect (shared edges do not
+        count as overlap)."""
+        return (
+            self.x < other.right - _EDGE_TOLERANCE
+            and other.x < self.right - _EDGE_TOLERANCE
+            and self.y < other.top - _EDGE_TOLERANCE
+            and other.y < self.top - _EDGE_TOLERANCE
+        )
+
+    def shared_edge_length(self, other: "Block") -> float:
+        """Length of the edge shared with ``other`` (metres).
+
+        Returns 0.0 when the blocks do not abut.  Two blocks abut when one
+        block's edge coincides with the other's and their projections onto
+        that edge overlap over a positive length.
+        """
+        # Vertical shared edge (left/right neighbours).
+        if (
+            abs(self.right - other.x) <= _EDGE_TOLERANCE
+            or abs(other.right - self.x) <= _EDGE_TOLERANCE
+        ):
+            length = min(self.top, other.top) - max(self.y, other.y)
+            if length > _EDGE_TOLERANCE:
+                return length
+        # Horizontal shared edge (top/bottom neighbours).
+        if (
+            abs(self.top - other.y) <= _EDGE_TOLERANCE
+            or abs(other.top - self.y) <= _EDGE_TOLERANCE
+        ):
+            length = min(self.right, other.right) - max(self.x, other.x)
+            if length > _EDGE_TOLERANCE:
+                return length
+        return 0.0
+
+    def center_distance(self, other: "Block") -> float:
+        """Euclidean distance between block centres (metres)."""
+        (cx1, cy1), (cx2, cy2) = self.center, other.center
+        return ((cx1 - cx2) ** 2 + (cy1 - cy2) ** 2) ** 0.5

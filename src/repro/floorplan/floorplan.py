@@ -1,0 +1,148 @@
+"""Floorplan container: a named set of blocks plus derived adjacency."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
+
+from repro.errors import FloorplanError
+from repro.floorplan.block import Block
+
+
+@dataclass(frozen=True)
+class Adjacency:
+    """A pair of abutting blocks and the geometry of their shared edge.
+
+    ``center_distance`` is the centre-to-centre distance used as the lateral
+    heat-flow path length in the RC model.
+    """
+
+    block_a: str
+    block_b: str
+    shared_edge_length: float
+    center_distance: float
+
+
+class Floorplan:
+    """An immutable collection of non-overlapping rectangular blocks.
+
+    Blocks are validated pairwise for overlap at construction time; whether
+    the blocks fully tile the die is checked separately by
+    :func:`repro.floorplan.validate.validate_floorplan` because partial
+    floorplans are legitimate during exploration.
+    """
+
+    def __init__(self, blocks: Iterable[Block], name: str = "floorplan"):
+        block_list = list(blocks)
+        if not block_list:
+            raise FloorplanError("floorplan must contain at least one block")
+        names = [block.name for block in block_list]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise FloorplanError(f"duplicate block names: {duplicates}")
+        for i, first in enumerate(block_list):
+            for second in block_list[i + 1 :]:
+                if first.overlaps(second):
+                    raise FloorplanError(
+                        f"blocks {first.name!r} and {second.name!r} overlap"
+                    )
+        self.name = name
+        self._blocks: Dict[str, Block] = {block.name: block for block in block_list}
+        self._order: List[str] = names
+        self._adjacency = self._build_adjacency(block_list)
+
+    @staticmethod
+    def _build_adjacency(blocks: List[Block]) -> List[Adjacency]:
+        pairs: List[Adjacency] = []
+        for i, first in enumerate(blocks):
+            for second in blocks[i + 1 :]:
+                shared = first.shared_edge_length(second)
+                if shared > 0.0:
+                    pairs.append(
+                        Adjacency(
+                            block_a=first.name,
+                            block_b=second.name,
+                            shared_edge_length=shared,
+                            center_distance=first.center_distance(second),
+                        )
+                    )
+        return pairs
+
+    # --- access ---------------------------------------------------------------
+
+    @property
+    def block_names(self) -> List[str]:
+        """Block names in insertion order."""
+        return list(self._order)
+
+    @property
+    def blocks(self) -> List[Block]:
+        """Blocks in insertion order."""
+        return [self._blocks[name] for name in self._order]
+
+    @property
+    def adjacencies(self) -> List[Adjacency]:
+        """All abutting block pairs."""
+        return list(self._adjacency)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._blocks
+
+    def __getitem__(self, name: str) -> Block:
+        try:
+            return self._blocks[name]
+        except KeyError:
+            raise FloorplanError(f"no block named {name!r} in {self.name}") from None
+
+    def index_of(self, name: str) -> int:
+        """Stable integer index of a block, matching matrix row ordering in
+        the thermal model."""
+        try:
+            return self._order.index(name)
+        except ValueError:
+            raise FloorplanError(f"no block named {name!r} in {self.name}") from None
+
+    # --- derived geometry -------------------------------------------------------
+
+    @property
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        """(x_min, y_min, x_max, y_max) over all blocks, in metres."""
+        blocks = self.blocks
+        return (
+            min(block.x for block in blocks),
+            min(block.y for block in blocks),
+            max(block.right for block in blocks),
+            max(block.top for block in blocks),
+        )
+
+    @property
+    def die_area(self) -> float:
+        """Area of the bounding box in m^2."""
+        x_min, y_min, x_max, y_max = self.bounding_box
+        return (x_max - x_min) * (y_max - y_min)
+
+    @property
+    def total_block_area(self) -> float:
+        """Sum of block areas in m^2."""
+        return sum(block.area for block in self.blocks)
+
+    def neighbours(self, name: str) -> List[str]:
+        """Names of the blocks abutting ``name``."""
+        self[name]  # raise for unknown names
+        result = []
+        for pair in self._adjacency:
+            if pair.block_a == name:
+                result.append(pair.block_b)
+            elif pair.block_b == name:
+                result.append(pair.block_a)
+        return result
+
+    def power_density(self, powers: Mapping[str, float]) -> Dict[str, float]:
+        """Per-block power density (W/m^2) for a ``{name: watts}`` mapping."""
+        return {name: powers[name] / self[name].area for name in powers}

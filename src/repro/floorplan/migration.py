@@ -1,0 +1,50 @@
+"""Floorplan variant with a spare integer register file for activity
+migration.
+
+The paper's related work includes "migrating computation" (Heo/Barr/
+Asanovic; Lim/Daasch/Cai; Skadron et al.); the paper excludes it because
+of "the cost-benefit concerns of adding extra hardware".  This floorplan
+supplies that extra hardware so the library can measure the technique:
+the top row of the core carries two register-file copies, the primary in
+its usual spot and a spare in the cool corner next to the right L2 bank,
+with the integer execution units between them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.floorplan.alpha21364 import _BLOCK_GEOMETRY_MM
+from repro.floorplan.block import Block
+from repro.floorplan.floorplan import Floorplan
+from repro.units import MM
+
+SPARE_REGISTER_FILE = "IntRegB"
+"""Name of the spare register-file block."""
+
+# The migration variant re-tiles the 6.2 mm top row of the core:
+# IntReg (1.6) | IntExec (3.0) | IntRegB (1.6), all 1.9 mm tall.
+_TOP_ROW_MM = (
+    ("IntReg", 4.9, 14.1, 1.6, 1.9),
+    ("IntExec", 6.5, 14.1, 3.0, 1.9),
+    (SPARE_REGISTER_FILE, 9.5, 14.1, 1.6, 1.9),
+)
+
+
+def build_migration_floorplan() -> Floorplan:
+    """The Alpha floorplan with a spare integer register file.
+
+    Identical to :func:`~repro.floorplan.alpha21364.build_alpha21364_floorplan`
+    outside the core's top row; still tiles the die exactly.
+    """
+    replaced = {name for name, *_ in _TOP_ROW_MM}
+    blocks: List[Block] = [
+        Block(name=name, x=x * MM, y=y * MM, width=w * MM, height=h * MM)
+        for name, x, y, w, h in _BLOCK_GEOMETRY_MM
+        if name not in replaced
+    ]
+    blocks.extend(
+        Block(name=name, x=x * MM, y=y * MM, width=w * MM, height=h * MM)
+        for name, x, y, w, h in _TOP_ROW_MM
+    )
+    return Floorplan(blocks, name="alpha21364-migration")

@@ -1,0 +1,80 @@
+"""Geometric validation of floorplans.
+
+:class:`~repro.floorplan.floorplan.Floorplan` already rejects overlapping
+blocks at construction time; this module adds the stronger checks needed
+before a floorplan is used to derive a thermal RC network:
+
+* the blocks tile the bounding box exactly (no gaps), so every part of the
+  die has a thermal node;
+* every block is reachable from every other through shared edges, so the
+  lateral heat-flow graph is connected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import FloorplanError
+from repro.floorplan.floorplan import Floorplan
+
+_AREA_RELATIVE_TOLERANCE = 1e-9
+"""Relative area mismatch tolerated when checking full coverage."""
+
+
+def _coverage_gap(floorplan: Floorplan) -> float:
+    """Uncovered fraction of the bounding box (0.0 when fully tiled)."""
+    die_area = floorplan.die_area
+    if die_area <= 0.0:
+        raise FloorplanError("floorplan bounding box has zero area")
+    return (die_area - floorplan.total_block_area) / die_area
+
+
+def _connected_components(floorplan: Floorplan) -> List[Set[str]]:
+    """Connected components of the block-adjacency graph."""
+    neighbours: Dict[str, Set[str]] = {name: set() for name in floorplan.block_names}
+    for pair in floorplan.adjacencies:
+        neighbours[pair.block_a].add(pair.block_b)
+        neighbours[pair.block_b].add(pair.block_a)
+
+    remaining = set(floorplan.block_names)
+    components: List[Set[str]] = []
+    while remaining:
+        frontier = [next(iter(remaining))]
+        component: Set[str] = set()
+        while frontier:
+            name = frontier.pop()
+            if name in component:
+                continue
+            component.add(name)
+            frontier.extend(neighbours[name] - component)
+        components.append(component)
+        remaining -= component
+    return components
+
+
+def validate_floorplan(floorplan: Floorplan, require_full_coverage: bool = True) -> None:
+    """Raise :class:`FloorplanError` if ``floorplan`` is unsuitable for
+    thermal modelling.
+
+    Parameters
+    ----------
+    floorplan:
+        The floorplan to check (already overlap-free by construction).
+    require_full_coverage:
+        When true (the default), the blocks must tile the bounding box with
+        no gaps.  Pass false for deliberately partial floorplans.
+    """
+    if require_full_coverage:
+        gap = _coverage_gap(floorplan)
+        if abs(gap) > _AREA_RELATIVE_TOLERANCE:
+            raise FloorplanError(
+                f"floorplan {floorplan.name!r} leaves {gap:.3e} of the die "
+                f"uncovered (blocks must tile the bounding box)"
+            )
+    components = _connected_components(floorplan)
+    if len(components) != 1:
+        sizes = sorted((len(c) for c in components), reverse=True)
+        raise FloorplanError(
+            f"floorplan {floorplan.name!r} is disconnected: "
+            f"{len(components)} components of sizes {sizes}"
+        )

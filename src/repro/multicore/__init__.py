@@ -1,0 +1,44 @@
+"""Multi-core thermal management (paper future work, Section 6).
+
+"Thermal management on multi-threaded and multi-core systems remains
+poorly understood."  This package extends the reproduction to a dual-core
+chip:
+
+* :mod:`repro.multicore.floorplan` -- a two-core die (each core a full
+  copy of the Figure 2 core) sharing an L2, so the cores are thermally
+  coupled through the silicon and the package;
+* :mod:`repro.multicore.engine` -- a co-simulation engine running one
+  workload and one DTM policy per core against the shared thermal model;
+* :mod:`repro.multicore.hopping` -- core hopping, the scheduler-level DTM
+  technique multi-core chips unlock: when the active core overheats and
+  the other is cooler, swap the workloads instead of throttling.
+"""
+
+from repro.multicore.floorplan import (
+    CORE_INSTANCES,
+    build_dual_core_floorplan,
+    core_block,
+    core_of,
+    dual_core_power_specs,
+)
+from repro.multicore.engine import (
+    DUAL_CORE_PACKAGE,
+    CoreResult,
+    MultiCoreEngine,
+    MultiCoreResult,
+)
+from repro.multicore.hopping import CoreHopper, HoppingConfig
+
+__all__ = [
+    "CORE_INSTANCES",
+    "build_dual_core_floorplan",
+    "core_block",
+    "core_of",
+    "dual_core_power_specs",
+    "MultiCoreEngine",
+    "MultiCoreResult",
+    "CoreResult",
+    "DUAL_CORE_PACKAGE",
+    "CoreHopper",
+    "HoppingConfig",
+]

@@ -1,0 +1,331 @@
+"""Dual-core co-simulation engine.
+
+Each core runs its own workload through its own interval performance
+model and its own DTM policy; both cores share one thermal RC network (so
+a hot neighbour raises your temperature through the silicon and the
+package), one sensor array, and -- as on 2004-era dual-core parts -- one
+voltage/frequency domain: the chip runs at the *lower* of the two cores'
+requested voltages.
+
+An optional :class:`~repro.multicore.hopping.CoreHopper` sits above the
+per-core policies and may swap the workload assignment (core hopping);
+a swap stalls both cores for the hop time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dtm.base import DtmPolicy
+from repro.dtm.none import NoDtmPolicy
+from repro.dtm.thresholds import ThermalThresholds
+from repro.errors import SimulationError
+from repro.multicore.floorplan import (
+    CORE_INSTANCES,
+    build_dual_core_floorplan,
+    core_block,
+    dual_core_power_specs,
+)
+from repro.multicore.hopping import CoreHopper
+from repro.floorplan.alpha21364 import CORE_BLOCKS
+from repro.power.model import PowerModel
+from repro.sensors.array import SensorArray
+from repro.sim.config import EngineConfig
+from repro.sim.warmup import average_activities
+from repro.thermal.hotspot import HotSpotModel
+from repro.thermal.package import ThermalPackage
+from repro.thermal.solver import TransientSolver
+from repro.uarch.interval import DtmActuation, IntervalPerformanceModel
+from repro.workloads.workload import Workload
+
+DUAL_CORE_PACKAGE = ThermalPackage(convection_resistance=0.46)
+"""Default package for the dual-core die: twice the silicon demands a
+better heat sink (0.46 K/W instead of the single-core 1.0 K/W)."""
+
+HOP_STALL_S = 10.0e-6
+"""Both cores stall this long when the hopper swaps workloads (context
+transfer through the shared L2)."""
+
+_L2_BANKS = ("L2", "L2_left", "L2_mid", "L2_right")
+
+
+@dataclass
+class CoreResult:
+    """Per-core outcome of a dual-core run."""
+
+    core: int
+    workload: str
+    instructions: float
+    mean_gating_fraction: float
+
+
+@dataclass
+class MultiCoreResult:
+    """Outcome of one dual-core run."""
+
+    duration_s: float
+    cores: List[CoreResult]
+    violations: int
+    max_true_temp_c: float
+    hottest_block: str
+    swaps: int
+    dvs_low_time_s: float
+    mean_power_w: float
+
+    @property
+    def total_instructions(self) -> float:
+        """Chip-wide committed instructions."""
+        return sum(core.instructions for core in self.cores)
+
+    @property
+    def throughput_ips(self) -> float:
+        """Chip-wide instructions per second."""
+        return self.total_instructions / self.duration_s
+
+    @property
+    def violation_free(self) -> bool:
+        """True when the emergency threshold never tripped."""
+        return self.violations == 0
+
+
+class MultiCoreEngine:
+    """Runs two workloads on the thermally coupled dual-core die."""
+
+    def __init__(
+        self,
+        workloads: Sequence[Workload],
+        policies: Optional[Sequence[DtmPolicy]] = None,
+        hopper: Optional[CoreHopper] = None,
+        package: Optional[ThermalPackage] = None,
+        thresholds: Optional[ThermalThresholds] = None,
+        config: Optional[EngineConfig] = None,
+        seed: int = 0,
+    ):
+        if len(workloads) != len(CORE_INSTANCES):
+            raise SimulationError(
+                f"need exactly {len(CORE_INSTANCES)} workloads"
+            )
+        self._workloads = list(workloads)
+        self._floorplan = build_dual_core_floorplan()
+        self._hotspot = HotSpotModel(
+            self._floorplan,
+            package if package is not None else DUAL_CORE_PACKAGE,
+        )
+        self._power = PowerModel(self._floorplan, specs=dual_core_power_specs())
+        self._sensors = SensorArray(self._floorplan, seed=seed)
+        self._thresholds = (
+            thresholds if thresholds is not None else ThermalThresholds()
+        )
+        self._config = config if config is not None else EngineConfig()
+        if policies is None:
+            policies = [
+                NoDtmPolicy(self._power.technology.vdd_nominal)
+                for _ in CORE_INSTANCES
+            ]
+        if len(policies) != len(CORE_INSTANCES):
+            raise SimulationError("need one policy per core")
+        self._policies = list(policies)
+        self._hopper = hopper
+        self._tech = self._power.technology
+        self._vf = self._power.vf_curve
+
+    @property
+    def hotspot(self) -> HotSpotModel:
+        """The shared thermal model."""
+        return self._hotspot
+
+    @property
+    def floorplan(self):
+        """The dual-core floorplan."""
+        return self._floorplan
+
+    # --- helpers -----------------------------------------------------------------
+
+    def _core_readings(self, readings: Dict[str, float], core: int) -> Dict[str, float]:
+        suffix = f"#{core}"
+        return {
+            name: value
+            for name, value in readings.items()
+            if name.endswith(suffix)
+        }
+
+    def compute_initial_temperatures(self) -> np.ndarray:
+        """Steady state with both workloads running unmanaged."""
+        activities = self._chip_activities(
+            [average_activities(w) for w in self._workloads]
+        )
+        temps = {name: 85.0 for name in self._floorplan.block_names}
+        vector = None
+        for _ in range(40):
+            powers = self._power.block_powers(
+                activities,
+                self._tech.vdd_nominal,
+                self._tech.frequency_nominal,
+                temps,
+            )
+            vector = self._hotspot.steady_state_vector(powers)
+            mapping = self._hotspot.network.temperatures_as_mapping(vector)
+            temps = {n: mapping[n] for n in self._floorplan.block_names}
+        return vector
+
+    def _chip_activities(
+        self, per_core: Sequence[Dict[str, float]]
+    ) -> Dict[str, float]:
+        """Map two base-named activity dicts onto the dual-core blocks."""
+        chip: Dict[str, float] = {}
+        for core, acts in zip(CORE_INSTANCES, per_core):
+            for base in CORE_BLOCKS:
+                chip[core_block(base, core)] = acts.get(base, 0.0)
+        # The shared L2 banks see both cores' traffic.
+        l2_demand = min(
+            1.0, sum(acts.get("L2", 0.0) for acts in per_core)
+        )
+        for bank in _L2_BANKS:
+            chip[bank] = l2_demand
+        return chip
+
+    # --- main loop ---------------------------------------------------------------
+
+    def run(
+        self,
+        duration_s: float,
+        initial: Optional[np.ndarray] = None,
+        settle_time_s: float = 0.0,
+    ) -> MultiCoreResult:
+        """Simulate for ``duration_s`` of measured wall-clock time."""
+        if duration_s <= 0.0:
+            raise SimulationError("duration must be > 0")
+        if initial is None:
+            initial = self.compute_initial_temperatures()
+        network = self._hotspot.network
+        solver = TransientSolver(network, np.array(initial, dtype=float))
+        block_names = list(network.block_names)
+        index = {name: network.index_of(name) for name in block_names}
+
+        perf = [
+            IntervalPerformanceModel(w.phases, loop=True)
+            for w in self._workloads
+        ]
+        assignment = list(CORE_INSTANCES)  # workload index running on core i
+        for policy in self._policies:
+            policy.reset()
+        if self._hopper is not None:
+            self._hopper.reset()
+
+        nominal_v = self._tech.vdd_nominal
+        commands = [None, None]
+        voltage = nominal_v
+        frequency = self._tech.frequency_nominal
+
+        time_s = 0.0
+        measuring = settle_time_s == 0.0
+        measure_start = 0.0
+        instructions = [0.0, 0.0]
+        gating_weighted = [0.0, 0.0]
+        violations = 0
+        swaps = 0
+        low_time = 0.0
+        energy = 0.0
+        max_temp = -1e9
+        hottest = block_names[0]
+        step_cycles = self._config.thermal_step_cycles
+
+        def temps_mapping() -> Dict[str, float]:
+            current = solver.temperatures
+            return {name: current[index[name]] for name in block_names}
+
+        while (time_s - measure_start if measuring else 0.0) < duration_s:
+            temps = temps_mapping()
+
+            if self._sensors.due(time_s):
+                readings = self._sensors.sample(temps, time_s)
+                period = self._sensors.sampling_period_s
+                for core in CORE_INSTANCES:
+                    commands[core] = self._policies[core].update(
+                        self._core_readings(readings, core), time_s, period
+                    )
+                if self._hopper is not None:
+                    swap = self._hopper.update(
+                        readings, assignment, time_s, period
+                    )
+                    if swap:
+                        assignment.reverse()
+                        if measuring:
+                            swaps += 1
+                        power = self._idle_power(temps)
+                        solver.step(network.power_vector(power), HOP_STALL_S)
+                        time_s += HOP_STALL_S
+                        temps = temps_mapping()
+                requested = min(c.voltage for c in commands)
+                if abs(requested - voltage) > 1e-12:
+                    voltage = requested
+                    frequency = self._vf.frequency(voltage)
+
+            # Sensors are due at t = 0, so commands are always set by the
+            # first loop iteration.
+            f_rel = frequency / self._tech.frequency_nominal
+            dt = step_cycles / frequency
+            per_core_acts = []
+            for core in CORE_INSTANCES:
+                command = commands[core]
+                actuation = DtmActuation(
+                    gating_fraction=command.gating_fraction,
+                    relative_frequency=f_rel,
+                    clock_enabled_fraction=command.clock_enabled_fraction,
+                )
+                sample = perf[assignment[core]].advance(step_cycles, actuation)
+                per_core_acts.append(sample.activities)
+                if measuring:
+                    instructions[assignment[core]] += sample.instructions
+                    gating_weighted[core] += command.gating_fraction * dt
+
+            powers = self._power.block_powers(
+                self._chip_activities(per_core_acts), voltage, frequency, temps
+            )
+            solver.step(network.power_vector(powers), dt)
+
+            new_temps = solver.temperatures
+            step_hot = max(block_names, key=lambda n: new_temps[index[n]])
+            step_max = new_temps[index[step_hot]]
+            if measuring:
+                if step_max > max_temp:
+                    max_temp, hottest = step_max, step_hot
+                if step_max > self._thresholds.emergency_c:
+                    violations += 1
+                if voltage < nominal_v - 1e-12:
+                    low_time += dt
+                energy += sum(powers.values()) * dt
+            time_s += dt
+            if not measuring and time_s >= settle_time_s:
+                measuring = True
+                measure_start = time_s
+
+        elapsed = time_s - measure_start
+        cores = [
+            CoreResult(
+                core=core,
+                workload=self._workloads[assignment[core]].name,
+                instructions=instructions[assignment[core]],
+                mean_gating_fraction=gating_weighted[core] / elapsed,
+            )
+            for core in CORE_INSTANCES
+        ]
+        return MultiCoreResult(
+            duration_s=elapsed,
+            cores=cores,
+            violations=violations,
+            max_true_temp_c=max_temp,
+            hottest_block=hottest,
+            swaps=swaps,
+            dvs_low_time_s=low_time,
+            mean_power_w=energy / elapsed,
+        )
+
+    def _idle_power(self, temps: Dict[str, float]) -> Dict[str, float]:
+        zeros = {name: 0.0 for name in self._floorplan.block_names}
+        return self._power.block_powers(
+            zeros, self._tech.vdd_nominal, self._tech.frequency_nominal, temps
+        )

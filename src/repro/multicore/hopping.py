@@ -1,0 +1,102 @@
+"""Core hopping: scheduler-level DTM for multi-core chips.
+
+Activity migration at the granularity a multi-core chip gets for free:
+when the core running the hot workload crosses the trigger and its
+neighbour is cooler by a margin, swap the two workloads.  Each core's
+thermal capacity is then time-shared between the hot and the cool job --
+no throttling at all, at the price of a context-transfer stall and any
+cache-affinity loss (subsumed into the stall here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dtm.thresholds import ThermalThresholds
+from repro.errors import DtmConfigError
+
+
+@dataclass(frozen=True)
+class HoppingConfig:
+    """Configuration of the core hopper.
+
+    Parameters
+    ----------
+    neighbour_margin_c:
+        The destination core must be at least this much cooler than the
+        overheating core for a swap to pay.
+    min_interval_s:
+        Refractory period between swaps (each one stalls both cores).
+    """
+
+    neighbour_margin_c: float = 1.0
+    min_interval_s: float = 0.5e-3
+
+    def __post_init__(self) -> None:
+        if self.neighbour_margin_c < 0.0:
+            raise DtmConfigError("neighbour margin must be >= 0")
+        if self.min_interval_s < 0.0:
+            raise DtmConfigError("min interval must be >= 0")
+
+
+class CoreHopper:
+    """Decides when the dual-core engine should swap workloads."""
+
+    def __init__(
+        self,
+        config: Optional[HoppingConfig] = None,
+        thresholds: Optional[ThermalThresholds] = None,
+    ):
+        self._config = config if config is not None else HoppingConfig()
+        self._thresholds = (
+            thresholds if thresholds is not None else ThermalThresholds()
+        )
+        self._last_swap_s = -1e9
+        self._swaps = 0
+
+    @property
+    def config(self) -> HoppingConfig:
+        """The hopper configuration."""
+        return self._config
+
+    @property
+    def swaps(self) -> int:
+        """Swaps decided since the last reset."""
+        return self._swaps
+
+    @staticmethod
+    def _core_max(readings: Dict[str, float], core: int) -> float:
+        suffix = f"#{core}"
+        values = [v for n, v in readings.items() if n.endswith(suffix)]
+        if not values:
+            raise DtmConfigError(f"no readings for core {core}")
+        return max(values)
+
+    def update(
+        self,
+        readings: Dict[str, float],
+        assignment: List[int],
+        time_s: float,
+        dt_s: float,
+    ) -> bool:
+        """Return True when the engine should swap the assignment now."""
+        if time_s - self._last_swap_s < self._config.min_interval_s:
+            return False
+        hot = [self._core_max(readings, core) for core in (0, 1)]
+        trigger = self._thresholds.trigger_c
+        hottest_core = 0 if hot[0] >= hot[1] else 1
+        other = 1 - hottest_core
+        if (
+            hot[hottest_core] > trigger
+            and hot[hottest_core] - hot[other] >= self._config.neighbour_margin_c
+        ):
+            self._last_swap_s = time_s
+            self._swaps += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Clear swap history."""
+        self._last_swap_s = -1e9
+        self._swaps = 0

@@ -1,0 +1,33 @@
+"""Wattch-style block-level power model with temperature-dependent leakage.
+
+Per-block dynamic power scales with activity, voltage squared, and
+frequency; leakage scales exponentially with temperature (ITRS 130 nm
+projections, as in the paper's updated Wattch leakage model).  The
+voltage-to-frequency relation uses the alpha-power MOSFET delay law in place
+of the paper's Cadence/BSIM ring-oscillator characterisation.
+"""
+
+from repro.power.technology import Technology, default_technology
+from repro.power.vf_curve import VoltageFrequencyCurve
+from repro.power.leakage import LeakageParameters, leakage_power
+from repro.power.dynamic import BlockPowerSpec, dynamic_power
+from repro.power.budget import (
+    default_power_specs,
+    migration_power_specs,
+    total_peak_dynamic_power,
+)
+from repro.power.model import PowerModel
+
+__all__ = [
+    "Technology",
+    "default_technology",
+    "VoltageFrequencyCurve",
+    "LeakageParameters",
+    "leakage_power",
+    "BlockPowerSpec",
+    "dynamic_power",
+    "default_power_specs",
+    "migration_power_specs",
+    "total_peak_dynamic_power",
+    "PowerModel",
+]

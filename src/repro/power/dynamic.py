@@ -1,0 +1,95 @@
+"""Per-block dynamic power.
+
+Dynamic power at block level follows the classic CV^2 f form Wattch uses::
+
+    P_dyn = P_peak * gate * (clock_fraction + (1 - clock_fraction) * activity)
+                   * (V / V_nom)^2 * (f / f_nom)
+
+``P_peak`` is the block's dynamic power at 100 % activity and nominal
+voltage/frequency.  ``clock_fraction`` models the block's share of clock
+tree and other always-switching power, which persists at zero activity but
+vanishes when the clock is gated (``gate`` is the fraction of the interval
+the clock is running, 1.0 except under global clock gating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PowerModelError
+
+
+@dataclass(frozen=True)
+class BlockPowerSpec:
+    """Static power characteristics of one floorplan block.
+
+    Parameters
+    ----------
+    name:
+        Block name, matching the floorplan.
+    peak_dynamic_w:
+        Dynamic power at activity 1.0, nominal V and f.
+    leakage_ref_w:
+        Leakage at the reference temperature (see
+        :class:`~repro.power.leakage.LeakageParameters`) and nominal voltage.
+    clock_fraction:
+        Fraction of ``peak_dynamic_w`` that switches regardless of activity
+        (clock tree, precharge); removed only by clock gating.
+    """
+
+    name: str
+    peak_dynamic_w: float
+    leakage_ref_w: float
+    clock_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.peak_dynamic_w < 0.0:
+            raise PowerModelError(f"block {self.name!r}: peak dynamic power < 0")
+        if self.leakage_ref_w < 0.0:
+            raise PowerModelError(f"block {self.name!r}: reference leakage < 0")
+        if not 0.0 <= self.clock_fraction <= 1.0:
+            raise PowerModelError(
+                f"block {self.name!r}: clock fraction must be in [0, 1]"
+            )
+
+
+def dynamic_power(
+    spec: BlockPowerSpec,
+    activity: float,
+    relative_voltage: float,
+    relative_frequency: float,
+    clock_enabled_fraction: float = 1.0,
+) -> float:
+    """Dynamic power (W) of one block over an interval.
+
+    Parameters
+    ----------
+    spec:
+        The block's power characteristics.
+    activity:
+        Average switching activity in [0, 1] relative to the block's peak.
+    relative_voltage, relative_frequency:
+        V/V_nom and f/f_nom for the interval.
+    clock_enabled_fraction:
+        Fraction of the interval during which the clock runs (global clock
+        gating sets this below 1.0).
+    """
+    if not 0.0 <= activity <= 1.0:
+        raise PowerModelError(
+            f"block {spec.name!r}: activity {activity} outside [0, 1]"
+        )
+    if not 0.0 <= clock_enabled_fraction <= 1.0:
+        raise PowerModelError(
+            f"block {spec.name!r}: clock fraction {clock_enabled_fraction} "
+            f"outside [0, 1]"
+        )
+    if relative_voltage <= 0.0 or relative_frequency <= 0.0:
+        raise PowerModelError("relative voltage and frequency must be > 0")
+    switching = spec.clock_fraction + (1.0 - spec.clock_fraction) * activity
+    return (
+        spec.peak_dynamic_w
+        * clock_enabled_fraction
+        * switching
+        * relative_voltage**2
+        * relative_frequency
+    )

@@ -1,0 +1,77 @@
+"""Temperature-dependent leakage power.
+
+The paper updates Wattch's leakage model to follow ITRS 130 nm projections
+with leakage as a function of temperature (via HotLeakage).  Subthreshold
+leakage grows exponentially with temperature; at block level this is well
+captured by::
+
+    P_leak(T, V) = P_ref * (V / V_nominal) * exp(beta * (T - T_ref))
+
+where ``P_ref`` is the block's leakage at the reference temperature and
+nominal voltage.  ``beta`` of about 0.017 /K doubles leakage roughly every
+40 degrees, matching the 130 nm node's published sensitivity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import PowerModelError
+
+
+@dataclass(frozen=True)
+class LeakageParameters:
+    """Shape of the leakage-vs-temperature curve.
+
+    Parameters
+    ----------
+    reference_temp_c:
+        Temperature at which per-block reference leakage is specified.
+    beta_per_k:
+        Exponential temperature coefficient (1/K).
+    voltage_exponent:
+        Exponent applied to the relative voltage; 1.0 models leakage power
+        as V times a supply-insensitive subthreshold current.
+    """
+
+    reference_temp_c: float = 85.0
+    beta_per_k: float = 0.017
+    voltage_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.beta_per_k <= 0.0:
+            raise PowerModelError("leakage beta must be > 0")
+        if self.voltage_exponent < 0.0:
+            raise PowerModelError("leakage voltage exponent must be >= 0")
+
+
+def leakage_power(
+    reference_w: float,
+    relative_voltage: float,
+    temp_c: float,
+    params: LeakageParameters,
+) -> float:
+    """Leakage power (W) of a block at ``temp_c`` and ``relative_voltage``.
+
+    Parameters
+    ----------
+    reference_w:
+        The block's leakage at the reference temperature and nominal voltage.
+    relative_voltage:
+        Supply voltage divided by nominal.
+    temp_c:
+        Block temperature in Celsius.
+    params:
+        Curve shape.
+    """
+    if reference_w < 0.0:
+        raise PowerModelError("reference leakage must be >= 0")
+    if relative_voltage <= 0.0:
+        raise PowerModelError("relative voltage must be > 0")
+    scale = relative_voltage**params.voltage_exponent
+    return (
+        reference_w
+        * scale
+        * math.exp(params.beta_per_k * (temp_c - params.reference_temp_c))
+    )

@@ -1,0 +1,155 @@
+"""The block-level power model facade.
+
+:class:`PowerModel` combines the dynamic and leakage components and speaks
+in per-block mappings, so the co-simulation engine never touches the
+individual formulas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Union
+
+from repro.errors import PowerModelError
+from repro.floorplan.floorplan import Floorplan
+from repro.power.budget import default_power_specs
+from repro.power.dynamic import BlockPowerSpec, dynamic_power
+from repro.power.leakage import LeakageParameters, leakage_power
+from repro.power.technology import Technology, default_technology
+from repro.power.vf_curve import VoltageFrequencyCurve
+
+
+class PowerModel:
+    """Computes per-block power from activities, operating point and
+    temperatures.
+
+    Parameters
+    ----------
+    floorplan:
+        Defines the block set; every block needs a spec.
+    specs:
+        Per-block power characteristics; defaults to the Alpha budget.
+    technology:
+        Process parameters; defaults to 130 nm / 1.3 V / 3 GHz.
+    leakage_params:
+        Leakage curve shape.
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        specs: Optional[Mapping[str, BlockPowerSpec]] = None,
+        technology: Optional[Technology] = None,
+        leakage_params: Optional[LeakageParameters] = None,
+    ):
+        self._floorplan = floorplan
+        self._specs = dict(specs) if specs is not None else default_power_specs()
+        self._tech = technology if technology is not None else default_technology()
+        self._leakage = (
+            leakage_params if leakage_params is not None else LeakageParameters()
+        )
+        missing = [n for n in floorplan.block_names if n not in self._specs]
+        if missing:
+            raise PowerModelError(f"no power spec for blocks: {missing}")
+        self._vf_curve = VoltageFrequencyCurve(self._tech)
+
+    # --- introspection -----------------------------------------------------------
+
+    @property
+    def floorplan(self) -> Floorplan:
+        """The floorplan the model covers."""
+        return self._floorplan
+
+    @property
+    def technology(self) -> Technology:
+        """Process parameters."""
+        return self._tech
+
+    @property
+    def vf_curve(self) -> VoltageFrequencyCurve:
+        """The voltage-to-frequency curve for this technology."""
+        return self._vf_curve
+
+    @property
+    def leakage_params(self) -> LeakageParameters:
+        """Leakage curve shape."""
+        return self._leakage
+
+    def spec(self, block: str) -> BlockPowerSpec:
+        """Power spec of one block."""
+        try:
+            return self._specs[block]
+        except KeyError:
+            raise PowerModelError(f"no power spec for block {block!r}") from None
+
+    # --- evaluation --------------------------------------------------------------
+
+    def block_powers(
+        self,
+        activities: Mapping[str, float],
+        voltage: float,
+        frequency: float,
+        temperatures: Mapping[str, float],
+        clock_enabled_fraction: Union[float, Mapping[str, float]] = 1.0,
+    ) -> Dict[str, float]:
+        """Total (dynamic + leakage) power per block, in watts.
+
+        Parameters
+        ----------
+        activities:
+            Per-block switching activity in [0, 1]; every floorplan block
+            must be present.
+        voltage:
+            Supply voltage in volts.
+        frequency:
+            Clock frequency in hertz (must respect the V/f curve; validated
+            against the curve with a small tolerance).
+        temperatures:
+            Per-block temperatures in Celsius for the leakage term.
+        clock_enabled_fraction:
+            Fraction of the interval the clock runs: a single number for
+            global clock gating, or a per-block mapping (missing blocks
+            default to 1.0) for local toggling of individual clock
+            domains.
+        """
+        v_rel = self._tech.relative_voltage(voltage)
+        f_max = self._vf_curve.frequency(voltage)
+        if frequency > f_max * (1.0 + 1e-9):
+            raise PowerModelError(
+                f"frequency {frequency / 1e9:.3f} GHz exceeds the maximum "
+                f"{f_max / 1e9:.3f} GHz allowed at {voltage} V"
+            )
+        f_rel = frequency / self._tech.frequency_nominal
+
+        per_block_gate = not isinstance(clock_enabled_fraction, (int, float))
+        powers: Dict[str, float] = {}
+        for name in self._floorplan.block_names:
+            if name not in activities:
+                raise PowerModelError(f"no activity given for block {name!r}")
+            if name not in temperatures:
+                raise PowerModelError(f"no temperature given for block {name!r}")
+            spec = self._specs[name]
+            if per_block_gate:
+                gate = clock_enabled_fraction.get(name, 1.0)
+            else:
+                gate = clock_enabled_fraction
+            dyn = dynamic_power(spec, activities[name], v_rel, f_rel, gate)
+            leak = leakage_power(
+                spec.leakage_ref_w, v_rel, temperatures[name], self._leakage
+            )
+            powers[name] = dyn + leak
+        return powers
+
+    def total_power(
+        self,
+        activities: Mapping[str, float],
+        voltage: float,
+        frequency: float,
+        temperatures: Mapping[str, float],
+        clock_enabled_fraction: Union[float, Mapping[str, float]] = 1.0,
+    ) -> float:
+        """Chip-wide power in watts for the given operating point."""
+        return sum(
+            self.block_powers(
+                activities, voltage, frequency, temperatures, clock_enabled_fraction
+            ).values()
+        )

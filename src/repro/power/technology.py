@@ -1,0 +1,65 @@
+"""Process technology parameters.
+
+The paper scales the Alpha 21264 power data to a 0.13 um process at
+Vdd = 1.3 V and 3 GHz; these are the corresponding technology constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PowerModelError
+from repro.units import GHZ
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A CMOS process corner for the power and V/f models.
+
+    Parameters
+    ----------
+    node_nm:
+        Feature size in nanometres (informational).
+    vdd_nominal:
+        Nominal supply voltage in volts.
+    vth:
+        Threshold voltage in volts, used by the alpha-power delay law.
+    frequency_nominal:
+        Clock frequency at nominal voltage, in hertz.
+    alpha:
+        Velocity-saturation exponent of the alpha-power law (about 1.3 for
+        a 130 nm process).
+    """
+
+    node_nm: float = 130.0
+    vdd_nominal: float = 1.3
+    vth: float = 0.35
+    frequency_nominal: float = 3.0 * GHZ
+    alpha: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.vdd_nominal <= 0.0:
+            raise PowerModelError("nominal Vdd must be > 0")
+        if not 0.0 < self.vth < self.vdd_nominal:
+            raise PowerModelError("Vth must lie strictly between 0 and nominal Vdd")
+        if self.frequency_nominal <= 0.0:
+            raise PowerModelError("nominal frequency must be > 0")
+        if self.alpha < 1.0:
+            raise PowerModelError("alpha-power exponent must be >= 1")
+
+    def relative_voltage(self, voltage: float) -> float:
+        """``voltage / vdd_nominal`` with range checking."""
+        if voltage <= self.vth:
+            raise PowerModelError(
+                f"voltage {voltage} V is at or below Vth = {self.vth} V"
+            )
+        if voltage > self.vdd_nominal * (1.0 + 1e-9):
+            raise PowerModelError(
+                f"voltage {voltage} V exceeds nominal {self.vdd_nominal} V"
+            )
+        return voltage / self.vdd_nominal
+
+
+def default_technology() -> Technology:
+    """The paper's 130 nm / 1.3 V / 3 GHz operating point."""
+    return Technology()

@@ -1,0 +1,72 @@
+"""Voltage-to-frequency relation for dynamic voltage scaling.
+
+The paper characterises a 101-stage ring oscillator in Cadence/BSIM to find
+the achievable frequency at each voltage step.  We substitute the standard
+alpha-power MOSFET delay law, which reproduces the same qualitative curve::
+
+    delay  ~  V / (V - Vth)^alpha      =>      f(V)  ~  (V - Vth)^alpha / V
+
+normalised so that f(Vdd_nominal) = frequency_nominal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import PowerModelError
+from repro.power.technology import Technology
+
+
+class VoltageFrequencyCurve:
+    """Maps supply voltage to maximum safe clock frequency.
+
+    Also generates the discrete DVS voltage/frequency tables used by the
+    step-count study (continuous, 10, 5, 3, 2 levels).
+    """
+
+    def __init__(self, technology: Technology):
+        self._tech = technology
+        self._norm = self._raw(technology.vdd_nominal)
+
+    def _raw(self, voltage: float) -> float:
+        tech = self._tech
+        return (voltage - tech.vth) ** tech.alpha / voltage
+
+    @property
+    def technology(self) -> Technology:
+        """The process the curve was built for."""
+        return self._tech
+
+    def frequency(self, voltage: float) -> float:
+        """Maximum clock frequency (Hz) at ``voltage`` volts."""
+        self._tech.relative_voltage(voltage)  # range check
+        return self._tech.frequency_nominal * self._raw(voltage) / self._norm
+
+    def relative_frequency(self, voltage: float) -> float:
+        """``frequency(voltage) / frequency_nominal``."""
+        return self.frequency(voltage) / self._tech.frequency_nominal
+
+    def levels(self, count: int, v_low: float) -> List[Tuple[float, float]]:
+        """A DVS table of ``count`` evenly spaced voltage levels.
+
+        Levels run from ``v_low`` up to nominal Vdd inclusive and are
+        returned lowest first as ``(voltage, frequency)`` pairs.  ``count``
+        must be at least 2 (the paper's binary DVS).
+        """
+        if count < 2:
+            raise PowerModelError("a DVS table needs at least 2 levels")
+        nominal = self._tech.vdd_nominal
+        if not self._tech.vth < v_low < nominal:
+            raise PowerModelError(
+                f"low voltage {v_low} V must lie between Vth and nominal Vdd"
+            )
+        step = (nominal - v_low) / (count - 1)
+        voltages = [v_low + i * step for i in range(count)]
+        voltages[-1] = nominal  # avoid floating-point drift at the top level
+        return [(v, self.frequency(v)) for v in voltages]
+
+    def continuous_levels(self, v_low: float, resolution: int = 100) -> List[
+        Tuple[float, float]
+    ]:
+        """A finely quantised table approximating continuous DVS."""
+        return self.levels(resolution, v_low)

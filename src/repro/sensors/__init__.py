@@ -1,0 +1,11 @@
+"""On-chip thermal sensors.
+
+One sensor per architectural block (paper, Section 3): effective precision
+of 1 degree after averaging, a fixed per-sensor offset of up to 2 degrees,
+and a 10 kHz sampling rate that bounds how fast DTM can observe and react.
+"""
+
+from repro.sensors.sensor import SensorParameters, ThermalSensor
+from repro.sensors.array import SensorArray
+
+__all__ = ["SensorParameters", "ThermalSensor", "SensorArray"]

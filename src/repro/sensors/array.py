@@ -1,0 +1,93 @@
+"""The per-block sensor array and its 10 kHz sampler."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.errors import SimulationError
+from repro.floorplan.floorplan import Floorplan
+from repro.sensors.sensor import SensorParameters, ThermalSensor
+from repro.units import KHZ
+
+
+class SensorArray:
+    """One :class:`ThermalSensor` in the middle of each floorplan block.
+
+    ``sampling_rate_hz`` limits how often the DTM controller can obtain
+    fresh readings (10 kHz in the paper -- "aggressive but reasonable").
+    The array tracks the time of the last sample; :meth:`due` tells the
+    simulation engine when the next sample may be taken.
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        parameters: Optional[SensorParameters] = None,
+        sampling_rate_hz: float = 10.0 * KHZ,
+        seed: int = 0,
+    ):
+        if sampling_rate_hz <= 0.0:
+            raise SimulationError("sampling rate must be > 0")
+        self._params = parameters if parameters is not None else SensorParameters()
+        self._period_s = 1.0 / sampling_rate_hz
+        self._sensors: Dict[str, ThermalSensor] = {
+            name: ThermalSensor(self._params, seed=seed * 1009 + index)
+            for index, name in enumerate(floorplan.block_names)
+        }
+        self._last_sample_s = -self._period_s  # first sample due at t = 0
+
+    @property
+    def parameters(self) -> SensorParameters:
+        """Shared sensor error model."""
+        return self._params
+
+    @property
+    def sampling_period_s(self) -> float:
+        """Time between samples in seconds."""
+        return self._period_s
+
+    @property
+    def block_names(self) -> tuple:
+        """Blocks covered by the array."""
+        return tuple(self._sensors)
+
+    def offset_of(self, block: str) -> float:
+        """Fixed offset of one block's sensor."""
+        try:
+            return self._sensors[block].offset_c
+        except KeyError:
+            raise SimulationError(f"no sensor on block {block!r}") from None
+
+    def due(self, time_s: float) -> bool:
+        """True when a new sample may be taken at simulation time
+        ``time_s`` (at least one sampling period since the last)."""
+        return time_s - self._last_sample_s >= self._period_s - 1e-12
+
+    def sample(
+        self, true_temps_c: Mapping[str, float], time_s: float
+    ) -> Dict[str, float]:
+        """Read every sensor once, marking ``time_s`` as the sample time.
+
+        The engine should call this only when :meth:`due` is true; calling
+        early raises, which catches controllers that assume a faster
+        sampling rate than the hardware provides.
+        """
+        if not self.due(time_s):
+            raise SimulationError(
+                f"sensor sample at t={time_s * 1e6:.1f} us violates the "
+                f"{self._period_s * 1e6:.0f} us sampling period"
+            )
+        self._last_sample_s = time_s
+        readings: Dict[str, float] = {}
+        for name, sensor in self._sensors.items():
+            if name not in true_temps_c:
+                raise SimulationError(f"no true temperature for block {name!r}")
+            readings[name] = sensor.read(true_temps_c[name])
+        return readings
+
+    @staticmethod
+    def max_reading(readings: Mapping[str, float]) -> float:
+        """The hottest observed temperature across the array."""
+        if not readings:
+            raise SimulationError("empty sensor readings")
+        return max(readings.values())

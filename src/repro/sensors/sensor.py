@@ -1,0 +1,81 @@
+"""A single thermal sensor with noise, offset and quantisation."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SensorParameters:
+    """Error model of one on-chip thermal sensor.
+
+    Parameters
+    ----------
+    noise_sigma_c:
+        Standard deviation of the per-reading Gaussian noise.  The paper's
+        "effective precision after averaging" of 1 degree is modelled as a
+        +/-1 degree 3-sigma bound, i.e. sigma of 1/3 degree.
+    max_offset_c:
+        Magnitude bound of the fixed per-sensor offset; the actual offset
+        is drawn uniformly in [-max_offset_c, +max_offset_c] at
+        construction, representing calibration error and sensor placement
+        relative to the true hotspot.
+    quantisation_c:
+        Step of the digitised output (0 disables quantisation).
+    """
+
+    noise_sigma_c: float = 1.0 / 3.0
+    max_offset_c: float = 2.0
+    quantisation_c: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.noise_sigma_c < 0.0:
+            raise SimulationError("noise sigma must be >= 0")
+        if self.max_offset_c < 0.0:
+            raise SimulationError("max offset must be >= 0")
+        if self.quantisation_c < 0.0:
+            raise SimulationError("quantisation must be >= 0")
+
+    @staticmethod
+    def ideal() -> "SensorParameters":
+        """An error-free sensor (for ablation studies)."""
+        return SensorParameters(noise_sigma_c=0.0, max_offset_c=0.0,
+                                quantisation_c=0.0)
+
+
+class ThermalSensor:
+    """One sensor: reading = quantise(true + offset + noise).
+
+    The fixed offset is drawn once at construction from the sensor's own
+    RNG stream, so a given ``(parameters, seed)`` pair is reproducible.
+    """
+
+    def __init__(self, parameters: SensorParameters, seed: int):
+        self._params = parameters
+        self._rng = random.Random(seed)
+        self._offset = self._rng.uniform(
+            -parameters.max_offset_c, parameters.max_offset_c
+        )
+
+    @property
+    def parameters(self) -> SensorParameters:
+        """The sensor's error model."""
+        return self._params
+
+    @property
+    def offset_c(self) -> float:
+        """This sensor's fixed offset in degrees Celsius."""
+        return self._offset
+
+    def read(self, true_temp_c: float) -> float:
+        """One digitised reading of ``true_temp_c``."""
+        value = true_temp_c + self._offset
+        if self._params.noise_sigma_c > 0.0:
+            value += self._rng.gauss(0.0, self._params.noise_sigma_c)
+        step = self._params.quantisation_c
+        if step > 0.0:
+            value = round(value / step) * step
+        return value

@@ -1,0 +1,58 @@
+"""Engine configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+DVS_MODE_STALL = "stall"
+DVS_MODE_IDEAL = "ideal"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs of the coupled simulation.
+
+    Parameters
+    ----------
+    thermal_step_cycles:
+        Cycles per thermal step; the paper uses 10 000, keeping sampling
+        error below 0.1 % with under 1 % simulation overhead.
+    dvs_switch_time_s:
+        Time to change the DVS setting (10 us in the paper).
+    dvs_mode:
+        ``"stall"`` -- the pipeline stalls for the switch time;
+        ``"ideal"`` -- execution continues but the new setting takes
+        effect only after the switch time has elapsed.
+    raise_on_violation:
+        Raise :class:`~repro.errors.ThermalViolationError` the moment any
+        block exceeds the emergency threshold (useful while calibrating a
+        technique that must be violation-free).
+    record_trace:
+        Keep a per-step time series of hottest-block temperature and
+        actuation (costs memory; for plotting/examples).
+    migration_time_s:
+        Pipeline-flush stall charged whenever an activity-migration
+        policy moves work between copies (2 us: drain plus a register
+        transfer burst).
+    """
+
+    thermal_step_cycles: int = 10_000
+    dvs_switch_time_s: float = 10.0e-6
+    dvs_mode: str = DVS_MODE_STALL
+    raise_on_violation: bool = False
+    record_trace: bool = False
+    migration_time_s: float = 2.0e-6
+
+    def __post_init__(self) -> None:
+        if self.thermal_step_cycles < 100:
+            raise SimulationError("thermal step must be at least 100 cycles")
+        if self.dvs_switch_time_s < 0.0:
+            raise SimulationError("DVS switch time must be >= 0")
+        if self.dvs_mode not in (DVS_MODE_STALL, DVS_MODE_IDEAL):
+            raise SimulationError(
+                f"dvs_mode must be 'stall' or 'ideal', got {self.dvs_mode!r}"
+            )
+        if self.migration_time_s < 0.0:
+            raise SimulationError("migration time must be >= 0")

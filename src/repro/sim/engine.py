@@ -1,0 +1,351 @@
+"""The coupled simulation engine."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.dtm.base import DtmCommand, DtmPolicy
+from repro.dtm.none import NoDtmPolicy
+from repro.dtm.thresholds import ThermalThresholds
+from repro.errors import SimulationError, ThermalViolationError
+from repro.floorplan.alpha21364 import build_alpha21364_floorplan
+from repro.floorplan.floorplan import Floorplan
+from repro.power.model import PowerModel
+from repro.sensors.array import SensorArray
+from repro.sim.config import DVS_MODE_IDEAL, DVS_MODE_STALL, EngineConfig
+from repro.sim.results import RunResult, TracePoint
+from repro.sim.warmup import initial_temperatures
+from repro.thermal.hotspot import HotSpotModel
+from repro.thermal.package import ThermalPackage
+from repro.uarch.interval import DtmActuation, IntervalPerformanceModel
+from repro.workloads.workload import Workload
+
+
+class SimulationEngine:
+    """Runs one workload under one DTM policy.
+
+    All substrate objects can be injected for experiments; the defaults
+    reproduce the paper's setup (Alpha 21364 floorplan, low-cost package,
+    Alpha power budget, 10 kHz noisy sensors).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        policy: Optional[DtmPolicy] = None,
+        floorplan: Optional[Floorplan] = None,
+        package: Optional[ThermalPackage] = None,
+        power_model: Optional[PowerModel] = None,
+        sensors: Optional[SensorArray] = None,
+        thresholds: Optional[ThermalThresholds] = None,
+        config: Optional[EngineConfig] = None,
+        seed: int = 0,
+    ):
+        self._workload = workload
+        self._floorplan = (
+            floorplan if floorplan is not None else build_alpha21364_floorplan()
+        )
+        self._hotspot = HotSpotModel(self._floorplan, package)
+        self._power = (
+            power_model if power_model is not None else PowerModel(self._floorplan)
+        )
+        self._sensors = (
+            sensors
+            if sensors is not None
+            else SensorArray(self._floorplan, seed=seed)
+        )
+        self._policy = policy if policy is not None else NoDtmPolicy(
+            self._power.technology.vdd_nominal
+        )
+        self._thresholds = (
+            thresholds if thresholds is not None else ThermalThresholds()
+        )
+        self._config = config if config is not None else EngineConfig()
+        self._tech = self._power.technology
+        self._vf = self._power.vf_curve
+
+    @property
+    def workload(self) -> Workload:
+        """The workload under simulation."""
+        return self._workload
+
+    @property
+    def hotspot(self) -> HotSpotModel:
+        """The thermal model."""
+        return self._hotspot
+
+    @property
+    def power_model(self) -> PowerModel:
+        """The power model."""
+        return self._power
+
+    @property
+    def policy(self) -> DtmPolicy:
+        """The DTM policy under test."""
+        return self._policy
+
+    @property
+    def config(self) -> EngineConfig:
+        """Engine configuration."""
+        return self._config
+
+    def compute_initial_temperatures(self) -> np.ndarray:
+        """No-DTM steady-state node temperatures for this workload."""
+        return initial_temperatures(self._workload, self._hotspot, self._power)
+
+    # --- main loop ---------------------------------------------------------------
+
+    def run(
+        self,
+        instructions: int,
+        initial: Optional[np.ndarray] = None,
+        settle_time_s: float = 0.0,
+    ) -> RunResult:
+        """Simulate until ``instructions`` have committed.
+
+        Parameters
+        ----------
+        instructions:
+            Commit budget; the run's elapsed time is interpolated within
+            the final step so slowdown comparisons are exact.
+        initial:
+            Node temperature vector to start from; defaults to the
+            workload's no-DTM steady state.
+        settle_time_s:
+            Length of an unmeasured lead-in with the policy active,
+            standing in for the tail of the paper's 300 M-cycle warmup:
+            statistics (including violations) start once the policy has
+            pulled the chip from its unmanaged steady state into the
+            regulated band.
+        """
+        if instructions <= 0:
+            raise SimulationError("instruction budget must be > 0")
+        if settle_time_s < 0.0:
+            raise SimulationError("settle time must be >= 0")
+        if initial is None:
+            initial = self.compute_initial_temperatures()
+        network = self._hotspot.network
+        solver_temps = np.array(initial, dtype=float, copy=True)
+        from repro.thermal.solver import TransientSolver
+
+        solver = TransientSolver(network, solver_temps)
+        perf = IntervalPerformanceModel(self._workload.phases, loop=True)
+        self._policy.reset()
+
+        block_names = list(network.block_names)
+        hot_block_index = {name: network.index_of(name) for name in block_names}
+
+        nominal_v = self._tech.vdd_nominal
+        command = DtmCommand(gating_fraction=0.0, voltage=nominal_v)
+        voltage = nominal_v
+        frequency = self._tech.frequency_nominal
+        pending_voltage: Optional[float] = None
+        pending_effective_s = 0.0
+
+        time_s = 0.0
+        measure_start_s = 0.0
+        measuring = settle_time_s == 0.0
+        done = 0.0
+        cycles = 0
+        violations = 0
+        max_temp = -1e9
+        hottest_block = block_names[0]
+        above_trigger_s = 0.0
+        switches = 0
+        migrations = 0
+        previous_migration = None
+        low_time_s = 0.0
+        stall_s = 0.0
+        gating_time_weighted = 0.0
+        energy_j = 0.0
+        trace = [] if self._config.record_trace else None
+
+        step_cycles = self._config.thermal_step_cycles
+        switch_time = self._config.dvs_switch_time_s
+        stall_mode = self._config.dvs_mode == DVS_MODE_STALL
+
+        def temps_mapping() -> Dict[str, float]:
+            current = solver.temperatures
+            return {name: current[hot_block_index[name]] for name in block_names}
+
+        def idle_powers(temps: Dict[str, float]) -> Dict[str, float]:
+            zero = {name: 0.0 for name in block_names}
+            return self._power.block_powers(zero, voltage, frequency, temps)
+
+        while done < instructions:
+            temps = temps_mapping()
+
+            # --- sensing and policy -------------------------------------------
+            if self._sensors.due(time_s):
+                readings = self._sensors.sample(temps, time_s)
+                new_command = self._policy.update(
+                    readings, time_s, self._sensors.sampling_period_s
+                )
+                if abs(new_command.voltage - voltage) > 1e-12 and (
+                    pending_voltage is None
+                    or abs(new_command.voltage - pending_voltage) > 1e-12
+                ):
+                    if measuring:
+                        switches += 1
+                    if stall_mode:
+                        if switch_time > 0.0:
+                            power = idle_powers(temps)
+                            solver.step(network.power_vector(power), switch_time)
+                            time_s += switch_time
+                            if measuring:
+                                stall_s += switch_time
+                            temps = temps_mapping()
+                        voltage = new_command.voltage
+                        frequency = self._vf.frequency(voltage)
+                        pending_voltage = None
+                    else:
+                        pending_voltage = new_command.voltage
+                        pending_effective_s = time_s + switch_time
+                command = new_command
+
+            if pending_voltage is not None and time_s >= pending_effective_s:
+                voltage = pending_voltage
+                frequency = self._vf.frequency(voltage)
+                pending_voltage = None
+
+            # --- activity-migration transitions --------------------------------
+            if command.migration != previous_migration:
+                previous_migration = command.migration
+                if measuring:
+                    migrations += 1
+                if self._config.migration_time_s > 0.0:
+                    power = idle_powers(temps)
+                    solver.step(
+                        network.power_vector(power),
+                        self._config.migration_time_s,
+                    )
+                    time_s += self._config.migration_time_s
+                    if measuring:
+                        stall_s += self._config.migration_time_s
+                    temps = temps_mapping()
+
+            # --- one thermal step of execution --------------------------------
+            f_rel = frequency / self._tech.frequency_nominal
+            actuation = DtmActuation(
+                gating_fraction=command.gating_fraction,
+                relative_frequency=f_rel,
+                clock_enabled_fraction=command.clock_enabled_fraction,
+                domain_gating=command.domain_gating,
+            )
+            sample = perf.advance(step_cycles, actuation)
+            dt = step_cycles / frequency
+
+            if command.domain_gating:
+                from repro.dtm.domains import CLOCK_DOMAINS
+
+                clock_gate = {
+                    block: command.clock_enabled_fraction * (1.0 - duty)
+                    for domain, duty in command.domain_gating.items()
+                    for block in CLOCK_DOMAINS[domain]
+                }
+            else:
+                clock_gate = command.clock_enabled_fraction
+
+            activities = dict(sample.activities)
+            for name in block_names:
+                activities.setdefault(name, 0.0)  # e.g. spare structures
+            if command.migration is not None:
+                source, target, fraction = command.migration
+                moved = activities.get(source, 0.0) * fraction
+                activities[source] = activities.get(source, 0.0) - moved
+                activities[target] = min(
+                    1.0, activities.get(target, 0.0) + moved
+                )
+            powers = self._power.block_powers(
+                activities,
+                voltage,
+                frequency,
+                temps,
+                clock_gate,
+            )
+            solver.step(network.power_vector(powers), dt)
+
+            # --- accounting ----------------------------------------------------
+            new_temps = solver.temperatures
+            step_hottest = max(block_names, key=lambda n: new_temps[hot_block_index[n]])
+            step_max = new_temps[hot_block_index[step_hottest]]
+            if measuring:
+                remaining = instructions - done
+                if sample.instructions >= remaining:
+                    # Interpolate the final partial step for exact elapsed
+                    # time.
+                    fraction = remaining / sample.instructions
+                    dt_measured = dt * fraction
+                    cycles += int(step_cycles * fraction)
+                    done = instructions
+                else:
+                    dt_measured = dt
+                    cycles += step_cycles
+                    done += sample.instructions
+                time_s += dt_measured
+
+                if step_max > max_temp:
+                    max_temp = step_max
+                    hottest_block = step_hottest
+                if step_max > self._thresholds.emergency_c:
+                    violations += 1
+                    if self._config.raise_on_violation:
+                        raise ThermalViolationError(
+                            step_max,
+                            self._thresholds.emergency_c,
+                            time_s,
+                            step_hottest,
+                        )
+                if step_max > self._thresholds.trigger_c:
+                    above_trigger_s += dt_measured
+                if voltage < nominal_v - 1e-12:
+                    low_time_s += dt_measured
+                gating_time_weighted += command.gating_fraction * dt_measured
+                energy_j += sum(powers.values()) * dt_measured
+            else:
+                time_s += dt
+                if time_s >= settle_time_s:
+                    measuring = True
+                    measure_start_s = time_s
+                    # Measure the same instruction window for every
+                    # technique (the paper's fixed SimPoint sample): the
+                    # settle lead-in warms the *thermal* state only.
+                    perf = IntervalPerformanceModel(
+                        self._workload.phases, loop=True
+                    )
+
+            if trace is not None:
+                trace.append(
+                    TracePoint(
+                        time_s=time_s,
+                        hottest_block=step_hottest,
+                        hottest_temp_c=step_max,
+                        gating_fraction=command.gating_fraction,
+                        voltage=voltage,
+                        clock_enabled_fraction=command.clock_enabled_fraction,
+                        instructions=done,
+                    )
+                )
+
+        elapsed_s = time_s - measure_start_s
+        return RunResult(
+            benchmark=self._workload.name,
+            policy=self._policy.name,
+            dvs_mode=self._config.dvs_mode,
+            instructions=done,
+            elapsed_s=elapsed_s,
+            cycles=cycles,
+            violations=violations,
+            max_true_temp_c=max_temp,
+            hottest_block=hottest_block,
+            time_above_trigger_s=above_trigger_s,
+            dvs_switches=switches,
+            dvs_low_time_s=low_time_s,
+            stall_time_s=stall_s,
+            mean_gating_fraction=gating_time_weighted / max(elapsed_s, 1e-12),
+            mean_power_w=energy_j / max(elapsed_s, 1e-12),
+            migrations=migrations,
+            trace=trace,
+        )

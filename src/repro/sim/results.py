@@ -1,0 +1,83 @@
+"""Run results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class TracePoint:
+    """One recorded step of a traced run."""
+
+    time_s: float
+    hottest_block: str
+    hottest_temp_c: float
+    gating_fraction: float
+    voltage: float
+    clock_enabled_fraction: float
+    instructions: float
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine run.
+
+    ``elapsed_s`` is the quantity slowdown factors are computed from: the
+    wall-clock time the run needed to commit its instruction budget,
+    including DVS switching stalls.
+    """
+
+    benchmark: str
+    policy: str
+    dvs_mode: str
+    instructions: float
+    elapsed_s: float
+    cycles: int
+    violations: int
+    max_true_temp_c: float
+    hottest_block: str
+    time_above_trigger_s: float
+    dvs_switches: int
+    dvs_low_time_s: float
+    stall_time_s: float
+    mean_gating_fraction: float
+    mean_power_w: float
+    migrations: int = 0
+    trace: Optional[List[TracePoint]] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0.0 or self.elapsed_s <= 0.0:
+            raise SimulationError("run committed no work")
+
+    @property
+    def ips(self) -> float:
+        """Instructions per second of wall-clock time."""
+        return self.instructions / self.elapsed_s
+
+    @property
+    def fraction_above_trigger(self) -> float:
+        """Fraction of the run spent above the trigger temperature."""
+        return self.time_above_trigger_s / self.elapsed_s
+
+    @property
+    def violation_free(self) -> bool:
+        """True when the emergency threshold was never exceeded."""
+        return self.violations == 0
+
+    def summary(self) -> Dict[str, float]:
+        """Compact numeric summary for tables."""
+        return {
+            "instructions": self.instructions,
+            "elapsed_ms": self.elapsed_s * 1e3,
+            "violations": float(self.violations),
+            "max_temp_c": self.max_true_temp_c,
+            "above_trigger_frac": self.fraction_above_trigger,
+            "dvs_switches": float(self.dvs_switches),
+            "dvs_low_frac": self.dvs_low_time_s / self.elapsed_s,
+            "stall_ms": self.stall_time_s * 1e3,
+            "mean_gating": self.mean_gating_fraction,
+            "mean_power_w": self.mean_power_w,
+        }

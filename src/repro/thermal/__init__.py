@@ -1,0 +1,38 @@
+"""HotSpot-style compact thermal model.
+
+The model follows the methodology of Skadron et al.'s HotSpot (ISCA 2003):
+an equivalent RC circuit is derived purely from the floorplan geometry and
+package description.  Each block gets one die node with a vertical
+resistance through the die, thermal interface material and heat spreader;
+adjacent blocks are coupled by lateral resistances through the silicon; the
+spreader and heat sink are lumped nodes; the sink couples to ambient through
+a convection resistance (1.0 K/W for the paper's low-cost package).
+
+Heat flow is solved with a dense symmetric conductance matrix: steady state
+via a linear solve, transients via backward Euler with one cached matrix
+factorisation per distinct time step.
+"""
+
+from repro.thermal.materials import COPPER, SILICON, Material
+from repro.thermal.package import ThermalPackage, default_package
+from repro.thermal.rc_model import (
+    ThermalNetwork,
+    build_detailed_thermal_network,
+    build_thermal_network,
+)
+from repro.thermal.solver import TransientSolver, steady_state
+from repro.thermal.hotspot import HotSpotModel
+
+__all__ = [
+    "Material",
+    "SILICON",
+    "COPPER",
+    "ThermalPackage",
+    "default_package",
+    "ThermalNetwork",
+    "build_thermal_network",
+    "build_detailed_thermal_network",
+    "TransientSolver",
+    "steady_state",
+    "HotSpotModel",
+]

@@ -1,0 +1,127 @@
+"""High-level HotSpot-style facade over the RC network and solvers.
+
+:class:`HotSpotModel` is what the rest of the library talks to: it accepts
+and returns per-block ``{name: value}`` mappings and hides the matrix
+plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import ThermalModelError
+from repro.floorplan.floorplan import Floorplan
+from repro.thermal.package import ThermalPackage, default_package
+from repro.thermal.rc_model import (
+    SINK_NODE,
+    SPREADER_NODE,
+    ThermalNetwork,
+    build_thermal_network,
+)
+from repro.thermal.solver import TransientSolver, steady_state
+
+
+class HotSpotModel:
+    """Compact thermal model for a floorplan under a given package.
+
+    Examples
+    --------
+    >>> from repro.floorplan import build_alpha21364_floorplan
+    >>> model = HotSpotModel(build_alpha21364_floorplan())
+    >>> temps = model.steady_state({name: 2.0 for name in model.block_names})
+    >>> temps["IntReg"] > model.package.ambient_c
+    True
+    """
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        package: Optional[ThermalPackage] = None,
+        detail: str = "block",
+    ):
+        if detail not in ("block", "full"):
+            raise ThermalModelError(
+                f"detail must be 'block' or 'full', got {detail!r}"
+            )
+        self._floorplan = floorplan
+        self._package = package if package is not None else default_package()
+        if detail == "full":
+            from repro.thermal.rc_model import build_detailed_thermal_network
+
+            self._network = build_detailed_thermal_network(
+                floorplan, self._package
+            )
+        else:
+            self._network = build_thermal_network(floorplan, self._package)
+        self._detail = detail
+
+    # --- introspection -----------------------------------------------------------
+
+    @property
+    def floorplan(self) -> Floorplan:
+        """The floorplan the model was built from."""
+        return self._floorplan
+
+    @property
+    def package(self) -> ThermalPackage:
+        """The thermal package."""
+        return self._package
+
+    @property
+    def network(self) -> ThermalNetwork:
+        """The underlying RC network (for solver-level access)."""
+        return self._network
+
+    @property
+    def block_names(self) -> tuple:
+        """Die block names, in node order."""
+        return self._network.block_names
+
+    # --- solving -----------------------------------------------------------------
+
+    def steady_state(self, block_powers: Mapping[str, float]) -> Dict[str, float]:
+        """Steady-state temperatures (Celsius) for constant block powers.
+
+        The result includes the ``__spreader__`` and ``__sink__`` package
+        nodes alongside the die blocks.
+        """
+        power = self._network.power_vector(block_powers)
+        temps = steady_state(self._network, power)
+        return self._network.temperatures_as_mapping(temps)
+
+    def steady_state_vector(self, block_powers: Mapping[str, float]) -> np.ndarray:
+        """As :meth:`steady_state` but returning the raw node vector."""
+        power = self._network.power_vector(block_powers)
+        return steady_state(self._network, power)
+
+    def make_transient(
+        self, initial: Optional[Mapping[str, float]] = None
+    ) -> TransientSolver:
+        """Create a transient solver.
+
+        Parameters
+        ----------
+        initial:
+            Optional ``{node: celsius}`` initial condition covering every
+            node; when omitted, all nodes start at ambient.
+        """
+        if initial is None:
+            vector = np.full(self._network.size, self._package.ambient_c)
+        else:
+            vector = np.array(
+                [initial[name] for name in self._network.node_names], dtype=float
+            )
+        return TransientSolver(self._network, vector)
+
+    # --- convenience -------------------------------------------------------------
+
+    def hottest_block(self, temps: Mapping[str, float]) -> str:
+        """Name of the hottest *die block* in a temperature mapping."""
+        return max(self.block_names, key=lambda name: temps[name])
+
+    @staticmethod
+    def package_nodes() -> tuple:
+        """Names of the non-die nodes included in results."""
+        return (SPREADER_NODE, SINK_NODE)

@@ -1,0 +1,68 @@
+"""Thermal material properties.
+
+Values are the ones HotSpot uses for planning-stage modelling: silicon at
+high operating temperature and pure copper for the package parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ThermalModelError
+
+
+@dataclass(frozen=True)
+class Material:
+    """A homogeneous, isotropic thermal material.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier.
+    thermal_conductivity:
+        k, in W/(m K).
+    volumetric_heat_capacity:
+        c_v, in J/(m^3 K).
+    """
+
+    name: str
+    thermal_conductivity: float
+    volumetric_heat_capacity: float
+
+    def __post_init__(self) -> None:
+        if self.thermal_conductivity <= 0.0:
+            raise ThermalModelError(
+                f"material {self.name!r}: thermal conductivity must be > 0"
+            )
+        if self.volumetric_heat_capacity <= 0.0:
+            raise ThermalModelError(
+                f"material {self.name!r}: heat capacity must be > 0"
+            )
+
+    def conduction_resistance(self, length: float, area: float) -> float:
+        """1-D conduction resistance (K/W) of a slab ``length`` thick with
+        cross-section ``area``."""
+        if length <= 0.0 or area <= 0.0:
+            raise ThermalModelError(
+                f"material {self.name!r}: slab needs positive length and area"
+            )
+        return length / (self.thermal_conductivity * area)
+
+    def capacitance(self, volume: float) -> float:
+        """Lumped thermal capacitance (J/K) of ``volume`` m^3 of material."""
+        if volume <= 0.0:
+            raise ThermalModelError(f"material {self.name!r}: volume must be > 0")
+        return self.volumetric_heat_capacity * volume
+
+
+SILICON = Material(
+    name="silicon",
+    thermal_conductivity=100.0,  # W/(m K), bulk Si near 85 C
+    volumetric_heat_capacity=1.75e6,  # J/(m^3 K)
+)
+
+COPPER = Material(
+    name="copper",
+    thermal_conductivity=400.0,  # W/(m K)
+    volumetric_heat_capacity=3.55e6,  # J/(m^3 K)
+)

@@ -1,0 +1,155 @@
+"""Thermal package description: die, interface material, spreader, sink.
+
+The defaults reproduce the paper's setup: a 0.5 mm die, the copper heat
+spreader and heat sink of the HotSpot ISCA 2003 configuration, and an
+equivalent sink-to-air convection resistance of 1.0 K/W, "corresponding to a
+low-cost package" chosen to push the hot SPEC benchmarks into thermal
+stress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ThermalModelError
+from repro.thermal.materials import COPPER, SILICON, Material
+from repro.units import MM
+
+
+@dataclass(frozen=True)
+class ThermalPackage:
+    """Everything between the active silicon and the ambient air.
+
+    Parameters
+    ----------
+    die_thickness:
+        Silicon die thickness in metres (paper: 0.5 mm).
+    die_material:
+        Material of the die (silicon).
+    interface_resistance_per_area:
+        Specific thermal resistance of the die/spreader interface material,
+        in m^2 K / W (thickness over conductivity of the TIM layer).
+    spreader_side, spreader_thickness:
+        Square copper heat spreader geometry in metres.
+    sink_side, sink_thickness:
+        Square copper heat-sink base geometry in metres.
+    package_material:
+        Material of spreader and sink (copper).
+    convection_resistance:
+        Equivalent sink-to-air resistance in K/W (paper: 1.0 K/W).
+    ambient_c:
+        Air temperature inside the case, degrees Celsius.
+    die_capacitance_factor:
+        Lumping correction applied to per-block die capacitances; compact RC
+        models under-predict transient speed with the full slab capacitance,
+        so a factor < 1 is used, as in HotSpot.
+    """
+
+    die_thickness: float = 0.5 * MM
+    die_material: Material = SILICON
+    interface_resistance_per_area: float = 5.0e-6  # 20 um TIM at 4 W/(m K)
+    spreader_side: float = 30.0 * MM
+    spreader_thickness: float = 1.0 * MM
+    sink_side: float = 60.0 * MM
+    sink_thickness: float = 6.9 * MM
+    package_material: Material = COPPER
+    convection_resistance: float = 1.0
+    ambient_c: float = 45.0
+    die_capacitance_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        positives = {
+            "die_thickness": self.die_thickness,
+            "interface_resistance_per_area": self.interface_resistance_per_area,
+            "spreader_side": self.spreader_side,
+            "spreader_thickness": self.spreader_thickness,
+            "sink_side": self.sink_side,
+            "sink_thickness": self.sink_thickness,
+            "convection_resistance": self.convection_resistance,
+            "die_capacitance_factor": self.die_capacitance_factor,
+        }
+        for name, value in positives.items():
+            if value <= 0.0:
+                raise ThermalModelError(f"package parameter {name} must be > 0")
+        if self.sink_side < self.spreader_side:
+            raise ThermalModelError("heat sink must be at least as wide as spreader")
+
+    # --- derived lumped elements -------------------------------------------------
+
+    @property
+    def spreader_area(self) -> float:
+        """Spreader footprint in m^2."""
+        return self.spreader_side**2
+
+    @property
+    def sink_area(self) -> float:
+        """Sink base footprint in m^2."""
+        return self.sink_side**2
+
+    @property
+    def spreader_capacitance(self) -> float:
+        """Lumped spreader capacitance in J/K."""
+        return self.package_material.capacitance(
+            self.spreader_area * self.spreader_thickness
+        )
+
+    @property
+    def sink_capacitance(self) -> float:
+        """Lumped sink capacitance in J/K."""
+        return self.package_material.capacitance(self.sink_area * self.sink_thickness)
+
+    def block_vertical_resistance(self, block_area: float) -> float:
+        """Resistance (K/W) from one die block down to the spreader node:
+        conduction through the die, the interface material, and half the
+        spreader thickness (the spreading path into the lumped spreader)."""
+        if block_area <= 0.0:
+            raise ThermalModelError("block area must be > 0")
+        die = self.die_material.conduction_resistance(self.die_thickness, block_area)
+        interface = self.interface_resistance_per_area / block_area
+        into_spreader = self.package_material.conduction_resistance(
+            self.spreader_thickness / 2.0, block_area
+        )
+        return die + interface + into_spreader
+
+    def spreader_to_sink_resistance(self, die_area: float) -> float:
+        """Resistance (K/W) from the spreader node to the sink node:
+        the remaining half spreader, a spreading (constriction) term from the
+        die footprint into the wider spreader, and half the sink base."""
+        if die_area <= 0.0:
+            raise ThermalModelError("die area must be > 0")
+        half_spreader = self.package_material.conduction_resistance(
+            self.spreader_thickness / 2.0, self.spreader_area
+        )
+        # First-order constriction resistance for a square source of side d
+        # feeding a wider slab: R ~= 1 / (2 k d).
+        die_side = die_area**0.5
+        constriction = 1.0 / (
+            2.0 * self.package_material.thermal_conductivity * die_side
+        )
+        half_sink = self.package_material.conduction_resistance(
+            self.sink_thickness / 2.0, self.sink_area
+        )
+        return half_spreader + constriction + half_sink
+
+    def lateral_resistance(
+        self, center_distance: float, shared_edge_length: float
+    ) -> float:
+        """Lateral resistance (K/W) between two abutting die blocks: 1-D
+        conduction over the centre-to-centre distance through the silicon
+        cross-section ``die_thickness x shared_edge_length``."""
+        if center_distance <= 0.0 or shared_edge_length <= 0.0:
+            raise ThermalModelError("lateral path needs positive geometry")
+        return self.die_material.conduction_resistance(
+            center_distance, self.die_thickness * shared_edge_length
+        )
+
+    def block_capacitance(self, block_area: float) -> float:
+        """Lumped die-block capacitance in J/K (with the lumping factor)."""
+        return self.die_capacitance_factor * self.die_material.capacitance(
+            block_area * self.die_thickness
+        )
+
+
+def default_package() -> ThermalPackage:
+    """The paper's low-cost package (1.0 K/W convection, 45 C ambient)."""
+    return ThermalPackage()

@@ -1,0 +1,135 @@
+"""Steady-state and transient solvers for thermal RC networks.
+
+The governing equation (temperatures in Celsius, ambient folded into the
+source term) is::
+
+    C dT/dt = P + g_amb * T_amb - L T
+
+Steady state is one linear solve.  Transients use backward Euler::
+
+    (C/dt + L) T_{k+1} = (C/dt) T_k + P + g_amb * T_amb
+
+which is unconditionally stable, so DTM experiments can take one step per
+10 000-cycle power sample regardless of the fastest RC product in the
+network.  The step matrix is LU-factorised once per distinct dt and cached,
+because DVS changes the cycle time and therefore the step length.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+from scipy.linalg import lu_factor, lu_solve
+
+from repro.errors import ThermalModelError
+from repro.thermal.rc_model import ThermalNetwork
+
+
+def _ambient_source(network: ThermalNetwork) -> np.ndarray:
+    return network.ambient_conductance * network.ambient_c
+
+
+def steady_state(network: ThermalNetwork, power: np.ndarray) -> np.ndarray:
+    """Solve ``L T = P + g_amb * T_amb`` for the steady temperatures.
+
+    Parameters
+    ----------
+    network:
+        The assembled RC network.
+    power:
+        (n,) injected power vector (see
+        :meth:`~repro.thermal.rc_model.ThermalNetwork.power_vector`).
+
+    Returns
+    -------
+    numpy.ndarray
+        (n,) temperatures in Celsius.
+    """
+    if power.shape != (network.size,):
+        raise ThermalModelError(
+            f"power vector has shape {power.shape}, expected ({network.size},)"
+        )
+    rhs = power + _ambient_source(network)
+    try:
+        return np.linalg.solve(network.conductance, rhs)
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
+        raise ThermalModelError(f"steady-state solve failed: {exc}") from exc
+
+
+class TransientSolver:
+    """Backward-Euler integrator over a thermal RC network.
+
+    The solver owns the current temperature vector; callers advance it with
+    :meth:`step` once per power sample.  Factorisations of ``C/dt + L`` are
+    cached per dt (rounded to femtosecond granularity) since a DTM run uses
+    only a handful of distinct frequencies.
+    """
+
+    def __init__(self, network: ThermalNetwork, initial: np.ndarray):
+        if initial.shape != (network.size,):
+            raise ThermalModelError(
+                f"initial temperatures have shape {initial.shape}, "
+                f"expected ({network.size},)"
+            )
+        self._network = network
+        self._temps = np.array(initial, dtype=float, copy=True)
+        self._ambient_source = _ambient_source(network)
+        self._factor_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._time_s = 0.0
+
+    @property
+    def network(self) -> ThermalNetwork:
+        """The underlying RC network."""
+        return self._network
+
+    @property
+    def temperatures(self) -> np.ndarray:
+        """Current node temperatures in Celsius (copy)."""
+        return self._temps.copy()
+
+    @property
+    def time_s(self) -> float:
+        """Simulated time elapsed since construction, in seconds."""
+        return self._time_s
+
+    def _factorisation(self, dt: float):
+        key = int(round(dt * 1e15))
+        cached = self._factor_cache.get(key)
+        if cached is None:
+            matrix = (
+                np.diag(self._network.capacitance / dt) + self._network.conductance
+            )
+            cached = lu_factor(matrix)
+            self._factor_cache[key] = cached
+        return cached
+
+    def step(self, power: np.ndarray, dt: float) -> np.ndarray:
+        """Advance the network by ``dt`` seconds with constant injected
+        ``power`` over the step.  Returns the new temperature vector (a
+        copy)."""
+        if dt <= 0.0:
+            raise ThermalModelError(f"time step must be > 0, got {dt}")
+        if power.shape != (self._network.size,):
+            raise ThermalModelError(
+                f"power vector has shape {power.shape}, "
+                f"expected ({self._network.size},)"
+            )
+        rhs = (
+            (self._network.capacitance / dt) * self._temps
+            + power
+            + self._ambient_source
+        )
+        self._temps = lu_solve(self._factorisation(dt), rhs)
+        self._time_s += dt
+        return self._temps.copy()
+
+    def reset(self, temperatures: np.ndarray) -> None:
+        """Overwrite the state with ``temperatures`` and zero the clock."""
+        if temperatures.shape != (self._network.size,):
+            raise ThermalModelError(
+                f"temperatures have shape {temperatures.shape}, "
+                f"expected ({self._network.size},)"
+            )
+        self._temps = np.array(temperatures, dtype=float, copy=True)
+        self._time_s = 0.0

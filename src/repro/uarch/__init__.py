@@ -1,0 +1,49 @@
+"""Microarchitecture models.
+
+Two levels of detail, as described in DESIGN.md:
+
+* :mod:`repro.uarch.pipeline` -- a cycle-level out-of-order superscalar core
+  (21264-class widths and structures) driven by synthetic micro-op traces.
+  Fetch gating is honoured at the fetch stage, so the paper's central
+  phenomenon -- mild gating hidden by instruction-level parallelism -- is
+  emergent.
+* :mod:`repro.uarch.interval` -- a fast interval engine that advances one
+  thermal step (10 000 cycles) at a time using ILP-response curves
+  characterised on the detailed core (or a calibrated analytic stand-in).
+"""
+
+from repro.uarch.resources import MachineParameters, default_machine
+from repro.uarch.isa import OpClass
+from repro.uarch.trace import MicroOp, TraceGenerator
+from repro.uarch.branch import GshareBranchPredictor
+from repro.uarch.caches import CacheHierarchy, CacheLevelParameters
+from repro.uarch.pipeline import DetailedCore, PipelineResult
+from repro.uarch.activity import ActivityModel
+from repro.uarch.ilp_response import (
+    AnalyticIlpResponse,
+    IlpResponse,
+    IlpResponsePoint,
+    characterise_ilp_response,
+)
+from repro.uarch.interval import DtmActuation, IntervalPerformanceModel, IntervalSample
+
+__all__ = [
+    "MachineParameters",
+    "default_machine",
+    "OpClass",
+    "MicroOp",
+    "TraceGenerator",
+    "GshareBranchPredictor",
+    "CacheHierarchy",
+    "CacheLevelParameters",
+    "DetailedCore",
+    "PipelineResult",
+    "ActivityModel",
+    "IlpResponse",
+    "IlpResponsePoint",
+    "AnalyticIlpResponse",
+    "characterise_ilp_response",
+    "DtmActuation",
+    "IntervalPerformanceModel",
+    "IntervalSample",
+]

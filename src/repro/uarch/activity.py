@@ -1,0 +1,158 @@
+"""Per-block switching-activity accounting.
+
+Two consumers:
+
+* the detailed core reports raw event counts, which
+  :func:`normalise_event_counts` converts to [0, 1] activities using the
+  per-block peak event rates below;
+* the interval engine computes activities analytically from a phase's base
+  activity vector and the current DTM actuation, via :class:`ActivityModel`.
+
+The interval model distinguishes three per-cycle rate factors that DTM
+techniques move independently:
+
+* ``F`` -- the front-end (fetch/rename) rate, reduced directly by fetch
+  gating;
+* ``C`` -- the commit rate (per-cycle IPC relative to nominal), reduced
+  when gating exhausts ILP or when frequency scaling changes the
+  cycles-per-instruction balance;
+* ``I`` -- the issue rate, a blend of committed work and speculative
+  wrong-path work: ``I = (C + w F) / (1 + w)`` where ``w`` is the phase's
+  speculation-waste factor.  Mild fetch gating trims wrong-path issue
+  without touching commit rate -- that is where "free" cooling comes from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import WorkloadError
+
+PEAK_EVENTS_PER_CYCLE: Mapping[str, float] = {
+    "Icache": 1.0,
+    "Bpred": 1.6,
+    "ITB": 1.0,
+    "IntMap": 4.0,
+    "FPMap": 2.0,
+    "IntQ": 4.0,
+    "FPQ": 2.0,
+    "IntReg": 12.0,
+    "FPReg": 6.0,
+    "IntExec": 4.0,
+    "FPAdd": 1.0,
+    "FPMul": 1.0,
+    "LdStQ": 4.0,
+    "Dcache": 2.0,
+    "DTB": 2.0,
+    "L2": 0.5,
+    "L2_left": 0.5,
+    "L2_right": 0.5,
+}
+"""Event rate (events/cycle) that corresponds to activity = 1.0."""
+
+_RATE_CLASS: Mapping[str, str] = {
+    # Which of the three rate factors drives each block.
+    "Icache": "F",
+    "Bpred": "F",
+    "ITB": "F",
+    "IntMap": "F",
+    "FPMap": "F",
+    "IntQ": "I",
+    "FPQ": "I",
+    "IntReg": "I",
+    "FPReg": "I",
+    "IntExec": "I",
+    "FPAdd": "I",
+    "FPMul": "I",
+    "LdStQ": "I",
+    "Dcache": "I",
+    "DTB": "I",
+    "L2": "C",
+    "L2_left": "C",
+    "L2_right": "C",
+}
+
+
+def normalise_event_counts(
+    events: Mapping[str, float], cycles: int
+) -> Dict[str, float]:
+    """Convert raw event counts over ``cycles`` to [0, 1] activities.
+
+    Blocks with no events (e.g. FP units in an integer run) report 0.0;
+    the L2 banks share the L2 traffic.
+    """
+    if cycles <= 0:
+        raise WorkloadError("cycles must be > 0")
+    activities: Dict[str, float] = {}
+    l2_rate = events.get("L2", 0.0) / cycles
+    for block, peak in PEAK_EVENTS_PER_CYCLE.items():
+        if block in ("L2", "L2_left", "L2_right"):
+            rate = l2_rate
+        else:
+            rate = events.get(block, 0.0) / cycles
+        activities[block] = min(1.0, rate / peak)
+    return activities
+
+
+class ActivityModel:
+    """Scales a phase's base activity vector by the current DTM actuation.
+
+    Parameters
+    ----------
+    base_activities:
+        Per-block activity in [0, 1] at nominal operation (no DTM), as
+        calibrated for the workload phase.
+    speculation_waste:
+        Wrong-path issue work as a fraction of useful work at nominal
+        operation (``w`` in the module docstring).
+    """
+
+    def __init__(
+        self, base_activities: Mapping[str, float], speculation_waste: float
+    ):
+        for block, value in base_activities.items():
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(
+                    f"base activity for {block!r} is {value}, outside [0, 1]"
+                )
+        if speculation_waste < 0.0:
+            raise WorkloadError("speculation waste must be >= 0")
+        self._base = dict(base_activities)
+        self._waste = speculation_waste
+
+    @property
+    def base_activities(self) -> Dict[str, float]:
+        """The nominal activity vector (copy)."""
+        return dict(self._base)
+
+    @property
+    def speculation_waste(self) -> float:
+        """Wrong-path work fraction at nominal operation."""
+        return self._waste
+
+    def activities(
+        self, fetch_rate_rel: float, commit_rate_rel: float
+    ) -> Dict[str, float]:
+        """Per-block activities for the given relative rates.
+
+        Parameters
+        ----------
+        fetch_rate_rel:
+            Front-end rate relative to nominal (``1 - gating_fraction``
+            under fetch gating).
+        commit_rate_rel:
+            Per-cycle IPC relative to the phase's nominal IPC.
+        """
+        if fetch_rate_rel < 0.0 or commit_rate_rel < 0.0:
+            raise WorkloadError("relative rates must be >= 0")
+        factor_f = fetch_rate_rel
+        factor_c = commit_rate_rel
+        factor_i = (commit_rate_rel + self._waste * fetch_rate_rel) / (
+            1.0 + self._waste
+        )
+        factors = {"F": factor_f, "I": factor_i, "C": factor_c}
+        result: Dict[str, float] = {}
+        for block, base in self._base.items():
+            rate_class = _RATE_CLASS.get(block, "C")
+            result[block] = min(1.0, base * factors[rate_class])
+        return result

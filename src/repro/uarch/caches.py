@@ -1,0 +1,220 @@
+"""Set-associative cache hierarchy with LRU replacement.
+
+Real structural caches (not fixed miss probabilities): the trace generator
+produces address streams, so per-phase miss rates emerge from working-set
+size versus cache capacity, exactly as they would for a real binary.
+
+Latencies follow the paper's 21264-with-big-L2 configuration.  Main-memory
+latency is specified in nanoseconds and converted to cycles at the current
+clock, which is what makes memory-bound workloads less sensitive to DVS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class CacheLevelParameters:
+    """Geometry and hit latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+    hit_latency: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
+            raise SimulationError(f"cache {self.name!r}: sizes must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity) != 0:
+            raise SimulationError(
+                f"cache {self.name!r}: size must be a multiple of "
+                f"line_bytes * associativity"
+            )
+        if self.hit_latency < 1:
+            raise SimulationError(f"cache {self.name!r}: hit latency must be >= 1")
+
+    @property
+    def set_count(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+class SetAssociativeCache:
+    """A single LRU set-associative cache level."""
+
+    def __init__(self, params: CacheLevelParameters):
+        self._params = params
+        self._sets: List[Dict[int, None]] = [dict() for _ in range(params.set_count)]
+        self._accesses = 0
+        self._misses = 0
+
+    @property
+    def params(self) -> CacheLevelParameters:
+        """The level's geometry."""
+        return self._params
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses."""
+        return self._accesses
+
+    @property
+    def misses(self) -> int:
+        """Total misses."""
+        return self._misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (0.0 before any access)."""
+        if self._accesses == 0:
+            return 0.0
+        return self._misses / self._accesses
+
+    def access(self, address: int) -> bool:
+        """Look up ``address``; allocate on miss.  Returns True on hit."""
+        line = address // self._params.line_bytes
+        index = line % self._params.set_count
+        cache_set = self._sets[index]
+        self._accesses += 1
+        if line in cache_set:
+            # Refresh LRU position (dicts preserve insertion order).
+            del cache_set[line]
+            cache_set[line] = None
+            return True
+        self._misses += 1
+        if len(cache_set) >= self._params.associativity:
+            oldest = next(iter(cache_set))
+            del cache_set[oldest]
+        cache_set[line] = None
+        return False
+
+    def reset_statistics(self) -> None:
+        """Zero the access counters (contents are kept)."""
+        self._accesses = 0
+        self._misses = 0
+
+
+@dataclass
+class MemoryAccessResult:
+    """Outcome of one load/store or instruction fetch.
+
+    ``latency`` is in cycles at the current clock; the touched_* flags feed
+    the per-block activity counters.
+    """
+
+    latency: int
+    touched_l2: bool
+    touched_memory: bool
+
+
+class CacheHierarchy:
+    """L1 instruction + L1 data + unified L2, with fixed-time main memory.
+
+    Parameters
+    ----------
+    memory_latency_ns:
+        Main-memory access time in nanoseconds (fixed in wall-clock terms,
+        so its cycle cost scales with clock frequency).
+    nominal_frequency_hz:
+        Clock at which ``memory_latency_ns`` converts to the nominal cycle
+        count.
+    """
+
+    def __init__(
+        self,
+        icache: CacheLevelParameters = CacheLevelParameters(
+            "icache", 64 * 1024, 64, 2, 1
+        ),
+        dcache: CacheLevelParameters = CacheLevelParameters(
+            "dcache", 64 * 1024, 64, 2, 3
+        ),
+        l2: CacheLevelParameters = CacheLevelParameters(
+            "l2", 4 * 1024 * 1024, 64, 8, 12
+        ),
+        memory_latency_ns: float = 80.0,
+        nominal_frequency_hz: float = 3.0e9,
+    ):
+        if memory_latency_ns <= 0.0 or nominal_frequency_hz <= 0.0:
+            raise SimulationError("memory latency and frequency must be > 0")
+        self.icache = SetAssociativeCache(icache)
+        self.dcache = SetAssociativeCache(dcache)
+        self.l2 = SetAssociativeCache(l2)
+        self._memory_latency_ns = memory_latency_ns
+        self._nominal_frequency_hz = nominal_frequency_hz
+
+    def prewarm(self, working_set_bytes: int, code_footprint_bytes: int) -> None:
+        """Touch the workload's data and code footprints once.
+
+        Streams every line of the data working set through D-cache/L2 and
+        every line of the code footprint through I-cache/L2, then zeroes the
+        statistics.  This stands in for the paper's 300 M-cycle warmup run:
+        steady-state miss ratios from the first measured cycle.
+        """
+        if working_set_bytes < 0 or code_footprint_bytes < 0:
+            raise SimulationError("footprints must be >= 0")
+        line = self.dcache.params.line_bytes
+        for address in range(0, working_set_bytes, line):
+            self.access_data(address)
+        line = self.icache.params.line_bytes
+        for address in range(0, code_footprint_bytes, line):
+            self.access_instruction(address)
+        self.icache.reset_statistics()
+        self.dcache.reset_statistics()
+        self.l2.reset_statistics()
+
+    def memory_latency_cycles(self, relative_frequency: float = 1.0) -> int:
+        """Main-memory latency in cycles at ``relative_frequency`` times the
+        nominal clock."""
+        if relative_frequency <= 0.0:
+            raise SimulationError("relative frequency must be > 0")
+        seconds = self._memory_latency_ns * 1e-9
+        return max(1, round(seconds * self._nominal_frequency_hz * relative_frequency))
+
+    def access_data(
+        self, address: int, relative_frequency: float = 1.0
+    ) -> MemoryAccessResult:
+        """A load/store data access through D-cache then L2 then memory."""
+        if self.dcache.access(address):
+            return MemoryAccessResult(
+                latency=self.dcache.params.hit_latency,
+                touched_l2=False,
+                touched_memory=False,
+            )
+        if self.l2.access(address):
+            return MemoryAccessResult(
+                latency=self.l2.params.hit_latency,
+                touched_l2=True,
+                touched_memory=False,
+            )
+        return MemoryAccessResult(
+            latency=self.memory_latency_cycles(relative_frequency),
+            touched_l2=True,
+            touched_memory=True,
+        )
+
+    def access_instruction(
+        self, address: int, relative_frequency: float = 1.0
+    ) -> MemoryAccessResult:
+        """An instruction fetch through I-cache then L2 then memory."""
+        if self.icache.access(address):
+            return MemoryAccessResult(
+                latency=self.icache.params.hit_latency,
+                touched_l2=False,
+                touched_memory=False,
+            )
+        if self.l2.access(address):
+            return MemoryAccessResult(
+                latency=self.l2.params.hit_latency,
+                touched_l2=True,
+                touched_memory=False,
+            )
+        return MemoryAccessResult(
+            latency=self.memory_latency_cycles(relative_frequency),
+            touched_l2=True,
+            touched_memory=True,
+        )

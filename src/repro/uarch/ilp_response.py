@@ -1,0 +1,188 @@
+"""ILP response: how cycle-IPC degrades with fetch-gating duty cycle.
+
+The crossover at the heart of the paper is set by this curve: while the
+out-of-order window can hide gated fetch cycles, slowdown stays near zero;
+once effective fetch bandwidth falls below the workload's IPC, slowdown
+grows linearly in the gating fraction.
+
+Two implementations:
+
+* :func:`characterise_ilp_response` measures the curve on the detailed
+  cycle-level core for a given trace parameterisation;
+* :class:`AnalyticIlpResponse` is the calibrated closed form
+  ``ipc(g) = softmin(base_ipc, fetch_supply_ipc * (1 - g))`` used by the
+  fast interval engine, validated against the measured curve in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.uarch.resources import MachineParameters
+
+
+@dataclass(frozen=True)
+class IlpResponsePoint:
+    """One measured point: relative cycle-IPC at a gating fraction."""
+
+    gating_fraction: float
+    ipc_rel: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.gating_fraction < 1.0:
+            raise WorkloadError("gating fraction must be in [0, 1)")
+        if self.ipc_rel <= 0.0:
+            raise WorkloadError("relative IPC must be > 0")
+
+
+class IlpResponse:
+    """Piecewise-linear interpolation over measured response points.
+
+    Points are normalised so that ``ipc_rel(0.0) == 1.0``.
+    """
+
+    def __init__(self, points: Sequence[IlpResponsePoint]):
+        if len(points) < 2:
+            raise WorkloadError("need at least two response points")
+        ordered = sorted(points, key=lambda p: p.gating_fraction)
+        fractions = [p.gating_fraction for p in ordered]
+        if len(set(fractions)) != len(fractions):
+            raise WorkloadError("duplicate gating fractions in response points")
+        if ordered[0].gating_fraction != 0.0:
+            raise WorkloadError("response must include the gating_fraction=0 point")
+        base = ordered[0].ipc_rel
+        self._points = [
+            IlpResponsePoint(p.gating_fraction, p.ipc_rel / base) for p in ordered
+        ]
+
+    @property
+    def points(self) -> List[IlpResponsePoint]:
+        """Normalised points, ascending in gating fraction."""
+        return list(self._points)
+
+    def ipc_rel(self, gating_fraction: float) -> float:
+        """Relative cycle-IPC at ``gating_fraction`` (linear interpolation,
+        linear extrapolation toward zero beyond the last point, floored at
+        a small positive value)."""
+        if not 0.0 <= gating_fraction < 1.0:
+            raise WorkloadError("gating fraction must be in [0, 1)")
+        pts = self._points
+        if gating_fraction <= pts[0].gating_fraction:
+            return pts[0].ipc_rel
+        for lo, hi in zip(pts, pts[1:]):
+            if gating_fraction <= hi.gating_fraction:
+                span = hi.gating_fraction - lo.gating_fraction
+                weight = (gating_fraction - lo.gating_fraction) / span
+                return lo.ipc_rel + weight * (hi.ipc_rel - lo.ipc_rel)
+        # Beyond the last measured point: fall off proportionally to the
+        # remaining fetch bandwidth.
+        last = pts[-1]
+        remaining = 1.0 - last.gating_fraction
+        if remaining <= 0.0:
+            return max(1e-3, last.ipc_rel)
+        scale = (1.0 - gating_fraction) / remaining
+        return max(1e-3, last.ipc_rel * scale)
+
+
+class AnalyticIlpResponse(IlpResponse):
+    """Closed-form response used by the fast interval engine.
+
+    ``ipc(g) = softmin(base_ipc, fetch_supply_ipc * (1 - g))`` where the
+    softmin is a p-norm blend that rounds the corner the way a finite
+    out-of-order window does.
+
+    Parameters
+    ----------
+    base_ipc:
+        The phase's IPC without gating.
+    fetch_supply_ipc:
+        Sustainable post-front-end instruction supply at zero gating
+        (fetch width derated by taken branches, I-cache misses and
+        mispredict redirects).
+    sharpness:
+        p-norm exponent; larger values give a sharper knee.
+    """
+
+    def __init__(
+        self, base_ipc: float, fetch_supply_ipc: float, sharpness: float = 12.0
+    ):
+        if base_ipc <= 0.0 or fetch_supply_ipc <= 0.0:
+            raise WorkloadError("IPC parameters must be > 0")
+        if fetch_supply_ipc < base_ipc:
+            raise WorkloadError(
+                "fetch supply must be at least the base IPC "
+                "(the machine sustains the phase without gating)"
+            )
+        if sharpness <= 0.0:
+            raise WorkloadError("sharpness must be > 0")
+        self._base_ipc = base_ipc
+        self._supply = fetch_supply_ipc
+        self._sharpness = sharpness
+        base = self._raw(0.0)
+        points = [
+            IlpResponsePoint(g, self._raw(g) / base)
+            for g in [i / 100.0 for i in range(0, 96, 5)]
+        ]
+        super().__init__(points)
+
+    def _raw(self, gating_fraction: float) -> float:
+        supply = self._supply * (1.0 - gating_fraction)
+        if supply <= 0.0:
+            return 1e-3
+        p = self._sharpness
+        return (self._base_ipc**-p + supply**-p) ** (-1.0 / p)
+
+    def ipc_rel(self, gating_fraction: float) -> float:
+        """Exact closed form (no interpolation error)."""
+        if not 0.0 <= gating_fraction < 1.0:
+            raise WorkloadError("gating fraction must be in [0, 1)")
+        return self._raw(gating_fraction) / self._raw(0.0)
+
+    @property
+    def base_ipc(self) -> float:
+        """The phase's ungated IPC."""
+        return self._base_ipc
+
+    @property
+    def fetch_supply_ipc(self) -> float:
+        """Sustainable instruction supply at zero gating."""
+        return self._supply
+
+
+def characterise_ilp_response(
+    trace_parameters,
+    gating_fractions: Sequence[float],
+    cycles_per_point: int = 30_000,
+    machine: Optional[MachineParameters] = None,
+    seed: int = 7,
+    warmup_cycles: int = 15_000,
+) -> IlpResponse:
+    """Measure the ILP response on the detailed core.
+
+    Runs one fresh core per gating fraction over ``cycles_per_point``
+    cycles (after ``warmup_cycles`` of cache/predictor warmup) with
+    identical trace statistics and returns the normalised response.
+    ``gating_fractions`` must include 0.0.
+    """
+    from repro.uarch.pipeline import DetailedCore
+
+    if 0.0 not in gating_fractions:
+        raise WorkloadError("gating_fractions must include 0.0")
+    if cycles_per_point < 1_000:
+        raise WorkloadError("cycles_per_point too small to be meaningful")
+    points = []
+    for fraction in gating_fractions:
+        core = DetailedCore.warmed(
+            trace_parameters,
+            seed=seed,
+            machine=machine,
+            gating_fraction=fraction,
+        )
+        if warmup_cycles > 0:
+            core.run(max_cycles=warmup_cycles)
+            core.reset_statistics()
+        result = core.run(max_cycles=cycles_per_point)
+        points.append(IlpResponsePoint(fraction, max(result.ipc, 1e-3)))
+    return IlpResponse(points)

@@ -1,0 +1,231 @@
+"""Fast interval performance engine.
+
+Advances the machine one thermal step at a time (the paper's 10 000-cycle
+power-averaging interval).  Per interval it computes committed instructions
+and per-block activities from the current phase's calibrated performance
+model and the DTM actuation in force:
+
+* fetch gating moves cycle-IPC along the phase's ILP-response curve;
+* DVS changes the clock, which re-weights the fixed-wall-clock memory
+  component of CPI (memory-bound phases lose less from a slower clock);
+* global clock gating scales both progress and switching by the enabled
+  fraction.
+
+The phase objects are duck-typed (see :class:`PhasePerformance` for the
+required attributes) so this module stays independent of
+:mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Protocol, Sequence
+
+from repro.errors import SimulationError, WorkloadError
+from repro.uarch.activity import ActivityModel
+from repro.uarch.ilp_response import IlpResponse
+
+
+class PhasePerformance(Protocol):
+    """What the interval engine needs from a workload phase."""
+
+    name: str
+    instructions: int
+    base_ipc: float
+    memory_cpi_fraction: float
+
+    @property
+    def ilp_response(self) -> IlpResponse:  # pragma: no cover - protocol
+        ...
+
+    @property
+    def activity_model(self) -> ActivityModel:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class DtmActuation:
+    """The operating point a DTM policy has set for an interval.
+
+    ``domain_gating`` carries local-toggling duties per clock domain
+    (see :mod:`repro.dtm.domains`); empty for every other technique.
+    """
+
+    gating_fraction: float = 0.0
+    relative_frequency: float = 1.0
+    clock_enabled_fraction: float = 1.0
+    domain_gating: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.gating_fraction < 1.0:
+            raise SimulationError("gating fraction must be in [0, 1)")
+        if not 0.0 < self.relative_frequency <= 1.0:
+            raise SimulationError("relative frequency must be in (0, 1]")
+        if not 0.0 <= self.clock_enabled_fraction <= 1.0:
+            raise SimulationError("clock enabled fraction must be in [0, 1]")
+        object.__setattr__(self, "domain_gating", dict(self.domain_gating))
+        for domain, duty in self.domain_gating.items():
+            if not 0.0 <= duty < 1.0:
+                raise SimulationError(
+                    f"domain {domain!r} toggle duty must be in [0, 1)"
+                )
+
+
+@dataclass
+class IntervalSample:
+    """Result of advancing the engine by one interval."""
+
+    cycles: int
+    instructions: float
+    activities: Dict[str, float]
+    fetch_rate_rel: float
+    commit_rate_rel: float
+    phase_name: str
+
+
+class IntervalPerformanceModel:
+    """Phase-by-phase interval simulation of one workload.
+
+    Parameters
+    ----------
+    phases:
+        The workload's phases in execution order.
+    loop:
+        When True (default), the phase sequence repeats, modelling the
+        periodic behaviour SimPoint samples exhibit; when False the engine
+        raises once all instructions are consumed.
+    """
+
+    def __init__(self, phases: Sequence[PhasePerformance], loop: bool = True):
+        if not phases:
+            raise WorkloadError("workload has no phases")
+        for phase in phases:
+            if phase.instructions <= 0:
+                raise WorkloadError(f"phase {phase.name!r} has no instructions")
+            if phase.base_ipc <= 0.0:
+                raise WorkloadError(f"phase {phase.name!r} has non-positive IPC")
+            if not 0.0 <= phase.memory_cpi_fraction < 1.0:
+                raise WorkloadError(
+                    f"phase {phase.name!r}: memory CPI fraction outside [0, 1)"
+                )
+        self._phases = list(phases)
+        self._loop = loop
+        self._phase_index = 0
+        self._instructions_left = float(self._phases[0].instructions)
+        self._total_instructions = 0.0
+
+    @property
+    def total_instructions(self) -> float:
+        """Instructions committed since construction."""
+        return self._total_instructions
+
+    @property
+    def current_phase(self) -> PhasePerformance:
+        """The phase currently executing."""
+        return self._phases[self._phase_index]
+
+    @staticmethod
+    def _domain_throughput_factor(
+        phase: PhasePerformance, actuation: DtmActuation
+    ) -> float:
+        """Commit-throughput multiplier from local toggling: each gated
+        domain removes ``duty * criticality`` of throughput."""
+        if not actuation.domain_gating:
+            return 1.0
+        from repro.dtm.domains import domain_criticality
+
+        factor = 1.0
+        base = phase.activity_model.base_activities
+        for domain, duty in actuation.domain_gating.items():
+            factor *= 1.0 - duty * domain_criticality(domain, base)
+        return max(factor, 1e-6)
+
+    def _cpi(self, phase: PhasePerformance, actuation: DtmActuation) -> float:
+        """Cycles per instruction under the actuation, at the *current*
+        clock (cycle counts, not wall clock)."""
+        cpi0 = 1.0 / phase.base_ipc
+        cpi_mem0 = phase.memory_cpi_fraction * cpi0
+        ipc_gated = phase.base_ipc * phase.ilp_response.ipc_rel(
+            actuation.gating_fraction
+        )
+        cpi_core = max(1.0 / ipc_gated - cpi_mem0, 1e-6)
+        cpi = cpi_core + cpi_mem0 * actuation.relative_frequency
+        return cpi / self._domain_throughput_factor(phase, actuation)
+
+    def _advance_phase(self) -> None:
+        self._phase_index += 1
+        if self._phase_index >= len(self._phases):
+            if not self._loop:
+                raise SimulationError("workload exhausted (loop=False)")
+            self._phase_index = 0
+        self._instructions_left = float(self._phases[self._phase_index].instructions)
+
+    def advance(self, cycles: int, actuation: DtmActuation) -> IntervalSample:
+        """Advance by ``cycles`` clock cycles under ``actuation``.
+
+        When a phase boundary falls inside the interval, the interval is
+        split and activities are blended cycle-weighted.
+        """
+        if cycles <= 0:
+            raise SimulationError("interval length must be > 0")
+        remaining = float(cycles) * actuation.clock_enabled_fraction
+        instructions = 0.0
+        weighted_activities: Dict[str, float] = {}
+        weighted_fetch = 0.0
+        weighted_commit = 0.0
+        consumed = 0.0
+        start_phase = self.current_phase.name
+
+        while remaining > 1e-9:
+            phase = self.current_phase
+            cpi = self._cpi(phase, actuation)
+            possible = remaining / cpi
+            if possible >= self._instructions_left:
+                chunk_instr = self._instructions_left
+                chunk_cycles = chunk_instr * cpi
+                self._advance_phase()
+            else:
+                chunk_instr = possible
+                chunk_cycles = remaining
+                self._instructions_left -= chunk_instr
+            fetch_rel = 1.0 - actuation.gating_fraction
+            commit_rel = (1.0 / cpi) / phase.base_ipc
+            # Domain gating's power effect is applied by the engine as a
+            # per-block clock gate; activities here describe switching
+            # while the domain's clock runs.
+            acts = phase.activity_model.activities(fetch_rel, min(commit_rel, 1.0))
+            for block, value in acts.items():
+                weighted_activities[block] = (
+                    weighted_activities.get(block, 0.0) + value * chunk_cycles
+                )
+            weighted_fetch += fetch_rel * chunk_cycles
+            weighted_commit += min(commit_rel, 1.0) * chunk_cycles
+            instructions += chunk_instr
+            consumed += chunk_cycles
+            remaining -= chunk_cycles
+
+        if consumed > 0.0:
+            activities = {
+                block: value / consumed
+                for block, value in weighted_activities.items()
+            }
+            fetch_rate = weighted_fetch / consumed
+            commit_rate = weighted_commit / consumed
+        else:
+            # Fully clock-gated interval: no switching at all.
+            activities = {
+                block: 0.0
+                for block in self.current_phase.activity_model.base_activities
+            }
+            fetch_rate = 0.0
+            commit_rate = 0.0
+
+        self._total_instructions += instructions
+        return IntervalSample(
+            cycles=cycles,
+            instructions=instructions,
+            activities=activities,
+            fetch_rate_rel=fetch_rate,
+            commit_rate_rel=commit_rate,
+            phase_name=start_phase,
+        )

@@ -1,0 +1,51 @@
+"""Synthetic micro-op instruction classes.
+
+The detailed core is trace-driven: it executes streams of abstract
+micro-ops rather than real Alpha binaries (see the substitution table in
+DESIGN.md).  Each class carries an execution latency and a functional-unit
+cluster.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+
+class OpClass(enum.Enum):
+    """Micro-op categories with their functional-unit cluster."""
+
+    IALU = "ialu"
+    IMUL = "imul"
+    FADD = "fadd"
+    FMUL = "fmul"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+
+    @property
+    def is_fp(self) -> bool:
+        """True for floating-point cluster operations."""
+        return self in (OpClass.FADD, OpClass.FMUL)
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+
+EXECUTION_LATENCY: Mapping[OpClass, int] = {
+    OpClass.IALU: 1,
+    OpClass.IMUL: 7,
+    OpClass.FADD: 4,
+    OpClass.FMUL: 4,
+    OpClass.LOAD: 1,  # address generation; cache latency added separately
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+}
+"""Execution latency in cycles per op class (21264-like)."""
+
+
+def execution_latency(op_class: OpClass) -> int:
+    """Latency in cycles for ``op_class`` (excluding cache misses)."""
+    return EXECUTION_LATENCY[op_class]

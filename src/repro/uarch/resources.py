@@ -1,0 +1,61 @@
+"""Machine parameters for the 21264-class core.
+
+Widths and structure sizes follow the Alpha 21264 configuration the paper's
+SimpleScalar setup models: 4-wide fetch, 6-wide issue (4 integer + 2
+floating point), 80-entry reorder buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class MachineParameters:
+    """Structural parameters of the out-of-order core.
+
+    All widths are per cycle; all sizes are entries.
+    """
+
+    fetch_width: int = 4
+    rename_width: int = 4
+    int_issue_width: int = 4
+    fp_issue_width: int = 2
+    commit_width: int = 8
+    rob_size: int = 80
+    int_queue_size: int = 20
+    fp_queue_size: int = 15
+    load_store_queue_size: int = 64
+    fetch_buffer_size: int = 16
+    branch_mispredict_penalty: int = 10
+    """Front-end refill cycles after a mispredicted branch resolves."""
+
+    def __post_init__(self) -> None:
+        fields = {
+            "fetch_width": self.fetch_width,
+            "rename_width": self.rename_width,
+            "int_issue_width": self.int_issue_width,
+            "fp_issue_width": self.fp_issue_width,
+            "commit_width": self.commit_width,
+            "rob_size": self.rob_size,
+            "int_queue_size": self.int_queue_size,
+            "fp_queue_size": self.fp_queue_size,
+            "load_store_queue_size": self.load_store_queue_size,
+            "fetch_buffer_size": self.fetch_buffer_size,
+            "branch_mispredict_penalty": self.branch_mispredict_penalty,
+        }
+        for name, value in fields.items():
+            if value < 1:
+                raise SimulationError(f"machine parameter {name} must be >= 1")
+
+    @property
+    def issue_width(self) -> int:
+        """Total issue width across integer and floating-point clusters."""
+        return self.int_issue_width + self.fp_issue_width
+
+
+def default_machine() -> MachineParameters:
+    """The paper's 21264-class configuration."""
+    return MachineParameters()

@@ -1,0 +1,240 @@
+"""Synthetic micro-op trace generation.
+
+Traces substitute for the paper's SPEC CPU2000 Alpha binaries (see
+DESIGN.md).  A :class:`TraceParameters` bundle describes a program phase
+statistically -- op mix, dependency distances, data working set, code
+footprint, branch behaviour -- and :class:`TraceGenerator` expands it into a
+deterministic, seedable stream of micro-ops.  Cache miss rates and branch
+mispredict rates are *not* inputs: they emerge when the stream meets the
+structural caches and the gshare predictor.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.uarch.isa import OpClass
+
+_CACHE_LINE = 64
+"""Address granularity for streaming accesses (bytes)."""
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """One dynamic micro-op.
+
+    ``src_distances`` give register dependencies as distances (in dynamic
+    micro-ops) back to each producer; the pipeline resolves them against its
+    in-flight window.
+    """
+
+    seq: int
+    op_class: OpClass
+    src_distances: Tuple[int, ...]
+    pc: int
+    address: Optional[int] = None
+    taken: bool = False
+
+
+@dataclass(frozen=True)
+class TraceParameters:
+    """Statistical description of one program phase.
+
+    Parameters
+    ----------
+    op_mix:
+        Relative weights per :class:`OpClass`; normalised internally.
+    dep_distance_mean:
+        Mean of the geometric distribution of producer distances; small
+        values mean long dependence chains (low ILP), large values mean
+        abundant ILP.
+    src_count_mean:
+        Average number of register sources per op (0..2).
+    working_set_bytes:
+        Span of data addresses; larger than the D-cache creates misses.
+    sequential_fraction:
+        Fraction of data accesses that stream sequentially (prefetch
+        friendly) rather than striking randomly into the working set.
+    code_footprint_bytes:
+        Static code span containing the program's loops; larger than the
+        I-cache creates instruction misses on loop changes.
+    loop_size_bytes:
+        Size of one inner loop body; the PC streams through it and wraps.
+    loop_iterations_mean:
+        Average iterations spent in a loop before jumping to another one.
+    branch_predictability:
+        In [0.5, 1]: per-site taken bias strength; 1.0 makes every branch
+        site fully biased (easy to predict), 0.5 makes outcomes coin flips.
+    """
+
+    op_mix: Mapping[OpClass, float] = field(
+        default_factory=lambda: {
+            OpClass.IALU: 0.45,
+            OpClass.IMUL: 0.02,
+            OpClass.LOAD: 0.24,
+            OpClass.STORE: 0.12,
+            OpClass.BRANCH: 0.15,
+            OpClass.FADD: 0.01,
+            OpClass.FMUL: 0.01,
+        }
+    )
+    dep_distance_mean: float = 6.0
+    src_count_mean: float = 1.3
+    working_set_bytes: int = 256 * 1024
+    sequential_fraction: float = 0.6
+    code_footprint_bytes: int = 48 * 1024
+    loop_size_bytes: int = 512
+    loop_iterations_mean: float = 40.0
+    branch_predictability: float = 0.92
+
+    def __post_init__(self) -> None:
+        if not self.op_mix:
+            raise WorkloadError("op mix must be non-empty")
+        if any(weight < 0.0 for weight in self.op_mix.values()):
+            raise WorkloadError("op mix weights must be >= 0")
+        if sum(self.op_mix.values()) <= 0.0:
+            raise WorkloadError("op mix weights must sum to > 0")
+        if self.dep_distance_mean < 1.0:
+            raise WorkloadError("dep_distance_mean must be >= 1")
+        if not 0.0 <= self.src_count_mean <= 2.0:
+            raise WorkloadError("src_count_mean must be in [0, 2]")
+        if self.working_set_bytes < _CACHE_LINE:
+            raise WorkloadError("working set must be at least one cache line")
+        if not 0.0 <= self.sequential_fraction <= 1.0:
+            raise WorkloadError("sequential_fraction must be in [0, 1]")
+        if self.code_footprint_bytes < 64:
+            raise WorkloadError("code footprint must be at least 64 bytes")
+        if not 64 <= self.loop_size_bytes <= self.code_footprint_bytes:
+            raise WorkloadError(
+                "loop size must be in [64, code_footprint_bytes]"
+            )
+        if self.loop_iterations_mean < 1.0:
+            raise WorkloadError("loop_iterations_mean must be >= 1")
+        if not 0.5 <= self.branch_predictability <= 1.0:
+            raise WorkloadError("branch_predictability must be in [0.5, 1]")
+
+
+class TraceGenerator:
+    """Deterministic, seedable stream of :class:`MicroOp`.
+
+    The same ``(parameters, seed)`` pair always produces the same stream,
+    which keeps every experiment in the repository reproducible.
+    """
+
+    def __init__(self, parameters: TraceParameters, seed: int = 0):
+        self._params = parameters
+        self._rng = random.Random(seed)
+        total = sum(parameters.op_mix.values())
+        self._classes = list(parameters.op_mix.keys())
+        self._weights = [parameters.op_mix[c] / total for c in self._classes]
+        self._seq = 0
+        self._loop_base = 0
+        self._loop_offset = 0
+        self._iterations_left = max(1, round(parameters.loop_iterations_mean))
+        self._stream_pointer = 0
+        # Per-site taken probabilities, drawn lazily: a site is "biased"
+        # toward taken or not-taken with strength set by
+        # branch_predictability.
+        self._site_bias: Dict[int, float] = {}
+        self._geom_p = 1.0 / parameters.dep_distance_mean
+
+    @property
+    def parameters(self) -> TraceParameters:
+        """The phase statistics the stream is drawn from."""
+        return self._params
+
+    @property
+    def generated(self) -> int:
+        """Number of micro-ops generated so far."""
+        return self._seq
+
+    def _site_probability(self, site: int) -> float:
+        """Taken probability of the branch site at ``site``.
+
+        Within a loop body most branches are not-taken fall-throughs
+        (if-bodies skipped, loop continues); taken branches restart the
+        loop.  Bias strength comes from branch_predictability.
+        """
+        bias = self._site_bias.get(site)
+        if bias is None:
+            strength = self._params.branch_predictability
+            bias = (1.0 - strength) if self._rng.random() < 0.7 else strength
+            self._site_bias[site] = bias
+        return bias
+
+    def _new_loop(self) -> None:
+        footprint = self._params.code_footprint_bytes
+        loop = self._params.loop_size_bytes
+        bases = max(1, footprint // loop)
+        self._loop_base = self._rng.randrange(bases) * loop
+        self._loop_offset = 0
+        # Geometric-ish iteration count around the mean.
+        mean = self._params.loop_iterations_mean
+        self._iterations_left = max(1, round(self._rng.expovariate(1.0 / mean)))
+
+    def _draw_sources(self) -> Tuple[int, ...]:
+        count_mean = self._params.src_count_mean
+        count = int(count_mean)
+        if self._rng.random() < count_mean - count:
+            count += 1
+        distances = []
+        for _ in range(count):
+            distance = 1
+            # Geometric draw via inverse CDF on a uniform.
+            while self._rng.random() > self._geom_p and distance < 512:
+                distance += 1
+            distances.append(distance)
+        return tuple(distances)
+
+    def _draw_address(self) -> int:
+        params = self._params
+        if self._rng.random() < params.sequential_fraction:
+            # Stream with an 8-byte stride: consecutive accesses share a
+            # cache line, so streaming misses once per line as in real code.
+            self._stream_pointer = (
+                self._stream_pointer + 8
+            ) % params.working_set_bytes
+            return self._stream_pointer
+        return self._rng.randrange(0, params.working_set_bytes, 4)
+
+    def next_op(self) -> MicroOp:
+        """Generate the next micro-op in the stream."""
+        params = self._params
+        op_class = self._rng.choices(self._classes, weights=self._weights)[0]
+        seq = self._seq
+        self._seq += 1
+        pc = self._loop_base + self._loop_offset
+
+        address = None
+        taken = False
+        if op_class.is_memory:
+            address = self._draw_address()
+        elif op_class is OpClass.BRANCH:
+            taken = self._rng.random() < self._site_probability(pc)
+
+        # Advance control flow: the PC streams through the loop body; a
+        # taken branch or the end of the body restarts the loop (the
+        # back edge); exhausting the iteration budget moves to a new loop.
+        at_loop_end = self._loop_offset + 4 >= params.loop_size_bytes
+        if taken or at_loop_end:
+            self._iterations_left -= 1
+            if self._iterations_left <= 0:
+                self._new_loop()
+            else:
+                self._loop_offset = 0
+            if at_loop_end and op_class is OpClass.BRANCH:
+                taken = True  # the back edge itself is a taken branch
+        else:
+            self._loop_offset += 4
+
+        return MicroOp(
+            seq=seq,
+            op_class=op_class,
+            src_distances=self._draw_sources(),
+            pc=pc,
+            address=address,
+            taken=taken,
+        )

@@ -1,0 +1,71 @@
+"""Physical constants and unit helpers.
+
+Conventions used throughout the package:
+
+* lengths in metres, areas in m^2, volumes in m^3
+* power in watts, energy in joules
+* temperatures in degrees Celsius at API boundaries (the thermal solver
+  works with temperature *differences*, which are identical in C and K)
+* time in seconds, frequency in hertz
+* thermal resistance in K/W, thermal capacitance in J/K
+"""
+
+from __future__ import annotations
+
+# --- unit multipliers -------------------------------------------------------
+
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+
+MM = 1e-3
+"""One millimetre in metres."""
+
+UM = 1e-6
+"""One micrometre in metres."""
+
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+US = 1e-6
+"""One microsecond in seconds."""
+
+MS = 1e-3
+"""One millisecond in seconds."""
+
+CELSIUS_TO_KELVIN = 273.15
+"""Additive offset between Celsius and Kelvin."""
+
+BOLTZMANN_EV = 8.617333262e-5
+"""Boltzmann constant in eV/K, used by the leakage model."""
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from Celsius to Kelvin."""
+    return temp_c + CELSIUS_TO_KELVIN
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from Kelvin to Celsius."""
+    return temp_k - CELSIUS_TO_KELVIN
+
+
+def mm2_to_m2(area_mm2: float) -> float:
+    """Convert an area from square millimetres to square metres."""
+    return area_mm2 * MM * MM
+
+
+def m2_to_mm2(area_m2: float) -> float:
+    """Convert an area from square metres to square millimetres."""
+    return area_m2 / (MM * MM)
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float) -> float:
+    """Number of clock cycles elapsed in ``seconds`` at ``frequency_hz``."""
+    return seconds * frequency_hz
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Wall-clock duration of ``cycles`` clock cycles at ``frequency_hz``."""
+    return cycles / frequency_hz

@@ -1,0 +1,38 @@
+"""Synthetic workloads standing in for the paper's nine hottest SPEC
+CPU2000 benchmarks.
+
+Each workload is a looping sequence of phases; each phase carries the
+calibrated performance model the interval engine consumes (IPC, memory
+boundedness, ILP response, speculation waste, per-block activity) plus the
+trace statistics that drive the detailed cycle-level core for the same
+phase.  See DESIGN.md for why this substitution preserves the behaviours
+the paper's evaluation depends on.
+"""
+
+from repro.workloads.phases import Phase
+from repro.workloads.profiles import make_activity_profile
+from repro.workloads.workload import Workload
+from repro.workloads.builder import WorkloadBuilder
+from repro.workloads.phase_detection import (
+    IntervalRecord,
+    detect_phases,
+    workload_from_trace,
+)
+from repro.workloads.spec import (
+    SPEC_BENCHMARK_NAMES,
+    build_benchmark,
+    build_spec_suite,
+)
+
+__all__ = [
+    "Phase",
+    "Workload",
+    "WorkloadBuilder",
+    "IntervalRecord",
+    "detect_phases",
+    "workload_from_trace",
+    "make_activity_profile",
+    "SPEC_BENCHMARK_NAMES",
+    "build_benchmark",
+    "build_spec_suite",
+]

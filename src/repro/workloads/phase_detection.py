@@ -1,0 +1,147 @@
+"""Phase detection: build a workload from a recorded interval trace.
+
+The paper's methodology rests on SimPoint-style phase behaviour; this
+module provides the reverse tool -- given a per-interval record of IPC
+and block activities (from the detailed core, from an external profiler,
+or from production telemetry), cluster the intervals into phases and
+synthesise a :class:`~repro.workloads.workload.Workload` the simulation
+engine can run.
+
+Clustering is a small deterministic k-means over the (activity, IPC)
+feature vectors: seeded initialisation, fixed iteration count, empty
+clusters dropped.  Performance-model parameters that a trace cannot
+reveal (memory CPI split, fetch supply, speculation waste) are taken as
+explicit arguments with the calibrated suite's defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.phases import Phase
+from repro.workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """One recorded interval: committed work plus mean block activities."""
+
+    instructions: int
+    ipc: float
+    activities: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise WorkloadError("interval must commit at least 1 instruction")
+        if self.ipc <= 0.0:
+            raise WorkloadError("interval IPC must be > 0")
+        if not self.activities:
+            raise WorkloadError("interval needs at least one activity")
+
+
+def _feature_matrix(
+    records: Sequence[IntervalRecord], blocks: List[str]
+) -> np.ndarray:
+    rows = []
+    for record in records:
+        rows.append(
+            [record.activities.get(block, 0.0) for block in blocks]
+            + [record.ipc / 4.0]  # scale IPC near the activity range
+        )
+    return np.asarray(rows)
+
+
+def _kmeans(
+    features: np.ndarray, k: int, iterations: int, seed: int
+) -> np.ndarray:
+    """Deterministic k-means; returns per-row labels."""
+    rng = np.random.default_rng(seed)
+    n = features.shape[0]
+    centres = features[rng.choice(n, size=k, replace=False)].copy()
+    labels = np.zeros(n, dtype=int)
+    for _ in range(iterations):
+        distances = np.linalg.norm(
+            features[:, None, :] - centres[None, :, :], axis=2
+        )
+        labels = distances.argmin(axis=1)
+        for cluster in range(k):
+            members = features[labels == cluster]
+            if len(members):
+                centres[cluster] = members.mean(axis=0)
+    return labels
+
+
+def detect_phases(
+    records: Sequence[IntervalRecord],
+    max_phases: int = 4,
+    iterations: int = 25,
+    seed: int = 0,
+    memory_cpi_fraction: float = 0.15,
+    speculation_waste: float = 0.2,
+    fetch_supply_ratio: float = 1.55,
+) -> List[Phase]:
+    """Cluster ``records`` into at most ``max_phases`` phases.
+
+    Phases are returned in order of first appearance in the trace; each
+    carries the cluster's instruction total, work-weighted mean IPC, and
+    mean activity vector.
+    """
+    if not records:
+        raise WorkloadError("cannot detect phases in an empty trace")
+    if max_phases < 1:
+        raise WorkloadError("max_phases must be >= 1")
+    blocks = sorted(records[0].activities)
+    for record in records:
+        if sorted(record.activities) != blocks:
+            raise WorkloadError(
+                "all interval records must cover the same block set"
+            )
+    k = min(max_phases, len(records))
+    features = _feature_matrix(records, blocks)
+    labels = _kmeans(features, k, iterations, seed)
+
+    phases: List[Phase] = []
+    seen: Dict[int, None] = {}
+    for label in labels:
+        if label not in seen:
+            seen[int(label)] = None
+    for order, label in enumerate(seen):
+        members = [r for r, l in zip(records, labels) if l == label]
+        if not members:
+            continue
+        instructions = sum(r.instructions for r in members)
+        ipc = instructions / sum(r.instructions / r.ipc for r in members)
+        activities = {
+            block: float(
+                np.mean([r.activities[block] for r in members])
+            )
+            for block in blocks
+        }
+        phases.append(
+            Phase(
+                name=f"phase{order}",
+                instructions=instructions,
+                base_ipc=ipc,
+                memory_cpi_fraction=memory_cpi_fraction,
+                fetch_supply_ipc=fetch_supply_ratio * ipc,
+                speculation_waste=speculation_waste,
+                base_activities=activities,
+            )
+        )
+    return phases
+
+
+def workload_from_trace(
+    name: str,
+    records: Sequence[IntervalRecord],
+    max_phases: int = 4,
+    description: str = "detected from interval trace",
+    **phase_kwargs,
+) -> Workload:
+    """Detect phases in ``records`` and wrap them as a workload."""
+    phases = detect_phases(records, max_phases=max_phases, **phase_kwargs)
+    return Workload(name, phases, description)

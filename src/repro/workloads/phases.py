@@ -1,0 +1,120 @@
+"""Workload phases.
+
+A :class:`Phase` bundles everything both simulation levels need:
+
+* for the fast interval engine: IPC, memory CPI fraction, the analytic ILP
+  response (base IPC versus sustainable fetch supply), speculation waste
+  and the per-block base activity vector;
+* for the detailed cycle-level core: the statistical trace parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.errors import WorkloadError
+from repro.uarch.activity import ActivityModel
+from repro.uarch.ilp_response import AnalyticIlpResponse, IlpResponse
+from repro.uarch.trace import TraceParameters
+
+
+@dataclass
+class Phase:
+    """One program phase.
+
+    Parameters
+    ----------
+    name:
+        Phase identifier, unique within its workload.
+    instructions:
+        Dynamic instruction count of the phase.
+    base_ipc:
+        Committed IPC at nominal frequency with no DTM.
+    memory_cpi_fraction:
+        Fraction of the phase's CPI spent waiting on fixed-wall-clock
+        memory; this part shrinks (in cycles) when DVS slows the clock.
+    fetch_supply_ipc:
+        Sustainable post-front-end instruction supply at zero gating; sets
+        where fetch gating stops being free.
+    speculation_waste:
+        Wrong-path issue work as a fraction of useful work.
+    base_activities:
+        Per-block switching activity in [0, 1] at nominal operation.
+    trace_parameters:
+        Statistics for the detailed core's trace generator.
+    """
+
+    name: str
+    instructions: int
+    base_ipc: float
+    memory_cpi_fraction: float
+    fetch_supply_ipc: float
+    speculation_waste: float
+    base_activities: Mapping[str, float]
+    trace_parameters: Optional[TraceParameters] = None
+    _ilp_response: Optional[IlpResponse] = field(default=None, repr=False)
+    _activity_model: Optional[ActivityModel] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("phase name must be non-empty")
+        if self.instructions <= 0:
+            raise WorkloadError(f"phase {self.name!r}: instructions must be > 0")
+        if self.base_ipc <= 0.0:
+            raise WorkloadError(f"phase {self.name!r}: base IPC must be > 0")
+        if not 0.0 <= self.memory_cpi_fraction < 1.0:
+            raise WorkloadError(
+                f"phase {self.name!r}: memory CPI fraction outside [0, 1)"
+            )
+        if self.fetch_supply_ipc < self.base_ipc:
+            raise WorkloadError(
+                f"phase {self.name!r}: fetch supply must be >= base IPC"
+            )
+        if self.speculation_waste < 0.0:
+            raise WorkloadError(f"phase {self.name!r}: waste must be >= 0")
+        self.base_activities = dict(self.base_activities)
+
+    @property
+    def ilp_response(self) -> IlpResponse:
+        """ILP response curve (analytic by default; replace with a
+        measured curve via :meth:`with_measured_response`)."""
+        if self._ilp_response is None:
+            self._ilp_response = AnalyticIlpResponse(
+                base_ipc=self.base_ipc, fetch_supply_ipc=self.fetch_supply_ipc
+            )
+        return self._ilp_response
+
+    @property
+    def activity_model(self) -> ActivityModel:
+        """Activity scaling model for the interval engine."""
+        if self._activity_model is None:
+            self._activity_model = ActivityModel(
+                self.base_activities, self.speculation_waste
+            )
+        return self._activity_model
+
+    def with_measured_response(self, response: IlpResponse) -> "Phase":
+        """A copy of the phase using a measured ILP response curve (from
+        :func:`repro.uarch.ilp_response.characterise_ilp_response`)."""
+        return Phase(
+            name=self.name,
+            instructions=self.instructions,
+            base_ipc=self.base_ipc,
+            memory_cpi_fraction=self.memory_cpi_fraction,
+            fetch_supply_ipc=self.fetch_supply_ipc,
+            speculation_waste=self.speculation_waste,
+            base_activities=dict(self.base_activities),
+            trace_parameters=self.trace_parameters,
+            _ilp_response=response,
+        )
+
+    def scaled_activities(self, factor: float) -> Dict[str, float]:
+        """The base activity vector scaled by ``factor`` and clamped to
+        [0, 1] (used when deriving phase variants)."""
+        if factor < 0.0:
+            raise WorkloadError("activity scale factor must be >= 0")
+        return {
+            block: min(1.0, value * factor)
+            for block, value in self.base_activities.items()
+        }

@@ -1,0 +1,68 @@
+"""Activity profiles: intensity knobs to per-block activity vectors.
+
+Rather than hand-writing eighteen activity numbers per phase, workloads are
+described by four intensity knobs -- integer datapath, floating-point
+datapath, memory traffic and front-end pressure -- that map onto the
+floorplan's blocks with fixed per-block weights reflecting Wattch-style
+per-access utilisation (the register file sustains the highest utilisation
+of its peak because nearly every instruction reads it through multiple
+ports).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import WorkloadError
+from repro.floorplan.alpha21364 import ALL_BLOCKS
+
+_BLOCK_WEIGHTS = {
+    # block: (knob, weight relative to that knob)
+    "Icache": ("frontend", 0.80),
+    "Bpred": ("frontend", 0.70),
+    "ITB": ("frontend", 0.55),
+    "IntMap": ("frontend", 0.75),
+    "FPMap": ("fp", 0.55),
+    "IntQ": ("int", 0.85),
+    "IntReg": ("int", 0.95),
+    "IntExec": ("int", 0.80),
+    "FPQ": ("fp", 0.70),
+    "FPReg": ("fp", 0.78),
+    "FPAdd": ("fp", 0.70),
+    "FPMul": ("fp", 0.60),
+    "LdStQ": ("mem", 0.75),
+    "Dcache": ("mem", 0.80),
+    "DTB": ("mem", 0.60),
+    "L2": ("l2", 1.00),
+    "L2_left": ("l2", 1.00),
+    "L2_right": ("l2", 1.00),
+}
+
+
+def make_activity_profile(
+    int_intensity: float,
+    fp_intensity: float,
+    mem_intensity: float,
+    frontend_intensity: float,
+    l2_intensity: float,
+) -> Dict[str, float]:
+    """Per-block base activities from the five intensity knobs.
+
+    Every knob is in [0, 1]; the result covers every block of the Alpha
+    floorplan and is clamped to [0, 1].
+    """
+    knobs = {
+        "int": int_intensity,
+        "fp": fp_intensity,
+        "mem": mem_intensity,
+        "frontend": frontend_intensity,
+        "l2": l2_intensity,
+    }
+    for name, value in knobs.items():
+        if not 0.0 <= value <= 1.0:
+            raise WorkloadError(f"intensity {name!r} is {value}, outside [0, 1]")
+    profile: Dict[str, float] = {}
+    for block in ALL_BLOCKS:
+        knob, weight = _BLOCK_WEIGHTS[block]
+        profile[block] = min(1.0, knobs[knob] * weight)
+    return profile

@@ -1,0 +1,216 @@
+"""The nine hottest SPEC CPU2000 benchmarks, as synthetic stand-ins.
+
+Each benchmark is described by per-phase intensity knobs calibrated so that
+
+* the integer register file is the hottest block for every benchmark (as
+  the paper reports),
+* every benchmark sits above the 81.8 C trigger most of the time under the
+  paper's low-cost package, with a spread of severities from mild thermal
+  stress (mesa, eon) to severe (art, crafty, gcc), and
+* IPC, memory-boundedness and branchiness follow the published character
+  of each program (gzip/bzip2/crafty: high-ILP integer; gcc: irregular,
+  bigger code footprint; vortex: pointer-chasing memory traffic; art:
+  memory-bound floating point; mesa/eon: well-behaved mixed code).
+
+The numbers are calibration targets, not measurements of the real
+binaries; EXPERIMENTS.md records how the resulting thermal behaviour
+compares with the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.uarch.isa import OpClass
+from repro.uarch.trace import TraceParameters
+from repro.workloads.phases import Phase
+from repro.workloads.profiles import make_activity_profile
+from repro.workloads.workload import Workload
+
+SPEC_BENCHMARK_NAMES = (
+    "mesa",
+    "perlbmk",
+    "gzip",
+    "bzip2",
+    "eon",
+    "crafty",
+    "vortex",
+    "gcc",
+    "art",
+)
+"""The paper's benchmark set, hottest-first ordering not implied."""
+
+# Per-phase tuple:
+# (name, M instructions, ipc, mem_cpi_frac, fetch_supply, waste,
+#  int, fp, mem, frontend, l2)
+_PhaseSpec = Tuple[str, float, float, float, float, float,
+                   float, float, float, float, float]
+
+_BENCHMARKS: Dict[str, Dict] = {
+    "mesa": {
+        "description": "OpenGL software rasteriser: mixed int/FP, mild heat",
+        "activity_scale": 0.803,
+        "phases": [
+            ("geometry", 3.0, 2.0, 0.12, 3.1, 0.14, 0.72, 0.45, 0.50, 0.62, 0.18),
+            ("raster", 4.0, 2.1, 0.10, 3.26, 0.12, 0.78, 0.38, 0.55, 0.66, 0.15),
+            ("texture", 2.0, 1.8, 0.18, 3.0, 0.14, 0.68, 0.42, 0.60, 0.58, 0.25),
+        ],
+        "trace": {"working_set_kib": 96, "sequential": 0.75, "dep_mean": 9.0,
+                  "predictability": 0.95, "code_kib": 40, "fp_weight": 0.20},
+    },
+    "perlbmk": {
+        "description": "Perl interpreter: branchy integer code",
+        "activity_scale": 0.819,
+        "phases": [
+            ("interp", 3.5, 1.8, 0.15, 2.9, 0.30, 0.76, 0.04, 0.55, 0.70, 0.20),
+            ("regex", 2.5, 2.0, 0.10, 3.1, 0.26, 0.82, 0.03, 0.50, 0.74, 0.15),
+            ("gc", 1.5, 1.5, 0.25, 2.8, 0.24, 0.66, 0.03, 0.62, 0.60, 0.30),
+        ],
+        "trace": {"working_set_kib": 128, "sequential": 0.65, "dep_mean": 7.0,
+                  "predictability": 0.90, "code_kib": 56, "fp_weight": 0.02},
+    },
+    "gzip": {
+        "description": "LZ77 compression: high-ILP integer streaming",
+        "activity_scale": 0.77,
+        "phases": [
+            ("deflate", 4.0, 2.1, 0.14, 3.26, 0.20, 0.88, 0.02, 0.62, 0.72, 0.22),
+            ("huffman", 2.5, 2.3, 0.08, 3.56, 0.18, 0.92, 0.02, 0.52, 0.76, 0.14),
+            ("window", 2.0, 1.8, 0.22, 3.0, 0.20, 0.80, 0.02, 0.68, 0.66, 0.30),
+        ],
+        "trace": {"working_set_kib": 160, "sequential": 0.80, "dep_mean": 9.0,
+                  "predictability": 0.93, "code_kib": 32, "fp_weight": 0.01},
+    },
+    "bzip2": {
+        "description": "Burrows-Wheeler compression: integer, sort-heavy",
+        "activity_scale": 0.774,
+        "phases": [
+            ("sort", 3.5, 1.9, 0.18, 3.0, 0.22, 0.84, 0.02, 0.66, 0.68, 0.26),
+            ("mtf", 3.0, 2.2, 0.10, 3.41, 0.18, 0.90, 0.02, 0.55, 0.74, 0.18),
+            ("entropy", 2.0, 2.0, 0.12, 3.1, 0.20, 0.84, 0.02, 0.50, 0.70, 0.16),
+        ],
+        "trace": {"working_set_kib": 192, "sequential": 0.72, "dep_mean": 8.0,
+                  "predictability": 0.92, "code_kib": 36, "fp_weight": 0.01},
+    },
+    "eon": {
+        "description": "Probabilistic ray tracer: mixed int/FP, mild heat",
+        "activity_scale": 0.816,
+        "phases": [
+            ("trace", 3.0, 2.0, 0.10, 3.1, 0.18, 0.72, 0.48, 0.50, 0.64, 0.16),
+            ("shade", 3.0, 2.1, 0.08, 3.26, 0.16, 0.76, 0.52, 0.46, 0.66, 0.12),
+        ],
+        "trace": {"working_set_kib": 80, "sequential": 0.75, "dep_mean": 9.0,
+                  "predictability": 0.94, "code_kib": 48, "fp_weight": 0.25},
+    },
+    "crafty": {
+        "description": "Chess engine: severe integer heat, heavy ILP",
+        "activity_scale": 0.816,
+        "phases": [
+            ("search", 4.5, 2.2, 0.06, 3.41, 0.40, 0.96, 0.02, 0.52, 0.80, 0.12),
+            ("evaluate", 3.0, 2.3, 0.05, 3.56, 0.36, 0.98, 0.02, 0.48, 0.82, 0.10),
+            ("hash", 1.5, 1.9, 0.15, 3.0, 0.36, 0.88, 0.02, 0.60, 0.72, 0.22),
+        ],
+        "trace": {"working_set_kib": 64, "sequential": 0.70, "dep_mean": 10.0,
+                  "predictability": 0.91, "code_kib": 44, "fp_weight": 0.01},
+    },
+    "vortex": {
+        "description": "Object database: pointer-chasing integer",
+        "activity_scale": 0.747,
+        "phases": [
+            ("lookup", 3.0, 1.6, 0.28, 2.9, 0.22, 0.80, 0.02, 0.72, 0.66, 0.36),
+            ("insert", 2.5, 1.7, 0.24, 3.0, 0.22, 0.84, 0.02, 0.68, 0.70, 0.32),
+            ("validate", 2.0, 1.9, 0.16, 3.1, 0.20, 0.86, 0.02, 0.58, 0.72, 0.24),
+        ],
+        "trace": {"working_set_kib": 256, "sequential": 0.60, "dep_mean": 7.0,
+                  "predictability": 0.92, "code_kib": 64, "fp_weight": 0.01},
+    },
+    "gcc": {
+        "description": "Compiler: irregular integer, severe heat bursts",
+        "activity_scale": 0.79,
+        "phases": [
+            ("parse", 2.5, 1.6, 0.20, 2.8, 0.30, 0.84, 0.02, 0.62, 0.74, 0.28),
+            ("optimise", 3.5, 1.9, 0.12, 3.0, 0.28, 0.94, 0.02, 0.56, 0.80, 0.20),
+            ("regalloc", 2.0, 2.0, 0.10, 3.1, 0.26, 0.96, 0.02, 0.52, 0.80, 0.16),
+            ("emit", 1.5, 1.5, 0.24, 2.8, 0.24, 0.78, 0.02, 0.66, 0.68, 0.30),
+        ],
+        "trace": {"working_set_kib": 224, "sequential": 0.62, "dep_mean": 7.0,
+                  "predictability": 0.88, "code_kib": 96, "fp_weight": 0.01},
+    },
+    "art": {
+        "description": "Neural-network image recognition: memory-bound FP, "
+                       "least responsive to fetch gating",
+        "activity_scale": 0.69,
+        "phases": [
+            ("f1_scan", 3.0, 1.1, 0.45, 2.8, 0.10, 0.86, 0.58, 0.78, 0.62, 0.55),
+            ("match", 4.0, 1.3, 0.38, 2.9, 0.10, 0.92, 0.62, 0.74, 0.66, 0.48),
+            ("adapt", 2.0, 1.0, 0.50, 2.8, 0.10, 0.82, 0.55, 0.80, 0.58, 0.60),
+        ],
+        "trace": {"working_set_kib": 512, "sequential": 0.85, "dep_mean": 11.0,
+                  "predictability": 0.97, "code_kib": 24, "fp_weight": 0.30},
+    },
+}
+
+
+def _trace_parameters(trace: Dict, mem_intensity: float) -> TraceParameters:
+    """Build the detailed-core trace statistics for one phase."""
+    fp_weight = trace["fp_weight"]
+    load_weight = 0.16 + 0.16 * mem_intensity
+    store_weight = 0.08 + 0.08 * mem_intensity
+    branch_weight = 0.15
+    alu_weight = max(
+        0.05, 1.0 - fp_weight - load_weight - store_weight - branch_weight - 0.02
+    )
+    return TraceParameters(
+        op_mix={
+            OpClass.IALU: alu_weight,
+            OpClass.IMUL: 0.02,
+            OpClass.FADD: fp_weight * 0.6,
+            OpClass.FMUL: fp_weight * 0.4,
+            OpClass.LOAD: load_weight,
+            OpClass.STORE: store_weight,
+            OpClass.BRANCH: branch_weight,
+        },
+        dep_distance_mean=trace["dep_mean"],
+        working_set_bytes=trace["working_set_kib"] * 1024,
+        sequential_fraction=trace["sequential"],
+        code_footprint_bytes=trace["code_kib"] * 1024,
+        branch_predictability=trace["predictability"],
+    )
+
+
+def build_benchmark(name: str) -> Workload:
+    """Build one of the nine benchmarks by name."""
+    try:
+        spec = _BENCHMARKS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; choose from {SPEC_BENCHMARK_NAMES}"
+        ) from None
+    # Calibration scale: chosen (see DESIGN.md, calibration targets) so the
+    # benchmark's no-DTM steady-state hotspot lands at its target severity
+    # under the paper's low-cost package.
+    scale = spec["activity_scale"]
+    phases: List[Phase] = []
+    for (phase_name, mega_instr, ipc, mem_frac, supply, waste,
+         int_i, fp_i, mem_i, fe_i, l2_i) in spec["phases"]:
+        phases.append(
+            Phase(
+                name=phase_name,
+                instructions=int(mega_instr * 1e6),
+                base_ipc=ipc,
+                memory_cpi_fraction=mem_frac,
+                fetch_supply_ipc=supply,
+                speculation_waste=waste,
+                base_activities=make_activity_profile(
+                    scale * int_i, scale * fp_i, scale * mem_i,
+                    scale * fe_i, scale * l2_i,
+                ),
+                trace_parameters=_trace_parameters(spec["trace"], mem_i),
+            )
+        )
+    return Workload(name=name, phases=phases, description=spec["description"])
+
+
+def build_spec_suite(names: Sequence[str] = SPEC_BENCHMARK_NAMES) -> List[Workload]:
+    """Build the full nine-benchmark suite (or a subset)."""
+    return [build_benchmark(name) for name in names]

@@ -1,0 +1,52 @@
+"""A workload: a named, looping sequence of phases."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import WorkloadError
+from repro.workloads.phases import Phase
+
+
+class Workload:
+    """A benchmark as the simulation engine sees it.
+
+    The phase sequence repeats, mirroring the periodic behaviour SimPoint
+    picks representative samples from.
+    """
+
+    def __init__(self, name: str, phases: Sequence[Phase], description: str = ""):
+        if not name:
+            raise WorkloadError("workload name must be non-empty")
+        if not phases:
+            raise WorkloadError(f"workload {name!r} has no phases")
+        names = [phase.name for phase in phases]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"workload {name!r} has duplicate phase names")
+        self.name = name
+        self.description = description
+        self._phases: List[Phase] = list(phases)
+
+    @property
+    def phases(self) -> List[Phase]:
+        """The phases in execution order."""
+        return list(self._phases)
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions in one pass through the phase sequence."""
+        return sum(phase.instructions for phase in self._phases)
+
+    @property
+    def mean_ipc(self) -> float:
+        """Instruction-weighted average nominal IPC."""
+        total = self.total_instructions
+        return total / sum(
+            phase.instructions / phase.base_ipc for phase in self._phases
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Workload({self.name!r}, {len(self._phases)} phases, "
+            f"{self.total_instructions / 1e6:.1f}M instructions)"
+        )

@@ -1,0 +1,87 @@
+"""Experiment runners (scaled-down budgets; full scale lives in
+benchmarks/)."""
+
+import pytest
+
+from repro.analysis import (
+    fig3b_fg_vs_dvs,
+    t1_dvs_step_sensitivity,
+    t2_voltage_floor,
+    t4_benchmark_characterisation,
+)
+
+FAST_N = 2_000_000
+
+
+class TestFig3b:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3b_fg_vs_dvs(
+            duty_cycles=(20.0, 1.5), instructions=FAST_N
+        )
+
+    def test_mild_fg_cheap_but_leaky(self, result):
+        # Duty 20 barely slows anything down -- and barely cools: it
+        # cannot eliminate all violations for the hottest benchmarks.
+        assert result.fg_mean_slowdowns[20.0] < 1.02
+
+    def test_deep_fg_expensive(self, result):
+        assert result.fg_mean_slowdowns[1.5] > result.fg_mean_slowdowns[20.0]
+
+    def test_dvs_reference_line_present(self, result):
+        assert result.dvs_mean_slowdown > 1.0
+        assert result.dvs_violations == 0
+
+
+class TestT1StepSensitivity:
+    def test_binary_dvs_is_as_good_as_multistep(self):
+        results = t1_dvs_step_sensitivity(
+            step_counts=(2, 5), dvs_modes=("ideal",), instructions=FAST_N
+        )
+        means = results["ideal"]
+        spread = abs(means[2] - means[5])
+        # The paper: below 0.4 % (stall) / 0.01 % (ideal); allow slack at
+        # this reduced budget.
+        assert spread < 0.02
+
+
+class TestT2VoltageFloor:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return t2_voltage_floor(
+            ratios=(0.85, 0.95), instructions=FAST_N
+        )
+
+    def test_085_is_safe(self, result):
+        assert result.violations[0.85] == 0
+
+    def test_too_high_floor_fails_to_protect(self, result):
+        assert result.violations[0.95] > 0
+
+    def test_largest_safe_ratio(self, result):
+        assert result.largest_safe_ratio == 0.85
+
+
+class TestT4Characterisation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return t4_benchmark_characterisation(instructions=FAST_N)
+
+    def test_covers_all_nine_benchmarks(self, rows):
+        assert len(rows) == 9
+
+    def test_integer_register_file_always_hottest(self, rows):
+        for row in rows:
+            assert row.hottest_block == "IntReg", row.benchmark
+
+    def test_all_above_trigger_most_of_the_time(self, rows):
+        for row in rows:
+            assert row.fraction_above_trigger > 0.85, row.benchmark
+
+    def test_severity_spread_matches_calibration(self, rows):
+        temps = {row.benchmark: row.max_temp_c for row in rows}
+        hottest = max(temps, key=temps.get)
+        assert hottest in ("crafty", "art")
+        # Mild and severe benchmarks are both represented.
+        assert temps["eon"] < 83.0
+        assert temps[hottest] > 85.5

@@ -1,0 +1,132 @@
+"""A-priori cooling figure of merit."""
+
+import pytest
+
+from repro.analysis import cooling_figure_of_merit, predicted_crossover_gating
+from repro.errors import ReproError
+from repro.uarch.interval import DtmActuation
+from repro.workloads import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def phase():
+    return build_benchmark("gzip").phases[0]
+
+
+@pytest.fixture(scope="module")
+def dvs_merit(phase, hotspot, power_model):
+    ratio = power_model.vf_curve.relative_frequency(0.85 * 1.3)
+    return cooling_figure_of_merit(
+        phase, DtmActuation(relative_frequency=ratio), hotspot, power_model
+    )
+
+
+class TestCoolingPredictions:
+    def test_nominal_actuation_neither_cools_nor_slows(
+        self, phase, hotspot, power_model
+    ):
+        merit = cooling_figure_of_merit(
+            phase, DtmActuation(), hotspot, power_model
+        )
+        assert merit.cooling_k == pytest.approx(0.0, abs=1e-9)
+        assert merit.slowdown == pytest.approx(1.0)
+
+    def test_dvs_cooling_matches_transient_authority(self, dvs_merit):
+        # The die-level authority measured by full co-simulation is a few
+        # kelvin; the Green's-function prediction must land in that range.
+        assert 2.0 < dvs_merit.cooling_k < 6.0
+
+    def test_dvs_slowdown_matches_frequency_model(self, dvs_merit, phase):
+        expected_upper = 1.0 / 0.873
+        assert 1.0 < dvs_merit.slowdown < expected_upper + 1e-6
+
+    def test_deeper_gating_cools_more(self, phase, hotspot, power_model):
+        mild = cooling_figure_of_merit(
+            phase, DtmActuation(gating_fraction=0.1), hotspot, power_model
+        )
+        deep = cooling_figure_of_merit(
+            phase, DtmActuation(gating_fraction=0.6), hotspot, power_model
+        )
+        assert deep.cooling_k > mild.cooling_k
+        assert deep.slowdown > mild.slowdown
+
+    def test_clock_gating_cools_and_stalls(self, phase, hotspot, power_model):
+        merit = cooling_figure_of_merit(
+            phase, DtmActuation(clock_enabled_fraction=0.7),
+            hotspot, power_model,
+        )
+        assert merit.cooling_k > 0.5
+        assert merit.slowdown == pytest.approx(1.0 / 0.7, rel=1e-6)
+
+    def test_unknown_hotspot_block_rejected(self, phase, hotspot, power_model):
+        with pytest.raises(ReproError):
+            cooling_figure_of_merit(
+                phase, DtmActuation(), hotspot, power_model,
+                hotspot_block="nope",
+            )
+
+
+class TestMeritStructure:
+    def test_mild_gating_has_highest_merit(
+        self, phase, hotspot, power_model, dvs_merit
+    ):
+        # The paper's core insight, predicted without simulation: trimming
+        # speculation is nearly free cooling.
+        mild = cooling_figure_of_merit(
+            phase, DtmActuation(gating_fraction=0.08), hotspot, power_model
+        )
+        assert mild.merit > dvs_merit.merit
+
+    def test_deep_gating_merit_collapses_below_dvs(
+        self, phase, hotspot, power_model, dvs_merit
+    ):
+        deep = cooling_figure_of_merit(
+            phase, DtmActuation(gating_fraction=0.6), hotspot, power_model
+        )
+        assert deep.merit < dvs_merit.merit
+
+    def test_zero_overhead_actuation_has_infinite_merit(self):
+        from repro.analysis.figure_of_merit import CoolingMerit
+
+        merit = CoolingMerit(
+            actuation=DtmActuation(),
+            hotspot_block="IntReg",
+            cooling_k=1.0,
+            slowdown=1.0,
+        )
+        assert merit.merit == float("inf")
+
+
+class TestPredictedCrossover:
+    def test_crossover_matches_simulated_sweep(self, phase, hotspot, power_model):
+        # The simulated Figure 3a sweep bottoms out around duty 3-4
+        # (gating fraction 0.25-0.33); the a-priori prediction must agree.
+        fraction = predicted_crossover_gating(phase, hotspot, power_model)
+        assert 0.15 < fraction < 0.45
+
+    def test_crossover_insensitive_to_low_voltage(
+        self, phase, hotspot, power_model
+    ):
+        # The paper's T3 finding, reproduced analytically.
+        at_080 = predicted_crossover_gating(
+            phase, hotspot, power_model, v_low_ratio=0.80
+        )
+        at_090 = predicted_crossover_gating(
+            phase, hotspot, power_model, v_low_ratio=0.90
+        )
+        assert abs(at_080 - at_090) < 0.12
+
+    def test_memory_bound_phase_has_weak_gating_authority(
+        self, hotspot, power_model, phase
+    ):
+        # art's low IPC leaves huge fetch slack: gating is nearly free for
+        # it, but it also cools very little -- the weak-authority regime
+        # that forces art onto DVS in the violation experiments.
+        art_phase = build_benchmark("art").phases[0]
+        art = cooling_figure_of_merit(
+            art_phase, DtmActuation(gating_fraction=0.5), hotspot, power_model
+        )
+        gzip = cooling_figure_of_merit(
+            phase, DtmActuation(gating_fraction=0.5), hotspot, power_model
+        )
+        assert art.cooling_k < 0.4 * gzip.cooling_k

@@ -1,0 +1,42 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.errors import ReproError
+
+
+def test_renders_aligned_columns():
+    text = render_table(
+        ["bench", "slowdown"],
+        [["gzip", 1.0944], ["art", 1.0774]],
+    )
+    lines = text.splitlines()
+    assert lines[0].startswith("bench")
+    assert "1.0944" in text
+    assert all(len(line) <= len(lines[0]) + 20 for line in lines)
+
+
+def test_floats_have_four_decimals():
+    text = render_table(["x"], [[1.5]])
+    assert "1.5000" in text
+
+
+def test_title_line():
+    text = render_table(["a"], [[1]], title="Figure 4a")
+    assert text.splitlines()[0] == "Figure 4a"
+
+
+def test_empty_rows_allowed():
+    text = render_table(["a", "b"], [])
+    assert "a" in text and "b" in text
+
+
+def test_rejects_missing_headers():
+    with pytest.raises(ReproError):
+        render_table([], [[1]])
+
+
+def test_rejects_ragged_rows():
+    with pytest.raises(ReproError):
+        render_table(["a", "b"], [[1]])

@@ -1,0 +1,65 @@
+"""Crossover-point search (scaled-down)."""
+
+import pytest
+
+from repro.core import find_crossover, sweep_duty_cycles
+from repro.core.crossover import PAPER_DUTY_CYCLES, CrossoverResult
+from repro.core.evaluation import run_baselines
+from repro.errors import DtmConfigError
+from repro.workloads import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    # vortex and bzip2 sit in the middle of the fetch-gating authority
+    # range, so even short windows show the rising tail at deep duties.
+    suite = [build_benchmark("vortex"), build_benchmark("bzip2")]
+    return run_baselines(suite=suite, instructions=4_000_000,
+                         settle_time_s=1e-3)
+
+
+@pytest.fixture(scope="module")
+def sweep(baselines):
+    return sweep_duty_cycles(
+        duty_cycles=(20.0, 3.0, 1.5), baselines=baselines
+    )
+
+
+def test_paper_grid_covers_figure3():
+    assert 3.0 in PAPER_DUTY_CYCLES
+    assert 20.0 in PAPER_DUTY_CYCLES
+    assert min(PAPER_DUTY_CYCLES) < 2.0
+
+
+def test_sweep_returns_one_evaluation_per_duty(sweep):
+    assert set(sweep.evaluations) == {20.0, 3.0, 1.5}
+    for evaluation in sweep.evaluations.values():
+        assert evaluation.policy == "PI-Hyb"
+
+
+def test_deep_gating_never_wins(sweep):
+    means = sweep.mean_slowdowns
+    assert means[1.5] >= means[3.0] - 1e-9
+    assert means[1.5] >= means[20.0] - 1e-9
+    assert means[1.5] > min(means.values())
+
+
+def test_best_duty_cycle_not_the_deepest(sweep):
+    assert sweep.best_duty_cycle in (20.0, 3.0)
+
+
+def test_find_crossover_prefers_deepest_near_optimal(sweep):
+    crossover = find_crossover(sweep, rise_threshold=0.003)
+    assert crossover == 3.0
+    # A huge threshold admits even the worst point.
+    assert find_crossover(sweep, rise_threshold=10.0) == 1.5
+
+
+def test_empty_duty_cycles_rejected(baselines):
+    with pytest.raises(DtmConfigError):
+        sweep_duty_cycles(duty_cycles=(), baselines=baselines)
+
+
+def test_result_dataclass_roundtrip(sweep):
+    result = CrossoverResult(dvs_mode="stall", evaluations=sweep.evaluations)
+    assert result.mean_slowdowns == sweep.mean_slowdowns

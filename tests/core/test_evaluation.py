@@ -1,0 +1,73 @@
+"""Suite evaluation harness (scaled-down budgets)."""
+
+import pytest
+
+from repro.core import evaluate_techniques, make_policy
+from repro.core.evaluation import evaluate_policy, run_baselines
+from repro.dtm import DvsPolicy, FetchGatingPolicy
+from repro.errors import SimulationError
+from repro.workloads import build_benchmark
+
+FAST_N = 2_000_000
+SETTLE = 1.0e-3
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    suite = [build_benchmark("mesa"), build_benchmark("gzip")]
+    return run_baselines(suite=suite, instructions=FAST_N,
+                         settle_time_s=SETTLE)
+
+
+class TestBaselines:
+    def test_caches_per_benchmark(self, baselines):
+        assert set(baselines.baseline) == {"mesa", "gzip"}
+        assert set(baselines.initial) == {"mesa", "gzip"}
+
+    def test_baselines_commit_budget(self, baselines):
+        for run in baselines.baseline.values():
+            assert run.instructions == FAST_N
+
+
+class TestEvaluatePolicy:
+    def test_dvs_evaluation(self, baselines):
+        evaluation = evaluate_policy(DvsPolicy, baselines)
+        assert evaluation.policy == "DVS"
+        assert set(evaluation.slowdowns) == {"mesa", "gzip"}
+        for slowdown in evaluation.slowdowns.values():
+            assert slowdown >= 1.0
+        assert evaluation.total_violations == 0
+
+    def test_mean_slowdown_is_average(self, baselines):
+        evaluation = evaluate_policy(DvsPolicy, baselines)
+        values = list(evaluation.slowdowns.values())
+        assert evaluation.mean_slowdown == pytest.approx(sum(values) / 2)
+
+    def test_fresh_policy_per_benchmark(self, baselines):
+        # The factory is called once per benchmark; controller state must
+        # not leak, so a second evaluation is identical.
+        first = evaluate_policy(FetchGatingPolicy, baselines)
+        second = evaluate_policy(FetchGatingPolicy, baselines)
+        assert first.slowdowns == pytest.approx(second.slowdowns)
+
+    def test_inconsistent_factory_rejected(self, baselines):
+        policies = iter([DvsPolicy(), FetchGatingPolicy()])
+        with pytest.raises(SimulationError):
+            evaluate_policy(lambda: next(policies), baselines)
+
+
+class TestEvaluateTechniques:
+    def test_figure4_shape_on_subset(self, baselines):
+        results = evaluate_techniques(
+            names=("FG", "DVS", "Hyb"), baselines=baselines
+        )
+        assert set(results) == {"FG", "DVS", "Hyb"}
+        for name, evaluation in results.items():
+            assert evaluation.policy == name
+            assert evaluation.total_violations == 0
+
+    def test_dvs_mode_recorded(self, baselines):
+        results = evaluate_techniques(
+            names=("DVS",), baselines=baselines, dvs_mode="ideal"
+        )
+        assert results["DVS"].dvs_mode == "ideal"

@@ -1,0 +1,74 @@
+"""DTM metrics."""
+
+import pytest
+
+from repro.core import dtm_overhead, mean_slowdown, overhead_reduction, slowdown_factor
+from repro.errors import SimulationError
+from repro.sim import RunResult
+
+
+def run(benchmark="gzip", elapsed=4e-3, instructions=1e7, policy="DVS"):
+    return RunResult(
+        benchmark=benchmark,
+        policy=policy,
+        dvs_mode="stall",
+        instructions=instructions,
+        elapsed_s=elapsed,
+        cycles=1,
+        violations=0,
+        max_true_temp_c=84.0,
+        hottest_block="IntReg",
+        time_above_trigger_s=0.0,
+        dvs_switches=0,
+        dvs_low_time_s=0.0,
+        stall_time_s=0.0,
+        mean_gating_fraction=0.0,
+        mean_power_w=25.0,
+    )
+
+
+class TestSlowdownFactor:
+    def test_basic_ratio(self):
+        assert slowdown_factor(run(elapsed=4.4e-3), run(elapsed=4e-3)) == pytest.approx(1.1)
+
+    def test_rejects_different_benchmarks(self):
+        with pytest.raises(SimulationError):
+            slowdown_factor(run(benchmark="gzip"), run(benchmark="art"))
+
+    def test_rejects_different_budgets(self):
+        with pytest.raises(SimulationError):
+            slowdown_factor(run(instructions=1e7), run(instructions=2e7))
+
+
+class TestOverhead:
+    def test_overhead_is_slowdown_minus_one(self):
+        assert dtm_overhead(1.22) == pytest.approx(0.22)
+
+    def test_tiny_numerical_undershoot_clamped(self):
+        assert dtm_overhead(1.0 - 1e-12) == 0.0
+
+    def test_rejects_speedup(self):
+        with pytest.raises(SimulationError):
+            dtm_overhead(0.9)
+
+    def test_papers_headline_numbers(self):
+        # DVS at 1.22, hybrid 5.5 % faster: about a 25 % overhead cut.
+        dvs = 1.22
+        hybrid = dvs - 0.055
+        assert overhead_reduction(dvs, hybrid) == pytest.approx(0.25, abs=0.01)
+
+    def test_reduction_of_zero_overhead_rejected(self):
+        with pytest.raises(SimulationError):
+            overhead_reduction(1.0, 1.0)
+
+    def test_negative_reduction_when_worse(self):
+        assert overhead_reduction(1.1, 1.2) < 0.0
+
+
+class TestMeanSlowdown:
+    def test_arithmetic_mean(self):
+        assert mean_slowdown([1.0, 1.2]) == pytest.approx(1.1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            mean_slowdown([])

@@ -1,0 +1,68 @@
+"""Policy factory."""
+
+import pytest
+
+from repro.core import POLICY_NAMES, make_policy
+from repro.dtm import (
+    ClockGatingPolicy,
+    DvsConfig,
+    DvsPolicy,
+    FetchGatingPolicy,
+    HybPolicy,
+    LocalTogglingPolicy,
+    NoDtmPolicy,
+    PIHybPolicy,
+    PredictiveHybPolicy,
+    ThermalThresholds,
+)
+from repro.errors import DtmConfigError
+
+
+@pytest.mark.parametrize(
+    "name,expected_type",
+    [
+        ("none", NoDtmPolicy),
+        ("FG", FetchGatingPolicy),
+        ("CG", ClockGatingPolicy),
+        ("LT", LocalTogglingPolicy),
+        ("DVS", DvsPolicy),
+        ("Hyb", HybPolicy),
+        ("PI-Hyb", PIHybPolicy),
+        ("Pred-Hyb", PredictiveHybPolicy),
+    ],
+)
+def test_builds_each_technique(name, expected_type):
+    assert isinstance(make_policy(name), expected_type)
+
+
+def test_policy_names_constant_is_complete():
+    for name in POLICY_NAMES:
+        make_policy(name)
+
+
+def test_unknown_name_raises():
+    with pytest.raises(DtmConfigError):
+        make_policy("dvs")  # case sensitive, as printed in the paper
+
+
+def test_custom_config_accepted():
+    policy = make_policy("DVS", config=DvsConfig(level_count=5))
+    assert len(policy.voltages) == 5
+
+
+def test_wrong_config_type_rejected():
+    with pytest.raises(DtmConfigError):
+        make_policy("Hyb", config=DvsConfig())
+
+
+def test_none_rejects_config():
+    with pytest.raises(DtmConfigError):
+        make_policy("none", config=DvsConfig())
+
+
+def test_thresholds_are_forwarded():
+    custom = ThermalThresholds(emergency_c=90.0, practical_limit_c=87.0,
+                               trigger_c=86.8)
+    policy = make_policy("DVS", thresholds=custom)
+    cmd = policy.update({"IntReg": 84.0}, 0.0, 1e-4)
+    assert cmd.voltage == pytest.approx(1.3)  # 84 C is cool for these

@@ -1,0 +1,57 @@
+"""Clock-gating policy."""
+
+import pytest
+
+from repro.dtm import ClockGatingConfig, ClockGatingPolicy, ThermalThresholds
+from repro.errors import DtmConfigError
+
+TRIGGER = ThermalThresholds().trigger_c
+
+
+def readings(temp):
+    return {"IntReg": temp}
+
+
+def test_clock_runs_when_cool():
+    policy = ClockGatingPolicy()
+    cmd = policy.update(readings(70.0), 0.0, 1e-4)
+    assert cmd.clock_enabled_fraction == 1.0
+
+
+def test_duty_ramps_under_heat():
+    policy = ClockGatingPolicy()
+    enabled = [
+        policy.update(readings(TRIGGER + 2.0), i * 1e-4, 1e-4).clock_enabled_fraction
+        for i in range(20)
+    ]
+    assert enabled[-1] < enabled[0]
+
+
+def test_duty_saturates_at_max():
+    policy = ClockGatingPolicy(ClockGatingConfig(max_duty=0.8))
+    for i in range(1000):
+        cmd = policy.update(readings(TRIGGER + 5.0), i * 1e-4, 1e-4)
+    assert cmd.clock_enabled_fraction == pytest.approx(0.2)
+
+
+def test_never_gates_fetch_or_voltage():
+    policy = ClockGatingPolicy()
+    cmd = policy.update(readings(TRIGGER + 5.0), 0.0, 1e-4)
+    assert cmd.gating_fraction == 0.0
+    assert cmd.voltage == pytest.approx(1.3)
+
+
+def test_reset():
+    policy = ClockGatingPolicy()
+    policy.update(readings(TRIGGER + 5.0), 0.0, 1e-4)
+    policy.reset()
+    assert policy.duty == 0.0
+
+
+def test_config_validation():
+    with pytest.raises(DtmConfigError):
+        ClockGatingConfig(ki=-1.0)
+    with pytest.raises(DtmConfigError):
+        ClockGatingConfig(max_duty=1.0)
+    with pytest.raises(DtmConfigError):
+        ClockGatingConfig(nominal_voltage=0.0)

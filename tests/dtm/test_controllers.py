@@ -1,0 +1,146 @@
+"""PI / integral controllers and the low-pass filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtm import IntegralController, LowPassFilter, PIController
+from repro.errors import DtmConfigError
+
+
+class TestPIController:
+    def test_output_zero_at_setpoint_from_rest(self):
+        c = PIController(kp=1.0, ki=10.0, setpoint=81.8,
+                         output_min=0.0, output_max=1.0)
+        assert c.update(81.8, 1e-4) == pytest.approx(0.0)
+
+    def test_proportional_term(self):
+        c = PIController(kp=0.5, ki=0.0001, setpoint=80.0,
+                         output_min=0.0, output_max=10.0)
+        out = c.update(82.0, 1e-6)  # tiny dt: integral negligible
+        assert out == pytest.approx(0.5 * 2.0, rel=1e-3)
+
+    def test_integral_accumulates(self):
+        c = PIController(kp=0.0, ki=100.0, setpoint=80.0,
+                         output_min=0.0, output_max=10.0)
+        first = c.update(81.0, 1e-2)
+        second = c.update(81.0, 1e-2)
+        assert second == pytest.approx(2.0 * first)
+
+    def test_output_clamped(self):
+        c = PIController(kp=10.0, ki=0.0001, setpoint=80.0,
+                         output_min=0.0, output_max=1.0)
+        assert c.update(100.0, 1e-4) == 1.0
+        assert c.update(0.0, 1e-4) == 0.0
+
+    def test_anti_windup_recovers_quickly(self):
+        c = PIController(kp=0.0, ki=100.0, setpoint=80.0,
+                         output_min=0.0, output_max=1.0)
+        # Drive hard into saturation for a long time.
+        for _ in range(200):
+            c.update(90.0, 1e-2)
+        # One small negative error must start reducing the output
+        # immediately -- without anti-windup it would stay pinned.
+        out = c.update(79.0, 1e-2)
+        assert out < 1.0
+
+    def test_unwinding_direction_integrates_while_clamped(self):
+        c = PIController(kp=0.0, ki=1.0, setpoint=0.0,
+                         output_min=0.0, output_max=1.0)
+        for _ in range(5):
+            c.update(10.0, 1.0)  # deep saturation
+        # Negative errors unwind even while output is still clamped.
+        c.update(-4.0, 1.0)
+        c.update(-4.0, 1.0)
+        out = c.update(-4.0, 1.0)
+        assert out < 1.0
+
+    def test_reset(self):
+        c = PIController(kp=0.0, ki=10.0, setpoint=80.0,
+                         output_min=0.0, output_max=10.0)
+        c.update(85.0, 1.0)
+        c.reset()
+        assert c.update(80.0, 1e-9) == pytest.approx(0.0)
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(DtmConfigError):
+            PIController(kp=1.0, ki=1.0, setpoint=0.0,
+                         output_min=1.0, output_max=0.0)
+        with pytest.raises(DtmConfigError):
+            PIController(kp=0.0, ki=0.0, setpoint=0.0,
+                         output_min=0.0, output_max=1.0)
+        with pytest.raises(DtmConfigError):
+            PIController(kp=-1.0, ki=1.0, setpoint=0.0,
+                         output_min=0.0, output_max=1.0)
+
+    def test_rejects_non_positive_dt(self):
+        c = PIController(kp=1.0, ki=1.0, setpoint=0.0,
+                         output_min=0.0, output_max=1.0)
+        with pytest.raises(DtmConfigError):
+            c.update(1.0, 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(measurements=st.lists(st.floats(-100, 100), min_size=1, max_size=50))
+    def test_property_output_always_in_range(self, measurements):
+        c = PIController(kp=0.5, ki=50.0, setpoint=0.0,
+                         output_min=0.0, output_max=1.0)
+        for m in measurements:
+            out = c.update(m, 1e-3)
+            assert 0.0 <= out <= 1.0
+
+
+class TestIntegralController:
+    def test_is_pure_integral(self):
+        c = IntegralController(ki=10.0, setpoint=80.0,
+                               output_min=0.0, output_max=5.0)
+        out = c.update(81.0, 0.1)
+        assert out == pytest.approx(10.0 * 1.0 * 0.1)
+
+    def test_unwinds_below_setpoint(self):
+        c = IntegralController(ki=10.0, setpoint=80.0,
+                               output_min=0.0, output_max=5.0)
+        up = c.update(82.0, 0.1)
+        down = c.update(78.0, 0.1)
+        assert down < up
+
+
+class TestLowPassFilter:
+    def test_first_sample_primes_exactly(self):
+        f = LowPassFilter(alpha=0.25)
+        assert f.update(85.0) == 85.0
+
+    def test_smooths_subsequent_samples(self):
+        f = LowPassFilter(alpha=0.25)
+        f.update(80.0)
+        assert f.update(84.0) == pytest.approx(81.0)
+
+    def test_converges_to_constant_input(self):
+        f = LowPassFilter(alpha=0.3)
+        f.update(80.0)
+        for _ in range(60):
+            value = f.update(85.0)
+        assert value == pytest.approx(85.0, abs=1e-3)
+
+    def test_alpha_one_is_pass_through(self):
+        f = LowPassFilter(alpha=1.0)
+        f.update(1.0)
+        assert f.update(42.0) == 42.0
+
+    def test_reset(self):
+        f = LowPassFilter(alpha=0.5)
+        f.update(100.0)
+        f.reset()
+        assert f.update(10.0) == 10.0
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(DtmConfigError):
+            LowPassFilter(alpha=0.0)
+        with pytest.raises(DtmConfigError):
+            LowPassFilter(alpha=1.5)
+
+    @given(samples=st.lists(st.floats(0.0, 100.0), min_size=2, max_size=40))
+    def test_property_output_within_sample_envelope(self, samples):
+        f = LowPassFilter(alpha=0.3)
+        for s in samples:
+            out = f.update(s)
+            assert min(samples) - 1e-9 <= out <= max(samples) + 1e-9

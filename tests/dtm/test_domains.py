@@ -1,0 +1,51 @@
+"""Clock domains for local toggling."""
+
+import pytest
+
+from repro.dtm import CLOCK_DOMAINS, domain_criticality, domain_of
+from repro.errors import DtmConfigError
+from repro.floorplan import ALL_BLOCKS, L2_BLOCKS
+
+
+def test_domains_cover_all_core_blocks_once():
+    covered = [b for blocks in CLOCK_DOMAINS.values() for b in blocks]
+    assert len(covered) == len(set(covered))
+    assert set(covered) == set(ALL_BLOCKS) - set(L2_BLOCKS)
+
+
+def test_domain_of():
+    assert domain_of("IntReg") == "int"
+    assert domain_of("Icache") == "frontend"
+    assert domain_of("FPMul") == "fp"
+    assert domain_of("Dcache") == "mem"
+
+
+def test_l2_is_not_gateable():
+    with pytest.raises(DtmConfigError):
+        domain_of("L2")
+
+
+def test_unknown_block_rejected():
+    with pytest.raises(DtmConfigError):
+        domain_of("nope")
+
+
+def test_int_and_mem_domains_fully_critical():
+    assert domain_criticality("int", {}) == 1.0
+    assert domain_criticality("mem", {}) == 1.0
+
+
+def test_frontend_partially_buffered():
+    assert 0.5 < domain_criticality("frontend", {}) < 1.0
+
+
+def test_fp_criticality_scales_with_fp_work():
+    int_only = {"FPAdd": 0.02, "FPMul": 0.02, "FPReg": 0.02, "FPQ": 0.02}
+    fp_heavy = {"FPAdd": 0.5, "FPMul": 0.4, "FPReg": 0.5, "FPQ": 0.5}
+    assert domain_criticality("fp", int_only) < 0.1
+    assert domain_criticality("fp", fp_heavy) == 1.0
+
+
+def test_unknown_domain_rejected():
+    with pytest.raises(DtmConfigError):
+        domain_criticality("gpu", {})

@@ -1,0 +1,109 @@
+"""DVS policy."""
+
+import pytest
+
+from repro.dtm import DvsConfig, DvsPolicy, ThermalThresholds
+from repro.dtm.dvs import CONTINUOUS_LEVEL_COUNT
+from repro.errors import DtmConfigError
+
+TRIGGER = ThermalThresholds().trigger_c
+
+
+def readings(temp):
+    return {"IntReg": temp}
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = DvsConfig()
+        assert config.level_count == 2
+        assert config.v_low_ratio == pytest.approx(0.85)
+
+    def test_continuous_helper(self):
+        assert DvsConfig.continuous().level_count == CONTINUOUS_LEVEL_COUNT
+
+    def test_rejects_single_level(self):
+        with pytest.raises(DtmConfigError):
+            DvsConfig(level_count=1)
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(DtmConfigError):
+            DvsConfig(v_low_ratio=1.0)
+
+
+class TestBinary:
+    @pytest.fixture()
+    def policy(self):
+        return DvsPolicy()
+
+    def test_starts_at_nominal(self, policy):
+        assert policy.voltages[-1] == pytest.approx(1.3)
+        cmd = policy.update(readings(70.0), 0.0, 1e-4)
+        assert cmd.voltage == pytest.approx(1.3)
+        assert cmd.gating_fraction == 0.0
+
+    def test_drops_immediately_above_trigger(self, policy):
+        cmd = policy.update(readings(TRIGGER + 0.1), 0.0, 1e-4)
+        assert cmd.voltage == pytest.approx(0.85 * 1.3)
+
+    def test_single_cool_reading_does_not_raise_voltage(self, policy):
+        policy.update(readings(TRIGGER + 1.0), 0.0, 1e-4)
+        # One cool reading: the low-pass filter still remembers the heat.
+        cmd = policy.update(readings(TRIGGER - 0.5), 1e-4, 1e-4)
+        assert cmd.voltage == pytest.approx(0.85 * 1.3)
+
+    def test_sustained_cool_readings_raise_voltage(self, policy):
+        policy.update(readings(TRIGGER + 1.0), 0.0, 1e-4)
+        cmd = None
+        for i in range(40):
+            cmd = policy.update(readings(TRIGGER - 1.5), (i + 1) * 1e-4, 1e-4)
+        assert cmd.voltage == pytest.approx(1.3)
+
+    def test_hottest_block_drives_decision(self, policy):
+        cmd = policy.update(
+            {"IntReg": TRIGGER + 0.5, "L2": 60.0}, 0.0, 1e-4
+        )
+        assert cmd.voltage < 1.3
+
+    def test_reset_returns_to_nominal(self, policy):
+        policy.update(readings(TRIGGER + 1.0), 0.0, 1e-4)
+        policy.reset()
+        assert policy.current_level == len(policy.voltages) - 1
+
+
+class TestMultiStep:
+    def test_has_requested_levels(self):
+        policy = DvsPolicy(DvsConfig(level_count=5))
+        assert len(policy.voltages) == 5
+        assert policy.voltages[0] == pytest.approx(0.85 * 1.3)
+        assert policy.voltages[-1] == pytest.approx(1.3)
+
+    def test_mild_overheat_uses_intermediate_level(self):
+        policy = DvsPolicy(DvsConfig(level_count=10, kp=0.3, ki=200.0))
+        cmd = None
+        for i in range(3):
+            cmd = policy.update(readings(TRIGGER + 0.4), i * 1e-4, 1e-4)
+        assert policy.voltages[0] < cmd.voltage < policy.voltages[-1]
+
+    def test_sustained_overheat_reaches_lowest_level(self):
+        policy = DvsPolicy(DvsConfig(level_count=5))
+        cmd = None
+        for i in range(200):
+            cmd = policy.update(readings(TRIGGER + 3.0), i * 1e-4, 1e-4)
+        assert cmd.voltage == pytest.approx(policy.voltages[0])
+
+    def test_lowering_is_immediate_raising_is_filtered(self):
+        policy = DvsPolicy(DvsConfig(level_count=5))
+        for i in range(200):
+            policy.update(readings(TRIGGER + 3.0), i * 1e-4, 1e-4)
+        level_hot = policy.current_level
+        # A single cool sample cannot raise the level...
+        policy.update(readings(TRIGGER - 3.0), 0.0201, 1e-4)
+        assert policy.current_level == level_hot
+        # ...but sustained cool samples do.
+        for i in range(300):
+            policy.update(readings(TRIGGER - 3.0), 0.0202 + i * 1e-4, 1e-4)
+        assert policy.current_level > level_hot
+
+    def test_policy_name(self):
+        assert DvsPolicy().name == "DVS"

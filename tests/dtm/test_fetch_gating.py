@@ -1,0 +1,129 @@
+"""Fetch-gating policies."""
+
+import pytest
+
+from repro.dtm import FetchGatingConfig, FetchGatingPolicy, ThermalThresholds
+from repro.dtm.fetch_gating import (
+    FixedFetchGatingPolicy,
+    duty_cycle_to_gating_fraction,
+    gating_fraction_to_duty_cycle,
+)
+from repro.errors import DtmConfigError
+
+TRIGGER = ThermalThresholds().trigger_c
+
+
+def readings(temp):
+    return {"IntReg": temp}
+
+
+class TestDutyCycleConversion:
+    def test_paper_convention(self):
+        # Duty cycle 3 = skip fetch once every three cycles.
+        assert duty_cycle_to_gating_fraction(3.0) == pytest.approx(1.0 / 3.0)
+
+    def test_1_5_duty_means_two_thirds_gated(self):
+        assert duty_cycle_to_gating_fraction(1.5) == pytest.approx(2.0 / 3.0)
+
+    def test_fractional_duty_below_one_rejected_when_fully_gated(self):
+        # The paper's 0.33 notation (gate two of three) corresponds to a
+        # gating fraction of 3 -- not representable, so it is expressed as
+        # duty 1.5 here; anything at or below duty 1 gates every cycle.
+        with pytest.raises(DtmConfigError):
+            duty_cycle_to_gating_fraction(0.9)
+
+    def test_round_trip(self):
+        for duty in (20.0, 5.0, 3.0, 1.5):
+            fraction = duty_cycle_to_gating_fraction(duty)
+            assert gating_fraction_to_duty_cycle(fraction) == pytest.approx(duty)
+
+    def test_rejects_always_gated(self):
+        with pytest.raises(DtmConfigError):
+            duty_cycle_to_gating_fraction(1.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(DtmConfigError):
+            duty_cycle_to_gating_fraction(0.0)
+        with pytest.raises(DtmConfigError):
+            gating_fraction_to_duty_cycle(1.0)
+
+
+class TestIntegralControlled:
+    @pytest.fixture()
+    def policy(self):
+        return FetchGatingPolicy()
+
+    def test_no_gating_when_cool(self, policy):
+        cmd = policy.update(readings(75.0), 0.0, 1e-4)
+        assert cmd.gating_fraction == 0.0
+        assert cmd.voltage == pytest.approx(1.3)
+
+    def test_gating_ramps_up_under_heat(self, policy):
+        fractions = [
+            policy.update(readings(TRIGGER + 1.0), i * 1e-4, 1e-4).gating_fraction
+            for i in range(10)
+        ]
+        assert fractions[0] < fractions[-1]
+        assert fractions[-1] > 0.0
+
+    def test_saturates_at_configured_maximum(self, policy):
+        for i in range(500):
+            cmd = policy.update(readings(TRIGGER + 5.0), i * 1e-4, 1e-4)
+        assert cmd.gating_fraction == pytest.approx(2.0 / 3.0)
+
+    def test_unwinds_when_cool(self, policy):
+        for i in range(100):
+            policy.update(readings(TRIGGER + 2.0), i * 1e-4, 1e-4)
+        peak = policy.gating_fraction
+        for i in range(100, 300):
+            policy.update(readings(TRIGGER - 2.0), i * 1e-4, 1e-4)
+        assert policy.gating_fraction < peak
+
+    def test_never_touches_voltage_or_clock(self, policy):
+        cmd = policy.update(readings(TRIGGER + 5.0), 0.0, 1e-4)
+        assert cmd.voltage == pytest.approx(1.3)
+        assert cmd.clock_enabled_fraction == 1.0
+
+    def test_reset(self, policy):
+        policy.update(readings(TRIGGER + 5.0), 0.0, 1e-4)
+        policy.reset()
+        assert policy.gating_fraction == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(DtmConfigError):
+            FetchGatingConfig(ki=0.0)
+        with pytest.raises(DtmConfigError):
+            FetchGatingConfig(max_gating_fraction=1.0)
+
+
+class TestFixedDuty:
+    def test_engages_above_trigger(self):
+        policy = FixedFetchGatingPolicy(1.0 / 3.0)
+        cmd = policy.update(readings(TRIGGER + 0.2), 0.0, 1e-4)
+        assert cmd.gating_fraction == pytest.approx(1.0 / 3.0)
+
+    def test_idle_below_trigger(self):
+        policy = FixedFetchGatingPolicy(1.0 / 3.0)
+        cmd = policy.update(readings(TRIGGER - 1.0), 0.0, 1e-4)
+        assert cmd.gating_fraction == 0.0
+
+    def test_release_is_filtered(self):
+        policy = FixedFetchGatingPolicy(1.0 / 3.0)
+        policy.update(readings(TRIGGER + 2.0), 0.0, 1e-4)
+        cmd = policy.update(readings(TRIGGER - 0.5), 1e-4, 1e-4)
+        assert cmd.gating_fraction > 0.0  # still engaged
+        for i in range(40):
+            cmd = policy.update(readings(TRIGGER - 2.0), (i + 2) * 1e-4, 1e-4)
+        assert cmd.gating_fraction == 0.0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(DtmConfigError):
+            FixedFetchGatingPolicy(0.0)
+        with pytest.raises(DtmConfigError):
+            FixedFetchGatingPolicy(1.0)
+
+    def test_reset(self):
+        policy = FixedFetchGatingPolicy(0.5)
+        policy.update(readings(TRIGGER + 2.0), 0.0, 1e-4)
+        policy.reset()
+        assert not policy.engaged

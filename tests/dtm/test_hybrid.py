@@ -1,0 +1,154 @@
+"""Hybrid DTM policies."""
+
+import pytest
+
+from repro.dtm import (
+    HybConfig,
+    HybPolicy,
+    PIHybConfig,
+    PIHybPolicy,
+    ThermalThresholds,
+)
+from repro.dtm.hybrid import (
+    DEFAULT_CROSSOVER_GATING_FRACTION,
+    IDEAL_DVS_CROSSOVER_GATING_FRACTION,
+    HybridState,
+)
+from repro.errors import DtmConfigError
+
+THRESHOLDS = ThermalThresholds()
+TRIGGER = THRESHOLDS.trigger_c
+
+
+def readings(temp):
+    return {"IntReg": temp}
+
+
+class TestCrossoverConstants:
+    def test_stall_crossover_is_duty_cycle_three(self):
+        assert DEFAULT_CROSSOVER_GATING_FRACTION == pytest.approx(1.0 / 3.0)
+
+    def test_ideal_crossover_is_duty_cycle_twenty(self):
+        assert IDEAL_DVS_CROSSOVER_GATING_FRACTION == pytest.approx(0.05)
+
+
+class TestHyb:
+    @pytest.fixture()
+    def policy(self):
+        return HybPolicy()
+
+    def test_nominal_below_trigger(self, policy):
+        cmd = policy.update(readings(TRIGGER - 1.0), 0.0, 1e-4)
+        assert cmd.gating_fraction == 0.0
+        assert cmd.voltage == pytest.approx(1.3)
+        assert policy.state is HybridState.NOMINAL
+
+    def test_fixed_fg_between_thresholds(self, policy):
+        cmd = policy.update(readings(TRIGGER + 0.3), 0.0, 1e-4)
+        assert policy.state is HybridState.ILP
+        assert cmd.gating_fraction == pytest.approx(1.0 / 3.0)
+        assert cmd.voltage == pytest.approx(1.3)
+
+    def test_dvs_above_second_threshold(self, policy):
+        offset = policy.config.second_threshold_offset_c
+        cmd = policy.update(readings(TRIGGER + offset + 0.2), 0.0, 1e-4)
+        assert policy.state is HybridState.DVS
+        assert cmd.gating_fraction == 0.0
+        assert cmd.voltage == pytest.approx(0.85 * 1.3)
+
+    def test_escalation_is_immediate_on_raw_reading(self, policy):
+        # Prime the filter cool, then a single hot spike escalates.
+        policy.update(readings(70.0), 0.0, 1e-4)
+        cmd = policy.update(readings(TRIGGER + 5.0), 1e-4, 1e-4)
+        assert cmd.voltage < 1.3
+
+    def test_deescalation_is_filtered_and_stepwise(self, policy):
+        offset = policy.config.second_threshold_offset_c
+        policy.update(readings(TRIGGER + offset + 1.0), 0.0, 1e-4)
+        assert policy.state is HybridState.DVS
+        # One cool reading is not enough.
+        policy.update(readings(TRIGGER - 2.0), 1e-4, 1e-4)
+        assert policy.state is HybridState.DVS
+        # Sustained cooling steps down through ILP to nominal.
+        states = []
+        for i in range(60):
+            policy.update(readings(TRIGGER - 2.0), (i + 2) * 1e-4, 1e-4)
+            states.append(policy.state)
+        assert HybridState.ILP in states
+        assert states[-1] is HybridState.NOMINAL
+
+    def test_reset(self, policy):
+        policy.update(readings(TRIGGER + 5.0), 0.0, 1e-4)
+        policy.reset()
+        assert policy.state is HybridState.NOMINAL
+
+    def test_config_validation(self):
+        with pytest.raises(DtmConfigError):
+            HybConfig(gating_fraction=0.0)
+        with pytest.raises(DtmConfigError):
+            HybConfig(second_threshold_offset_c=0.0)
+        with pytest.raises(DtmConfigError):
+            HybConfig(v_low_ratio=1.2)
+
+
+class TestPIHyb:
+    @pytest.fixture()
+    def policy(self):
+        return PIHybPolicy()
+
+    def test_starts_ungated(self, policy):
+        cmd = policy.update(readings(70.0), 0.0, 1e-4)
+        assert cmd.gating_fraction == 0.0
+        assert cmd.voltage == pytest.approx(1.3)
+
+    def test_fg_controller_ramps_below_crossover(self, policy):
+        cmd = None
+        for i in range(5):
+            cmd = policy.update(readings(TRIGGER + 0.5), i * 1e-4, 1e-4)
+        assert 0.0 < cmd.gating_fraction <= 1.0 / 3.0
+        assert cmd.voltage == pytest.approx(1.3)
+
+    def test_never_gates_beyond_crossover(self, policy):
+        for i in range(1000):
+            cmd = policy.update(readings(TRIGGER + 5.0), i * 1e-4, 1e-4)
+            assert cmd.gating_fraction <= 1.0 / 3.0 + 1e-9
+
+    def test_switches_to_dvs_when_saturated_and_still_hot(self, policy):
+        cmd = None
+        for i in range(200):
+            cmd = policy.update(readings(TRIGGER + 2.0), i * 1e-4, 1e-4)
+        assert policy.state is HybridState.DVS
+        assert cmd.voltage == pytest.approx(0.85 * 1.3)
+        assert cmd.gating_fraction == 0.0
+
+    def test_returns_to_fg_after_sustained_cooling(self, policy):
+        for i in range(200):
+            policy.update(readings(TRIGGER + 2.0), i * 1e-4, 1e-4)
+        assert policy.state is HybridState.DVS
+        cmd = None
+        for i in range(200, 500):
+            cmd = policy.update(readings(TRIGGER - 2.0), i * 1e-4, 1e-4)
+        assert policy.state is HybridState.ILP
+        assert cmd.voltage == pytest.approx(1.3)
+
+    def test_custom_crossover(self):
+        policy = PIHybPolicy(PIHybConfig(max_gating_fraction=0.05))
+        for i in range(1000):
+            cmd = policy.update(readings(TRIGGER + 5.0), i * 1e-4, 1e-4)
+            assert cmd.gating_fraction <= 0.05 + 1e-9
+
+    def test_reset(self, policy):
+        for i in range(200):
+            policy.update(readings(TRIGGER + 3.0), i * 1e-4, 1e-4)
+        policy.reset()
+        assert policy.state is HybridState.ILP
+        cmd = policy.update(readings(70.0), 0.0, 1e-4)
+        assert cmd.gating_fraction == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(DtmConfigError):
+            PIHybConfig(max_gating_fraction=0.0)
+        with pytest.raises(DtmConfigError):
+            PIHybConfig(ki=0.0)
+        with pytest.raises(DtmConfigError):
+            PIHybConfig(engage_margin_c=-1.0)

@@ -1,0 +1,111 @@
+"""Local toggling policy."""
+
+import pytest
+
+from repro.dtm import LocalTogglingConfig, LocalTogglingPolicy, ThermalThresholds
+from repro.errors import DtmConfigError
+
+TRIGGER = ThermalThresholds().trigger_c
+DT = 1e-4
+
+
+def readings(int_temp, fp_temp=70.0, l2_temp=70.0):
+    return {"IntReg": int_temp, "FPAdd": fp_temp, "L2": l2_temp,
+            "Icache": 72.0, "Dcache": 72.0}
+
+
+def test_idle_when_cool():
+    policy = LocalTogglingPolicy()
+    cmd = policy.update(readings(75.0), 0.0, DT)
+    assert cmd.domain_gating == {}
+    assert cmd.gating_fraction == 0.0
+
+
+def test_gates_the_hot_domain_only():
+    policy = LocalTogglingPolicy()
+    cmd = None
+    for i in range(20):
+        cmd = policy.update(readings(TRIGGER + 2.0), i * DT, DT)
+    assert "int" in cmd.domain_gating
+    assert cmd.domain_gating["int"] > 0.0
+    assert "fp" not in cmd.domain_gating
+
+
+def test_hot_fp_gates_fp_domain():
+    policy = LocalTogglingPolicy()
+    cmd = None
+    for i in range(20):
+        cmd = policy.update(readings(75.0, fp_temp=TRIGGER + 2.0), i * DT, DT)
+    assert "fp" in cmd.domain_gating
+    assert "int" not in cmd.domain_gating
+
+
+def test_duty_saturates_at_max():
+    policy = LocalTogglingPolicy(LocalTogglingConfig(max_duty=0.6))
+    for i in range(2000):
+        cmd = policy.update(readings(TRIGGER + 5.0), i * DT, DT)
+    assert cmd.domain_gating["int"] == pytest.approx(0.6)
+
+
+def test_duty_unwinds_when_cool():
+    policy = LocalTogglingPolicy()
+    for i in range(100):
+        policy.update(readings(TRIGGER + 3.0), i * DT, DT)
+    hot_duty = policy.duties["int"]
+    for i in range(100, 400):
+        policy.update(readings(70.0), i * DT, DT)
+    assert policy.duties["int"] < hot_duty
+
+
+def test_l2_readings_are_ignored():
+    policy = LocalTogglingPolicy()
+    cmd = None
+    for i in range(20):
+        cmd = policy.update(readings(75.0, l2_temp=TRIGGER + 5.0), i * DT, DT)
+    assert cmd.domain_gating == {}
+
+
+def test_never_touches_voltage_or_fetch():
+    policy = LocalTogglingPolicy()
+    cmd = policy.update(readings(TRIGGER + 5.0), 0.0, DT)
+    assert cmd.voltage == pytest.approx(1.3)
+    assert cmd.gating_fraction == 0.0
+
+
+def test_reset():
+    policy = LocalTogglingPolicy()
+    for i in range(50):
+        policy.update(readings(TRIGGER + 5.0), i * DT, DT)
+    policy.reset()
+    assert all(duty == 0.0 for duty in policy.duties.values())
+
+
+def test_config_validation():
+    with pytest.raises(DtmConfigError):
+        LocalTogglingConfig(ki=0.0)
+    with pytest.raises(DtmConfigError):
+        LocalTogglingConfig(max_duty=1.0)
+
+
+def test_engine_run_regulates_and_matches_fg_roughly():
+    """The paper's finding: LT confers little advantage over FG."""
+    from repro.dtm import FetchGatingPolicy, NoDtmPolicy
+    from repro.sim import SimulationEngine
+    from repro.workloads import build_benchmark
+
+    workload = build_benchmark("gzip")
+    engine = SimulationEngine(workload, policy=NoDtmPolicy())
+    init = engine.compute_initial_temperatures()
+    base = engine.run(4_000_000, initial=init.copy(), settle_time_s=2e-3)
+    lt = SimulationEngine(workload, policy=LocalTogglingPolicy()).run(
+        4_000_000, initial=init.copy(), settle_time_s=2e-3
+    )
+    fg = SimulationEngine(workload, policy=FetchGatingPolicy()).run(
+        4_000_000, initial=init.copy(), settle_time_s=2e-3
+    )
+    assert lt.violations == 0
+    lt_slow = lt.elapsed_s / base.elapsed_s
+    fg_slow = fg.elapsed_s / base.elapsed_s
+    # Same ballpark of overhead: neither technique dominates by an order
+    # of magnitude (the suite-level comparison lives in bench A6).
+    assert abs(lt_slow - fg_slow) < 0.6 * max(fg_slow - 1.0, lt_slow - 1.0)

@@ -1,0 +1,155 @@
+"""Activity migration."""
+
+import pytest
+
+from repro.dtm import MigrationConfig, MigrationPolicy, ThermalThresholds
+from repro.errors import DtmConfigError
+from repro.floorplan import SPARE_REGISTER_FILE
+
+TRIGGER = ThermalThresholds().trigger_c
+DT = 1e-4
+
+
+def readings(home, spare=70.0):
+    return {"IntReg": home, SPARE_REGISTER_FILE: spare, "L2": 70.0}
+
+
+class TestPolicy:
+    def test_stays_home_when_cool(self):
+        policy = MigrationPolicy()
+        cmd = policy.update(readings(75.0), 0.0, DT)
+        assert cmd.migration is None
+        assert not policy.away
+
+    def test_migrates_when_home_is_hot(self):
+        policy = MigrationPolicy()
+        cmd = policy.update(readings(TRIGGER + 1.0), 0.0, DT)
+        assert policy.away
+        assert cmd.migration == ("IntReg", SPARE_REGISTER_FILE, 1.0)
+
+    def test_remote_penalty_applied_while_away(self):
+        policy = MigrationPolicy()
+        cmd = policy.update(readings(TRIGGER + 1.0), 0.0, DT)
+        assert cmd.clock_enabled_fraction == pytest.approx(0.97)
+
+    def test_ping_pong_when_spare_heats_up(self):
+        policy = MigrationPolicy()
+        policy.update(readings(TRIGGER + 1.0), 0.0, DT)
+        assert policy.away
+        cmd = policy.update(
+            readings(TRIGGER - 2.0, spare=TRIGGER + 1.0), DT, DT
+        )
+        assert not policy.away
+        assert cmd.migration is None
+
+    def test_returns_home_after_sustained_cooling(self):
+        policy = MigrationPolicy()
+        policy.update(readings(TRIGGER + 1.0), 0.0, DT)
+        cmd = None
+        for i in range(60):
+            cmd = policy.update(readings(75.0, spare=75.0), (i + 1) * DT, DT)
+        assert not policy.away
+        assert cmd.migration is None
+
+    def test_missing_home_reading_rejected(self):
+        policy = MigrationPolicy()
+        with pytest.raises(DtmConfigError):
+            policy.update({"L2": 70.0}, 0.0, DT)
+
+    def test_reset(self):
+        policy = MigrationPolicy()
+        policy.update(readings(TRIGGER + 1.0), 0.0, DT)
+        policy.reset()
+        assert not policy.away
+
+    def test_config_validation(self):
+        with pytest.raises(DtmConfigError):
+            MigrationConfig(hot_block="X", spare_block="X")
+        with pytest.raises(DtmConfigError):
+            MigrationConfig(remote_penalty=1.0)
+
+
+class TestMigrationFloorplan:
+    def test_migration_floorplan_valid_and_has_spare(self):
+        from repro.floorplan import build_migration_floorplan, validate_floorplan
+
+        floorplan = build_migration_floorplan()
+        validate_floorplan(floorplan)
+        assert SPARE_REGISTER_FILE in floorplan
+        assert floorplan["IntReg"].area == pytest.approx(
+            floorplan[SPARE_REGISTER_FILE].area
+        )
+
+    def test_spare_sits_far_from_primary(self):
+        from repro.floorplan import build_migration_floorplan
+
+        floorplan = build_migration_floorplan()
+        distance = floorplan["IntReg"].center_distance(
+            floorplan[SPARE_REGISTER_FILE]
+        )
+        assert distance > 3e-3  # metres: across the core
+
+    def test_migration_specs_keep_density(self):
+        from repro.floorplan import build_migration_floorplan
+        from repro.power import default_power_specs, migration_power_specs
+        from repro.floorplan import build_alpha21364_floorplan
+
+        base_fp = build_alpha21364_floorplan()
+        mig_fp = build_migration_floorplan()
+        base_density = (
+            default_power_specs()["IntReg"].peak_dynamic_w
+            / base_fp["IntReg"].area
+        )
+        mig_density = (
+            migration_power_specs()["IntReg"].peak_dynamic_w
+            / mig_fp["IntReg"].area
+        )
+        assert mig_density == pytest.approx(base_density, rel=0.01)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.dtm import NoDtmPolicy
+        from repro.floorplan import build_migration_floorplan
+        from repro.power import PowerModel, migration_power_specs
+        from repro.sim import SimulationEngine
+        from repro.workloads import build_benchmark
+
+        floorplan = build_migration_floorplan()
+        power = PowerModel(floorplan, specs=migration_power_specs())
+        workload = build_benchmark("crafty")
+        engine = SimulationEngine(
+            workload, policy=NoDtmPolicy(), floorplan=floorplan,
+            power_model=power,
+        )
+        init = engine.compute_initial_temperatures()
+        base = engine.run(4_000_000, initial=init.copy(), settle_time_s=2e-3)
+        return floorplan, power, workload, init, base
+
+    def test_migration_eliminates_violations(self, setup):
+        from repro.sim import SimulationEngine
+
+        floorplan, power, workload, init, base = setup
+        assert base.violations > 0  # unmanaged crafty runs hot
+        run = SimulationEngine(
+            workload, policy=MigrationPolicy(), floorplan=floorplan,
+            power_model=power,
+        ).run(4_000_000, initial=init.copy(), settle_time_s=2e-3)
+        assert run.violations == 0
+        assert run.max_true_temp_c < 85.0
+
+    def test_migration_cheaper_than_dvs_on_register_heat(self, setup):
+        from repro.dtm import DvsPolicy
+        from repro.sim import SimulationEngine
+
+        floorplan, power, workload, init, base = setup
+        migration = SimulationEngine(
+            workload, policy=MigrationPolicy(), floorplan=floorplan,
+            power_model=power,
+        ).run(4_000_000, initial=init.copy(), settle_time_s=2e-3)
+        dvs = SimulationEngine(
+            workload, policy=DvsPolicy(), floorplan=floorplan,
+            power_model=power,
+        ).run(4_000_000, initial=init.copy(), settle_time_s=2e-3)
+        assert migration.elapsed_s < dvs.elapsed_s

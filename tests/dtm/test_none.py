@@ -1,0 +1,29 @@
+"""No-DTM baseline policy."""
+
+import pytest
+
+from repro.dtm import NoDtmPolicy
+
+
+def test_always_nominal():
+    policy = NoDtmPolicy()
+    cmd = policy.update({"IntReg": 120.0}, 0.0, 1e-4)
+    assert cmd.gating_fraction == 0.0
+    assert cmd.voltage == pytest.approx(1.3)
+    assert cmd.clock_enabled_fraction == 1.0
+
+
+def test_custom_nominal_voltage():
+    policy = NoDtmPolicy(nominal_voltage=1.1)
+    cmd = policy.update({"IntReg": 90.0}, 0.0, 1e-4)
+    assert cmd.voltage == pytest.approx(1.1)
+
+
+def test_reset_is_noop():
+    policy = NoDtmPolicy()
+    policy.reset()
+    assert policy.update({"a": 50.0}, 0.0, 1e-4).voltage == pytest.approx(1.3)
+
+
+def test_name():
+    assert NoDtmPolicy().name == "none"

@@ -1,0 +1,108 @@
+"""Predictive hybrid DTM (the future-work extension)."""
+
+import pytest
+
+from repro.dtm import PredictiveHybConfig, PredictiveHybPolicy, ThermalThresholds
+from repro.dtm.hybrid import HybridState
+from repro.errors import DtmConfigError
+
+TRIGGER = ThermalThresholds().trigger_c
+DT = 1e-4
+
+
+def readings(temp):
+    return {"IntReg": temp}
+
+
+def feed_ramp(policy, start, slope_per_s, samples):
+    """Feed a linear temperature ramp; returns the last command."""
+    cmd = None
+    for i in range(samples):
+        temp = start + slope_per_s * i * DT
+        cmd = policy.update(readings(temp), i * DT, DT)
+    return cmd
+
+
+class TestForecast:
+    def test_constant_temperature_forecasts_itself(self):
+        policy = PredictiveHybPolicy()
+        for i in range(50):
+            policy.update(readings(78.0), i * DT, DT)
+        assert policy.forecast(78.0, DT) == pytest.approx(78.0, abs=0.05)
+
+    def test_rising_ramp_forecasts_ahead(self):
+        policy = PredictiveHybPolicy()
+        slope = 2000.0  # 2 K/ms
+        feed_ramp(policy, 75.0, slope, 60)
+        last = 75.0 + slope * 59 * DT
+        forecast = policy.forecast(last + slope * DT, DT)
+        assert forecast > last + 0.3  # looks ahead of the level
+
+
+class TestProactiveResponse:
+    def test_engages_before_trigger_on_rising_ramp(self):
+        policy = PredictiveHybPolicy()
+        slope = 3000.0  # 3 K/ms toward the trigger
+        engaged_at = None
+        for i in range(400):
+            temp = 79.0 + slope * i * DT
+            policy.update(readings(temp), i * DT, DT)
+            if policy.state is not HybridState.NOMINAL and engaged_at is None:
+                engaged_at = temp
+            if temp > TRIGGER:
+                break
+        assert engaged_at is not None
+        assert engaged_at < TRIGGER  # acted before the threshold
+
+    def test_stays_nominal_when_cool_and_stable(self):
+        policy = PredictiveHybPolicy()
+        cmd = feed_ramp(policy, 78.0, 0.0, 100)
+        assert policy.state is HybridState.NOMINAL
+        assert cmd.gating_fraction == 0.0
+
+    def test_fast_ramp_escalates_to_dvs(self):
+        policy = PredictiveHybPolicy()
+        feed_ramp(policy, 80.0, 20_000.0, 120)  # 20 K/ms runaway
+        assert policy.state is HybridState.DVS
+
+    def test_falling_temperature_releases(self):
+        policy = PredictiveHybPolicy()
+        feed_ramp(policy, 80.0, 20_000.0, 120)
+        assert policy.state is HybridState.DVS
+        feed_ramp(policy, 78.0, -1000.0, 300)
+        assert policy.state is HybridState.NOMINAL
+
+
+class TestConfig:
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(DtmConfigError):
+            PredictiveHybConfig(horizon_s=0.0)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(DtmConfigError):
+            PredictiveHybConfig(slope_filter_alpha=0.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(DtmConfigError):
+            PredictiveHybConfig(gating_fraction=1.0)
+
+    def test_reset_clears_history(self):
+        policy = PredictiveHybPolicy()
+        feed_ramp(policy, 80.0, 20_000.0, 120)
+        policy.reset()
+        assert policy.state is HybridState.NOMINAL
+        # After reset the first sample primes cleanly (no stale slope).
+        cmd = policy.update(readings(70.0), 0.0, DT)
+        assert cmd.gating_fraction == 0.0
+
+
+class TestEndToEnd:
+    def test_protects_a_hot_benchmark(self):
+        from repro.sim import SimulationEngine
+        from repro.workloads import build_benchmark
+
+        workload = build_benchmark("gzip")
+        engine = SimulationEngine(workload, policy=PredictiveHybPolicy())
+        run = engine.run(4_000_000, settle_time_s=2e-3)
+        assert run.violations == 0
+        assert run.max_true_temp_c < 85.0

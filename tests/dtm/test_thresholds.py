@@ -1,0 +1,36 @@
+"""Thermal thresholds."""
+
+import pytest
+
+from repro.dtm import ThermalThresholds
+from repro.errors import DtmConfigError
+
+
+def test_defaults_match_paper():
+    t = ThermalThresholds()
+    assert t.emergency_c == 85.0
+    assert t.practical_limit_c == 82.0
+    assert t.trigger_c == 81.8
+
+
+def test_sensor_margin():
+    assert ThermalThresholds().sensor_margin_c == pytest.approx(3.0)
+
+
+def test_above_trigger():
+    t = ThermalThresholds()
+    assert t.above_trigger(81.9)
+    assert not t.above_trigger(81.8)
+
+
+def test_in_violation():
+    t = ThermalThresholds()
+    assert t.in_violation(85.01)
+    assert not t.in_violation(85.0)
+
+
+def test_rejects_inverted_ordering():
+    with pytest.raises(DtmConfigError):
+        ThermalThresholds(emergency_c=80.0, practical_limit_c=82.0, trigger_c=81.8)
+    with pytest.raises(DtmConfigError):
+        ThermalThresholds(trigger_c=83.0)

@@ -1,0 +1,82 @@
+"""The Alpha 21364 floorplan of Figure 2."""
+
+import pytest
+
+from repro.floorplan import (
+    ALL_BLOCKS,
+    CORE_BLOCKS,
+    HOTTEST_BLOCK,
+    L2_BLOCKS,
+    build_alpha21364_floorplan,
+    validate_floorplan,
+)
+from repro.floorplan.alpha21364 import DIE_SIDE
+from repro.units import MM
+
+
+@pytest.fixture(scope="module")
+def fp():
+    return build_alpha21364_floorplan()
+
+
+def test_has_all_eighteen_blocks(fp):
+    assert len(fp) == 18
+    assert set(fp.block_names) == set(ALL_BLOCKS)
+
+
+def test_fully_tiles_the_die(fp):
+    validate_floorplan(fp, require_full_coverage=True)
+
+
+def test_bounding_box_is_16mm_square(fp):
+    x0, y0, x1, y1 = fp.bounding_box
+    assert x0 == 0.0 and y0 == 0.0
+    assert x1 == pytest.approx(DIE_SIDE)
+    assert y1 == pytest.approx(16.0 * MM)
+
+
+def test_l2_wraps_the_core(fp):
+    # The three L2 banks make up most of the die area.
+    l2_area = sum(fp[name].area for name in L2_BLOCKS)
+    assert l2_area / fp.die_area > 0.75
+
+
+def test_core_blocks_sit_in_core_region(fp):
+    for name in CORE_BLOCKS:
+        block = fp[name]
+        assert block.x >= 4.9 * MM - 1e-12
+        assert block.right <= 11.1 * MM + 1e-12
+        assert block.y >= 9.8 * MM - 1e-12
+
+
+def test_hotspot_block_is_integer_register_file(fp):
+    assert HOTTEST_BLOCK == "IntReg"
+    assert HOTTEST_BLOCK in fp
+
+
+def test_intreg_is_small_relative_to_caches(fp):
+    # Small area is what gives the register file its high power density.
+    assert fp["IntReg"].area < fp["Icache"].area
+    assert fp["IntReg"].area < fp["Dcache"].area
+
+
+def test_caches_abut_the_register_stack(fp):
+    # Figure 2's layout: caches at the bottom of the core, register file
+    # and execution units at the top.
+    assert fp["Icache"].y < fp["IntReg"].y
+    assert fp["Dcache"].y < fp["IntExec"].y
+
+
+def test_intreg_and_intexec_are_adjacent(fp):
+    assert "IntExec" in fp.neighbours("IntReg")
+
+
+def test_figure2_adjacency_samples(fp):
+    assert "L2" in fp.neighbours("Icache")
+    assert "L2_left" in fp.neighbours("IntReg")
+    assert "L2_right" in fp.neighbours("IntExec")
+
+
+def test_blocks_named_in_constants_are_consistent(fp):
+    assert set(CORE_BLOCKS) | set(L2_BLOCKS) == set(ALL_BLOCKS)
+    assert not set(CORE_BLOCKS) & set(L2_BLOCKS)

@@ -1,0 +1,119 @@
+"""Block geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FloorplanError
+from repro.floorplan import Block
+
+
+def make(name="b", x=0.0, y=0.0, w=1.0, h=1.0):
+    return Block(name=name, x=x, y=y, width=w, height=h)
+
+
+class TestConstruction:
+    def test_rejects_empty_name(self):
+        with pytest.raises(FloorplanError):
+            make(name="")
+
+    @pytest.mark.parametrize("w,h", [(0.0, 1.0), (1.0, 0.0), (-1.0, 1.0)])
+    def test_rejects_non_positive_extent(self, w, h):
+        with pytest.raises(FloorplanError):
+            make(w=w, h=h)
+
+    def test_rejects_negative_origin(self):
+        with pytest.raises(FloorplanError):
+            make(x=-0.1)
+
+    def test_derived_geometry(self):
+        b = make(x=1.0, y=2.0, w=3.0, h=4.0)
+        assert b.right == pytest.approx(4.0)
+        assert b.top == pytest.approx(6.0)
+        assert b.area == pytest.approx(12.0)
+        assert b.center == (pytest.approx(2.5), pytest.approx(4.0))
+
+
+class TestOverlap:
+    def test_disjoint_blocks_do_not_overlap(self):
+        assert not make(x=0).overlaps(make(name="c", x=5.0))
+
+    def test_identical_blocks_overlap(self):
+        assert make().overlaps(make(name="c"))
+
+    def test_partial_overlap(self):
+        assert make(w=2.0).overlaps(make(name="c", x=1.0, w=2.0))
+
+    def test_shared_edge_is_not_overlap(self):
+        assert not make(w=1.0).overlaps(make(name="c", x=1.0))
+
+    def test_shared_corner_is_not_overlap(self):
+        assert not make().overlaps(make(name="c", x=1.0, y=1.0))
+
+    def test_overlap_is_symmetric(self):
+        a, b = make(w=2.0), make(name="c", x=1.0)
+        assert a.overlaps(b) == b.overlaps(a)
+
+
+class TestSharedEdge:
+    def test_right_neighbour_full_edge(self):
+        a = make(h=2.0)
+        b = make(name="c", x=1.0, h=2.0)
+        assert a.shared_edge_length(b) == pytest.approx(2.0)
+
+    def test_top_neighbour_partial_edge(self):
+        a = make(w=2.0)
+        b = make(name="c", x=1.0, y=1.0, w=2.0)
+        assert a.shared_edge_length(b) == pytest.approx(1.0)
+
+    def test_disjoint_blocks_share_nothing(self):
+        assert make().shared_edge_length(make(name="c", x=3.0)) == 0.0
+
+    def test_corner_touch_shares_nothing(self):
+        assert make().shared_edge_length(make(name="c", x=1.0, y=1.0)) == 0.0
+
+    def test_aligned_but_separated_shares_nothing(self):
+        # Same y-range but a gap in x.
+        assert make().shared_edge_length(make(name="c", x=1.5)) == 0.0
+
+    def test_symmetry(self):
+        a = make(h=2.0)
+        b = make(name="c", x=1.0, y=0.5, h=2.0)
+        assert a.shared_edge_length(b) == pytest.approx(b.shared_edge_length(a))
+
+
+class TestCenterDistance:
+    def test_horizontal_neighbours(self):
+        a, b = make(), make(name="c", x=1.0)
+        assert a.center_distance(b) == pytest.approx(1.0)
+
+    def test_diagonal(self):
+        a, b = make(), make(name="c", x=3.0, y=4.0)
+        assert a.center_distance(b) == pytest.approx(5.0)
+
+
+@given(
+    x=st.floats(0.0, 10.0),
+    y=st.floats(0.0, 10.0),
+    w=st.floats(0.1, 5.0),
+    h=st.floats(0.1, 5.0),
+)
+def test_property_area_positive_and_consistent(x, y, w, h):
+    b = Block(name="p", x=x, y=y, width=w, height=h)
+    assert b.area > 0.0
+    assert b.right >= b.x
+    assert b.top >= b.y
+    cx, cy = b.center
+    assert b.x <= cx <= b.right
+    assert b.y <= cy <= b.top
+
+
+@given(
+    dx=st.floats(0.0, 3.0),
+    w=st.floats(0.5, 2.0),
+)
+def test_property_overlap_iff_within_extent(dx, w):
+    a = Block(name="a", x=0.0, y=0.0, width=w, height=1.0)
+    b = Block(name="b", x=dx, y=0.0, width=1.0, height=1.0)
+    expected = dx < w - 1e-9
+    assert a.overlaps(b) == expected

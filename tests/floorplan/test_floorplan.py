@@ -1,0 +1,107 @@
+"""Floorplan container and adjacency."""
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan import Block, Floorplan
+
+
+def two_by_one():
+    return Floorplan(
+        [
+            Block("left", 0.0, 0.0, 1.0, 1.0),
+            Block("right", 1.0, 0.0, 1.0, 1.0),
+        ],
+        name="pair",
+    )
+
+
+def quad():
+    return Floorplan(
+        [
+            Block("sw", 0.0, 0.0, 1.0, 1.0),
+            Block("se", 1.0, 0.0, 1.0, 1.0),
+            Block("nw", 0.0, 1.0, 1.0, 1.0),
+            Block("ne", 1.0, 1.0, 1.0, 1.0),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(FloorplanError):
+            Floorplan([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(FloorplanError) as err:
+            Floorplan([Block("a", 0, 0, 1, 1), Block("a", 2, 0, 1, 1)])
+        assert "duplicate" in str(err.value)
+
+    def test_rejects_overlapping_blocks(self):
+        with pytest.raises(FloorplanError) as err:
+            Floorplan([Block("a", 0, 0, 2, 1), Block("b", 1, 0, 2, 1)])
+        assert "overlap" in str(err.value)
+
+
+class TestAccess:
+    def test_len_iteration_and_contains(self):
+        fp = two_by_one()
+        assert len(fp) == 2
+        assert [b.name for b in fp] == ["left", "right"]
+        assert "left" in fp and "missing" not in fp
+
+    def test_getitem_and_index(self):
+        fp = two_by_one()
+        assert fp["right"].x == pytest.approx(1.0)
+        assert fp.index_of("left") == 0
+        assert fp.index_of("right") == 1
+
+    def test_unknown_block_raises(self):
+        fp = two_by_one()
+        with pytest.raises(FloorplanError):
+            fp["nope"]
+        with pytest.raises(FloorplanError):
+            fp.index_of("nope")
+
+    def test_block_names_order_is_stable(self):
+        assert quad().block_names == ["sw", "se", "nw", "ne"]
+
+
+class TestGeometry:
+    def test_bounding_box_and_areas(self):
+        fp = quad()
+        assert fp.bounding_box == (0.0, 0.0, 2.0, 2.0)
+        assert fp.die_area == pytest.approx(4.0)
+        assert fp.total_block_area == pytest.approx(4.0)
+
+    def test_power_density(self):
+        fp = two_by_one()
+        densities = fp.power_density({"left": 2.0, "right": 4.0})
+        assert densities["left"] == pytest.approx(2.0)
+        assert densities["right"] == pytest.approx(4.0)
+
+
+class TestAdjacency:
+    def test_pair_adjacency(self):
+        fp = two_by_one()
+        assert len(fp.adjacencies) == 1
+        pair = fp.adjacencies[0]
+        assert {pair.block_a, pair.block_b} == {"left", "right"}
+        assert pair.shared_edge_length == pytest.approx(1.0)
+        assert pair.center_distance == pytest.approx(1.0)
+
+    def test_quad_has_four_edges_no_diagonals(self):
+        fp = quad()
+        # Diagonal neighbours (sw-ne, se-nw) share only a corner.
+        assert len(fp.adjacencies) == 4
+        pairs = {frozenset((a.block_a, a.block_b)) for a in fp.adjacencies}
+        assert frozenset(("sw", "ne")) not in pairs
+        assert frozenset(("se", "nw")) not in pairs
+
+    def test_neighbours(self):
+        fp = quad()
+        assert sorted(fp.neighbours("sw")) == ["nw", "se"]
+
+    def test_neighbours_unknown_block_raises(self):
+        with pytest.raises(FloorplanError):
+            quad().neighbours("nope")

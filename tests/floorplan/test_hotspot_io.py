@@ -1,0 +1,78 @@
+"""HotSpot .flp interchange."""
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan import build_alpha21364_floorplan
+from repro.floorplan.hotspot_io import dump_flp, load_flp, parse_flp, save_flp
+
+
+SAMPLE = """
+# a two-block test chip
+left\t0.004\t0.008\t0.000\t0.000
+right\t0.004\t0.008\t0.004\t0.000
+"""
+
+
+class TestParse:
+    def test_parses_blocks(self):
+        fp = parse_flp(SAMPLE, name="pair")
+        assert fp.block_names == ["left", "right"]
+        assert fp["right"].x == pytest.approx(0.004)
+        assert fp["left"].area == pytest.approx(0.004 * 0.008)
+
+    def test_ignores_comments_and_blanks(self):
+        fp = parse_flp("# only\n\nsolo 0.001 0.001 0 0\n")
+        assert len(fp) == 1
+
+    def test_space_or_tab_separated(self):
+        fp = parse_flp("a 0.001 0.001 0 0\nb\t0.001\t0.001\t0.001\t0\n")
+        assert len(fp) == 2
+
+    def test_rejects_short_lines(self):
+        with pytest.raises(FloorplanError) as err:
+            parse_flp("bad 0.001 0.001\n")
+        assert "line 1" in str(err.value)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(FloorplanError):
+            parse_flp("bad w h x y\n")
+
+    def test_rejects_empty(self):
+        with pytest.raises(FloorplanError):
+            parse_flp("# nothing here\n")
+
+    def test_overlaps_rejected_like_any_floorplan(self):
+        with pytest.raises(FloorplanError):
+            parse_flp("a 0.002 0.002 0 0\nb 0.002 0.002 0.001 0\n")
+
+
+class TestRoundTrip:
+    def test_alpha_floorplan_round_trips(self):
+        original = build_alpha21364_floorplan()
+        recovered = parse_flp(dump_flp(original), name="alpha21364")
+        assert recovered.block_names == original.block_names
+        for name in original.block_names:
+            assert recovered[name].x == pytest.approx(original[name].x)
+            assert recovered[name].area == pytest.approx(original[name].area)
+        assert len(recovered.adjacencies) == len(original.adjacencies)
+
+    def test_file_round_trip(self, tmp_path):
+        original = build_alpha21364_floorplan()
+        path = tmp_path / "alpha.flp"
+        save_flp(original, path)
+        loaded = load_flp(path)
+        assert loaded.name == "alpha"
+        assert set(loaded.block_names) == set(original.block_names)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FloorplanError):
+            load_flp(tmp_path / "nope.flp")
+
+    def test_imported_floorplan_is_thermally_usable(self):
+        from repro.thermal import HotSpotModel
+
+        fp = parse_flp(dump_flp(build_alpha21364_floorplan()))
+        model = HotSpotModel(fp)
+        temps = model.steady_state({n: 1.0 for n in fp.block_names})
+        assert temps["IntReg"] > model.package.ambient_c

@@ -1,0 +1,51 @@
+"""Floorplan validation."""
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan import Block, Floorplan, validate_floorplan
+
+
+def test_full_tiling_passes():
+    fp = Floorplan(
+        [Block("a", 0, 0, 1, 2), Block("b", 1, 0, 1, 2)]
+    )
+    validate_floorplan(fp)
+
+
+def test_gap_fails_full_coverage():
+    fp = Floorplan(
+        [Block("a", 0, 0, 1, 1), Block("b", 1, 0, 1, 2)]
+    )
+    with pytest.raises(FloorplanError) as err:
+        validate_floorplan(fp)
+    assert "uncovered" in str(err.value)
+
+
+def test_gap_allowed_when_partial_coverage_requested():
+    fp = Floorplan(
+        [Block("a", 0, 0, 1, 1), Block("b", 1, 0, 1, 2)]
+    )
+    validate_floorplan(fp, require_full_coverage=False)
+
+
+def test_disconnected_floorplan_fails():
+    fp = Floorplan(
+        [Block("a", 0, 0, 1, 1), Block("b", 5, 5, 1, 1)]
+    )
+    with pytest.raises(FloorplanError) as err:
+        validate_floorplan(fp, require_full_coverage=False)
+    assert "disconnected" in str(err.value)
+
+
+def test_corner_touch_counts_as_disconnected():
+    # Thermal coupling needs a shared edge, not a point.
+    fp = Floorplan(
+        [Block("a", 0, 0, 1, 1), Block("b", 1, 1, 1, 1)]
+    )
+    with pytest.raises(FloorplanError):
+        validate_floorplan(fp, require_full_coverage=False)
+
+
+def test_single_block_is_valid():
+    validate_floorplan(Floorplan([Block("solo", 0, 0, 1, 1)]))

@@ -1,0 +1,117 @@
+"""End-to-end integration: the whole stack on single benchmarks.
+
+These tests exercise floorplan -> thermal -> power -> interval engine ->
+sensors -> DTM -> metrics in one pass, at reduced instruction budgets.
+"""
+
+import pytest
+
+from repro import (
+    EngineConfig,
+    SimulationEngine,
+    build_benchmark,
+    make_policy,
+    slowdown_factor,
+)
+from repro.core import overhead_reduction
+
+N = 20_000_000
+SETTLE = 2.0e-3
+
+
+@pytest.fixture(scope="module")
+def crafty_runs():
+    """crafty (most severe benchmark) under every technique."""
+    workload = build_benchmark("crafty")
+    engine = SimulationEngine(workload, policy=make_policy("none"))
+    initial = engine.compute_initial_temperatures()
+    runs = {"none": engine.run(N, initial=initial.copy(), settle_time_s=SETTLE)}
+    for name in ("FG", "CG", "DVS", "PI-Hyb", "Hyb"):
+        runs[name] = SimulationEngine(
+            workload, policy=make_policy(name)
+        ).run(N, initial=initial.copy(), settle_time_s=SETTLE)
+    return runs
+
+
+class TestProtection:
+    def test_unmanaged_run_violates(self, crafty_runs):
+        assert crafty_runs["none"].violations > 0
+
+    @pytest.mark.parametrize("name", ["FG", "CG", "DVS", "PI-Hyb", "Hyb"])
+    def test_every_technique_eliminates_violations(self, crafty_runs, name):
+        assert crafty_runs[name].violations == 0, name
+
+    @pytest.mark.parametrize("name", ["FG", "CG", "DVS", "PI-Hyb", "Hyb"])
+    def test_regulated_below_emergency(self, crafty_runs, name):
+        assert crafty_runs[name].max_true_temp_c <= 85.0
+
+
+class TestCost:
+    @pytest.mark.parametrize("name", ["FG", "CG", "DVS", "PI-Hyb", "Hyb"])
+    def test_protection_costs_time(self, crafty_runs, name):
+        slowdown = slowdown_factor(crafty_runs[name], crafty_runs["none"])
+        assert slowdown > 1.0
+
+    def test_fetch_gating_is_most_expensive_on_severe_heat(self, crafty_runs):
+        baseline = crafty_runs["none"]
+        fg = slowdown_factor(crafty_runs["FG"], baseline)
+        for other in ("DVS", "PI-Hyb", "Hyb"):
+            assert fg > slowdown_factor(crafty_runs[other], baseline)
+
+    def test_hybrids_no_worse_than_dvs(self, crafty_runs):
+        baseline = crafty_runs["none"]
+        dvs = slowdown_factor(crafty_runs["DVS"], baseline)
+        for hybrid in ("PI-Hyb", "Hyb"):
+            assert slowdown_factor(crafty_runs[hybrid], baseline) <= dvs * 1.01
+
+
+class TestMildBenchmark:
+    def test_mild_stress_is_nearly_free_for_hybrids(self):
+        workload = build_benchmark("eon")
+        engine = SimulationEngine(workload, policy=make_policy("none"))
+        initial = engine.compute_initial_temperatures()
+        baseline = engine.run(N, initial=initial.copy(), settle_time_s=SETTLE)
+        run = SimulationEngine(workload, policy=make_policy("PI-Hyb")).run(
+            N, initial=initial.copy(), settle_time_s=SETTLE
+        )
+        assert run.violations == 0
+        assert slowdown_factor(run, baseline) < 1.03
+
+    def test_dvs_pays_quantisation_on_mild_stress(self):
+        # Even mild overheating costs DVS a full voltage step; the ILP
+        # technique responds proportionally.
+        workload = build_benchmark("mesa")
+        engine = SimulationEngine(workload, policy=make_policy("none"))
+        initial = engine.compute_initial_temperatures()
+        baseline = engine.run(N, initial=initial.copy(), settle_time_s=SETTLE)
+        dvs = SimulationEngine(workload, policy=make_policy("DVS")).run(
+            N, initial=initial.copy(), settle_time_s=SETTLE
+        )
+        pihyb = SimulationEngine(workload, policy=make_policy("PI-Hyb")).run(
+            N, initial=initial.copy(), settle_time_s=SETTLE
+        )
+        assert slowdown_factor(pihyb, baseline) < slowdown_factor(dvs, baseline)
+
+
+class TestDvsModes:
+    def test_stall_overhead_appears_when_switching(self):
+        workload = build_benchmark("vortex")
+        engine = SimulationEngine(workload, policy=make_policy("none"))
+        initial = engine.compute_initial_temperatures()
+        runs = {}
+        for mode in ("stall", "ideal"):
+            runs[mode] = SimulationEngine(
+                workload,
+                policy=make_policy("DVS"),
+                config=EngineConfig(dvs_mode=mode),
+            ).run(N, initial=initial.copy(), settle_time_s=SETTLE)
+        assert runs["stall"].elapsed_s >= runs["ideal"].elapsed_s
+        assert runs["ideal"].stall_time_s == 0.0
+
+
+def test_overhead_reduction_metric_round_trip(crafty_runs):
+    baseline = crafty_runs["none"]
+    dvs = slowdown_factor(crafty_runs["DVS"], baseline)
+    hyb = slowdown_factor(crafty_runs["Hyb"], baseline)
+    reduction = overhead_reduction(dvs, hyb)
+    assert -1.0 < reduction < 1.0

@@ -1,0 +1,93 @@
+"""Property-based robustness: the engine over random valid workloads.
+
+Hypothesis generates arbitrary (but valid) phase descriptions; whatever
+the workload looks like, the coupled simulation must preserve its
+invariants: exact instruction accounting, finite physical temperatures
+bounded below by ambient, violation-free protection whenever a strong
+policy has authority, and energy-consistent power numbers.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dtm import DvsPolicy, NoDtmPolicy
+from repro.sim import SimulationEngine
+from repro.workloads import Phase, Workload, make_activity_profile
+
+
+@st.composite
+def phases(draw):
+    ipc = draw(st.floats(0.8, 2.4))
+    return Phase(
+        name=f"p{draw(st.integers(0, 10**6))}",
+        instructions=draw(st.integers(100_000, 2_000_000)),
+        base_ipc=ipc,
+        memory_cpi_fraction=draw(st.floats(0.0, 0.5)),
+        fetch_supply_ipc=ipc * draw(st.floats(1.2, 2.0)),
+        speculation_waste=draw(st.floats(0.0, 0.4)),
+        base_activities=make_activity_profile(
+            draw(st.floats(0.1, 0.85)),
+            draw(st.floats(0.0, 0.6)),
+            draw(st.floats(0.1, 0.8)),
+            draw(st.floats(0.1, 0.8)),
+            draw(st.floats(0.0, 0.5)),
+        ),
+    )
+
+
+@st.composite
+def workloads(draw):
+    phase_list = draw(st.lists(phases(), min_size=1, max_size=3))
+    names = {p.name for p in phase_list}
+    if len(names) != len(phase_list):  # regenerate duplicates cheaply
+        phase_list = [
+            Phase(
+                name=f"{p.name}_{i}",
+                instructions=p.instructions,
+                base_ipc=p.base_ipc,
+                memory_cpi_fraction=p.memory_cpi_fraction,
+                fetch_supply_ipc=p.fetch_supply_ipc,
+                speculation_waste=p.speculation_waste,
+                base_activities=p.base_activities,
+            )
+            for i, p in enumerate(phase_list)
+        ]
+    return Workload("random", phase_list)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(workload=workloads())
+def test_property_engine_invariants_hold(workload):
+    engine = SimulationEngine(workload, policy=NoDtmPolicy())
+    run = engine.run(1_000_000, settle_time_s=0.0)
+    # Exact instruction accounting.
+    assert run.instructions == 1_000_000
+    # Physically sane temperatures.
+    ambient = engine.hotspot.package.ambient_c
+    assert ambient < run.max_true_temp_c < 150.0
+    # Time accounting is self-consistent.
+    assert 0.0 <= run.time_above_trigger_s <= run.elapsed_s * (1 + 1e-9)
+    # Power is within the budget's physical envelope.
+    assert 0.0 < run.mean_power_w < 60.0
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(workload=workloads())
+def test_property_dvs_never_speeds_up_and_never_heats(workload):
+    engine = SimulationEngine(workload, policy=NoDtmPolicy())
+    init = engine.compute_initial_temperatures()
+    baseline = engine.run(800_000, initial=init.copy(), settle_time_s=1e-3)
+    managed = SimulationEngine(workload, policy=DvsPolicy()).run(
+        800_000, initial=init.copy(), settle_time_s=1e-3
+    )
+    assert managed.elapsed_s >= baseline.elapsed_s * (1 - 1e-9)
+    assert managed.max_true_temp_c <= baseline.max_true_temp_c + 0.5

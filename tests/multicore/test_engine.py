@@ -1,0 +1,150 @@
+"""Dual-core engine and core hopping."""
+
+import pytest
+
+from repro.dtm import HybPolicy, ThermalThresholds
+from repro.errors import DtmConfigError, SimulationError
+from repro.multicore import CoreHopper, HoppingConfig, MultiCoreEngine
+from repro.workloads import build_benchmark
+
+DURATION = 2.0e-3
+SETTLE = 1.0e-3
+
+
+@pytest.fixture(scope="module")
+def hot_and_mild():
+    return [build_benchmark("crafty"), build_benchmark("mesa")]
+
+
+@pytest.fixture(scope="module")
+def baseline(hot_and_mild):
+    engine = MultiCoreEngine(hot_and_mild)
+    init = engine.compute_initial_temperatures()
+    return init, engine.run(DURATION, initial=init.copy(), settle_time_s=SETTLE)
+
+
+class TestBaseline:
+    def test_both_cores_commit_work(self, baseline):
+        _, result = baseline
+        for core in result.cores:
+            assert core.instructions > 0
+
+    def test_hot_core_is_the_hotspot(self, baseline):
+        _, result = baseline
+        assert result.hottest_block.endswith("#0")  # crafty on core 0
+
+    def test_throughput_is_chip_wide(self, baseline):
+        _, result = baseline
+        assert result.total_instructions == pytest.approx(
+            sum(c.instructions for c in result.cores)
+        )
+        assert result.throughput_ips > 5e9  # two 3 GHz cores
+
+    def test_thermal_coupling_between_cores(self, hot_and_mild):
+        # Running crafty next to mesa heats mesa's core versus running
+        # two mesas: the neighbour's heat arrives through the shared die.
+        mesa = build_benchmark("mesa")
+        crafty = build_benchmark("crafty")
+        engine_hot = MultiCoreEngine([crafty, mesa])
+        engine_cool = MultiCoreEngine([mesa, mesa])
+        hot_init = engine_hot.compute_initial_temperatures()
+        cool_init = engine_cool.compute_initial_temperatures()
+        net = engine_hot.hotspot.network
+        hot_map = net.temperatures_as_mapping(hot_init)
+        cool_map = net.temperatures_as_mapping(cool_init)
+        assert hot_map["IntReg#1"] > cool_map["IntReg#1"] + 0.5
+
+
+class TestDtm:
+    def test_per_core_hyb_cools_the_chip(self, hot_and_mild, baseline):
+        init, base = baseline
+        managed = MultiCoreEngine(
+            hot_and_mild, policies=[HybPolicy(), HybPolicy()]
+        ).run(DURATION, initial=init.copy(), settle_time_s=SETTLE)
+        assert managed.max_true_temp_c <= base.max_true_temp_c + 1e-9
+        assert managed.throughput_ips <= base.throughput_ips * (1 + 1e-9)
+
+    def test_core_hopping_swaps_and_cools(self, hot_and_mild, baseline):
+        init, base = baseline
+        hopped = MultiCoreEngine(hot_and_mild, hopper=CoreHopper()).run(
+            DURATION, initial=init.copy(), settle_time_s=SETTLE
+        )
+        assert hopped.swaps > 0
+        assert hopped.max_true_temp_c < base.max_true_temp_c
+
+    def test_hopping_costs_little_throughput(self, hot_and_mild, baseline):
+        init, base = baseline
+        hopped = MultiCoreEngine(hot_and_mild, hopper=CoreHopper()).run(
+            DURATION, initial=init.copy(), settle_time_s=SETTLE
+        )
+        assert hopped.throughput_ips > 0.95 * base.throughput_ips
+
+
+class TestHopper:
+    def readings(self, hot0, hot1):
+        return {"IntReg#0": hot0, "IntReg#1": hot1}
+
+    def test_swaps_when_hot_and_neighbour_cool(self):
+        hopper = CoreHopper()
+        trigger = ThermalThresholds().trigger_c
+        assert hopper.update(
+            self.readings(trigger + 1.0, trigger - 3.0), [0, 1], 0.0, 1e-4
+        )
+        assert hopper.swaps == 1
+
+    def test_no_swap_when_cool(self):
+        hopper = CoreHopper()
+        assert not hopper.update(self.readings(75.0, 74.0), [0, 1], 0.0, 1e-4)
+
+    def test_no_swap_when_neighbour_equally_hot(self):
+        hopper = CoreHopper()
+        trigger = ThermalThresholds().trigger_c
+        assert not hopper.update(
+            self.readings(trigger + 1.0, trigger + 0.8), [0, 1], 0.0, 1e-4
+        )
+
+    def test_refractory_period(self):
+        hopper = CoreHopper(HoppingConfig(min_interval_s=1e-3))
+        trigger = ThermalThresholds().trigger_c
+        assert hopper.update(
+            self.readings(trigger + 1.0, 70.0), [0, 1], 0.0, 1e-4
+        )
+        assert not hopper.update(
+            self.readings(trigger + 1.0, 70.0), [1, 0], 0.5e-3, 1e-4
+        )
+        assert hopper.update(
+            self.readings(trigger + 1.0, 70.0), [1, 0], 1.5e-3, 1e-4
+        )
+
+    def test_missing_core_readings_rejected(self):
+        hopper = CoreHopper()
+        with pytest.raises(DtmConfigError):
+            hopper.update({"IntReg#0": 80.0}, [0, 1], 0.0, 1e-4)
+
+    def test_reset(self):
+        hopper = CoreHopper()
+        trigger = ThermalThresholds().trigger_c
+        hopper.update(self.readings(trigger + 1.0, 70.0), [0, 1], 0.0, 1e-4)
+        hopper.reset()
+        assert hopper.swaps == 0
+
+    def test_config_validation(self):
+        with pytest.raises(DtmConfigError):
+            HoppingConfig(neighbour_margin_c=-1.0)
+        with pytest.raises(DtmConfigError):
+            HoppingConfig(min_interval_s=-1.0)
+
+
+class TestValidation:
+    def test_needs_two_workloads(self):
+        with pytest.raises(SimulationError):
+            MultiCoreEngine([build_benchmark("mesa")])
+
+    def test_needs_one_policy_per_core(self, hot_and_mild):
+        with pytest.raises(SimulationError):
+            MultiCoreEngine(hot_and_mild, policies=[HybPolicy()])
+
+    def test_rejects_zero_duration(self, hot_and_mild):
+        engine = MultiCoreEngine(hot_and_mild)
+        with pytest.raises(SimulationError):
+            engine.run(0.0)

@@ -1,0 +1,86 @@
+"""Dual-core floorplan."""
+
+import pytest
+
+from repro.errors import FloorplanError
+from repro.floorplan import validate_floorplan
+from repro.floorplan.alpha21364 import CORE_BLOCKS
+from repro.multicore import (
+    build_dual_core_floorplan,
+    core_block,
+    core_of,
+    dual_core_power_specs,
+)
+
+
+@pytest.fixture(scope="module")
+def floorplan():
+    return build_dual_core_floorplan()
+
+
+def test_tiles_the_die(floorplan):
+    validate_floorplan(floorplan)
+
+
+def test_has_two_full_cores(floorplan):
+    for core in (0, 1):
+        for base in CORE_BLOCKS:
+            assert core_block(base, core) in floorplan
+
+
+def test_cores_are_disjoint_regions(floorplan):
+    # Every core-0 block is strictly left of every core-1 block.
+    for base_a in CORE_BLOCKS:
+        for base_b in CORE_BLOCKS:
+            a = floorplan[core_block(base_a, 0)]
+            b = floorplan[core_block(base_b, 1)]
+            assert a.right <= b.x + 1e-12
+
+
+def test_shared_l2_between_cores(floorplan):
+    assert "L2_mid" in floorplan
+    # The middle bank abuts blocks from both cores.
+    neighbours = floorplan.neighbours("L2_mid")
+    assert any(n.endswith("#0") for n in neighbours)
+    assert any(n.endswith("#1") for n in neighbours)
+
+
+def test_core_block_name_round_trip():
+    name = core_block("IntReg", 1)
+    assert name == "IntReg#1"
+    assert core_of(name) == 1
+
+
+def test_core_block_rejects_bad_inputs():
+    with pytest.raises(FloorplanError):
+        core_block("IntReg", 5)
+    with pytest.raises(FloorplanError):
+        core_block("L2", 0)
+    with pytest.raises(FloorplanError):
+        core_of("L2")
+    with pytest.raises(FloorplanError):
+        core_of("IntReg#7")
+
+
+def test_power_specs_cover_all_blocks(floorplan):
+    specs = dual_core_power_specs()
+    assert set(specs) == set(floorplan.block_names)
+
+
+def test_core_specs_mirror_single_core_budget():
+    from repro.power import default_power_specs
+
+    specs = dual_core_power_specs()
+    base = default_power_specs()
+    for core in (0, 1):
+        assert specs[core_block("IntReg", core)].peak_dynamic_w == (
+            base["IntReg"].peak_dynamic_w
+        )
+
+
+def test_l2_banks_keep_density():
+    specs = dual_core_power_specs()
+    floorplan = build_dual_core_floorplan()
+    density_big = specs["L2"].peak_dynamic_w / floorplan["L2"].area
+    density_mid = specs["L2_mid"].peak_dynamic_w / floorplan["L2_mid"].area
+    assert density_mid == pytest.approx(density_big, rel=1e-6)

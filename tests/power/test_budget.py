@@ -1,0 +1,53 @@
+"""The Alpha power budget."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.floorplan import ALL_BLOCKS
+from repro.power import default_power_specs, total_peak_dynamic_power
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return default_power_specs()
+
+
+def test_covers_every_floorplan_block(specs):
+    assert set(specs) == set(ALL_BLOCKS)
+
+
+def test_total_peak_is_alpha_class(specs):
+    total = total_peak_dynamic_power(specs)
+    assert 35.0 < total < 55.0
+
+
+def test_intreg_has_highest_peak_power_density(specs, floorplan):
+    densities = {
+        name: specs[name].peak_dynamic_w / floorplan[name].area
+        for name in specs
+    }
+    assert max(densities, key=densities.get) == "IntReg"
+
+
+def test_l2_has_lowest_power_density(specs, floorplan):
+    densities = {
+        name: specs[name].peak_dynamic_w / floorplan[name].area
+        for name in specs
+    }
+    assert min(densities, key=densities.get) in ("L2", "L2_left", "L2_right")
+
+
+def test_leakage_reference_fraction(specs):
+    for spec in specs.values():
+        if spec.peak_dynamic_w > 0:
+            assert spec.leakage_ref_w / spec.peak_dynamic_w == pytest.approx(0.15)
+
+
+def test_array_blocks_have_lower_clock_fraction(specs):
+    assert specs["L2"].clock_fraction < specs["IntExec"].clock_fraction
+    assert specs["Icache"].clock_fraction < specs["IntReg"].clock_fraction
+
+
+def test_total_rejects_empty():
+    with pytest.raises(PowerModelError):
+        total_peak_dynamic_power({})

@@ -1,0 +1,83 @@
+"""Dynamic power."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PowerModelError
+from repro.power import BlockPowerSpec, dynamic_power
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return BlockPowerSpec(
+        name="IntReg", peak_dynamic_w=6.0, leakage_ref_w=0.9, clock_fraction=0.2
+    )
+
+
+def test_full_activity_at_nominal_is_peak(spec):
+    assert dynamic_power(spec, 1.0, 1.0, 1.0) == pytest.approx(6.0)
+
+
+def test_zero_activity_leaves_clock_power(spec):
+    assert dynamic_power(spec, 0.0, 1.0, 1.0) == pytest.approx(6.0 * 0.2)
+
+
+def test_clock_gating_removes_clock_power(spec):
+    assert dynamic_power(spec, 0.0, 1.0, 1.0, clock_enabled_fraction=0.0) == 0.0
+
+
+def test_v_squared_f_scaling(spec):
+    full = dynamic_power(spec, 1.0, 1.0, 1.0)
+    scaled = dynamic_power(spec, 1.0, 0.85, 0.873)
+    assert scaled / full == pytest.approx(0.85**2 * 0.873)
+
+
+def test_partial_clock_gating_scales_linearly(spec):
+    full = dynamic_power(spec, 0.7, 1.0, 1.0)
+    half = dynamic_power(spec, 0.7, 1.0, 1.0, clock_enabled_fraction=0.5)
+    assert half == pytest.approx(0.5 * full)
+
+
+@pytest.mark.parametrize("activity", [-0.1, 1.1])
+def test_rejects_activity_out_of_range(spec, activity):
+    with pytest.raises(PowerModelError):
+        dynamic_power(spec, activity, 1.0, 1.0)
+
+
+def test_rejects_bad_operating_point(spec):
+    with pytest.raises(PowerModelError):
+        dynamic_power(spec, 0.5, 0.0, 1.0)
+    with pytest.raises(PowerModelError):
+        dynamic_power(spec, 0.5, 1.0, -1.0)
+
+
+def test_spec_validation():
+    with pytest.raises(PowerModelError):
+        BlockPowerSpec(name="x", peak_dynamic_w=-1.0, leakage_ref_w=0.0)
+    with pytest.raises(PowerModelError):
+        BlockPowerSpec(name="x", peak_dynamic_w=1.0, leakage_ref_w=-0.1)
+    with pytest.raises(PowerModelError):
+        BlockPowerSpec(
+            name="x", peak_dynamic_w=1.0, leakage_ref_w=0.0, clock_fraction=1.5
+        )
+
+
+@given(
+    activity=st.floats(0.0, 1.0),
+    v=st.floats(0.5, 1.0),
+    f=st.floats(0.5, 1.0),
+)
+def test_property_power_bounded_by_peak(activity, v, f):
+    spec = BlockPowerSpec(name="b", peak_dynamic_w=5.0, leakage_ref_w=0.5)
+    p = dynamic_power(spec, activity, v, f)
+    assert 0.0 <= p <= 5.0 + 1e-12
+
+
+@given(a1=st.floats(0.0, 1.0), a2=st.floats(0.0, 1.0))
+def test_property_monotone_in_activity(a1, a2):
+    spec = BlockPowerSpec(name="b", peak_dynamic_w=5.0, leakage_ref_w=0.5)
+    lo, hi = sorted((a1, a2))
+    p_lo = dynamic_power(spec, lo, 1.0, 1.0)
+    p_hi = dynamic_power(spec, hi, 1.0, 1.0)
+    assert p_lo <= p_hi + 1e-12

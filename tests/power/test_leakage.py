@@ -1,0 +1,78 @@
+"""Temperature-dependent leakage."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PowerModelError
+from repro.power import LeakageParameters, leakage_power
+
+
+@pytest.fixture(scope="module")
+def params():
+    return LeakageParameters()
+
+
+def test_reference_point_is_identity(params):
+    assert leakage_power(2.0, 1.0, params.reference_temp_c, params) == pytest.approx(2.0)
+
+
+def test_exponential_growth_with_temperature(params):
+    base = leakage_power(1.0, 1.0, 85.0, params)
+    hot = leakage_power(1.0, 1.0, 125.0, params)
+    assert hot / base == pytest.approx(math.exp(params.beta_per_k * 40.0))
+
+
+def test_roughly_doubles_per_40_kelvin(params):
+    # ITRS-style 130 nm sensitivity.
+    ratio = leakage_power(1.0, 1.0, 125.0, params) / leakage_power(
+        1.0, 1.0, 85.0, params
+    )
+    assert 1.7 < ratio < 2.3
+
+
+def test_scales_with_voltage(params):
+    assert leakage_power(1.0, 0.85, 85.0, params) == pytest.approx(0.85)
+
+
+def test_zero_reference_gives_zero(params):
+    assert leakage_power(0.0, 1.0, 125.0, params) == 0.0
+
+
+def test_rejects_negative_reference(params):
+    with pytest.raises(PowerModelError):
+        leakage_power(-1.0, 1.0, 85.0, params)
+
+
+def test_rejects_non_positive_voltage(params):
+    with pytest.raises(PowerModelError):
+        leakage_power(1.0, 0.0, 85.0, params)
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(PowerModelError):
+        LeakageParameters(beta_per_k=0.0)
+    with pytest.raises(PowerModelError):
+        LeakageParameters(voltage_exponent=-1.0)
+
+
+@given(
+    t1=st.floats(40.0, 120.0),
+    t2=st.floats(40.0, 120.0),
+)
+def test_property_monotone_in_temperature(t1, t2):
+    params = LeakageParameters()
+    lo, hi = sorted((t1, t2))
+    p_lo = leakage_power(1.0, 1.0, lo, params)
+    p_hi = leakage_power(1.0, 1.0, hi, params)
+    assert p_lo <= p_hi + 1e-12
+
+
+@given(ref=st.floats(0.0, 10.0), v=st.floats(0.5, 1.0))
+def test_property_linear_in_reference(ref, v):
+    params = LeakageParameters()
+    assert leakage_power(ref, v, 95.0, params) == pytest.approx(
+        ref * leakage_power(1.0, v, 95.0, params)
+    )

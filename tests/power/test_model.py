@@ -1,0 +1,109 @@
+"""PowerModel facade."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.floorplan import Block, Floorplan
+from repro.power import BlockPowerSpec, PowerModel
+
+
+class TestConstruction:
+    def test_default_specs_cover_alpha_floorplan(self, floorplan):
+        PowerModel(floorplan)  # does not raise
+
+    def test_missing_spec_raises(self):
+        fp = Floorplan([Block("custom", 0, 0, 1e-3, 1e-3)])
+        with pytest.raises(PowerModelError) as err:
+            PowerModel(fp)
+        assert "custom" in str(err.value)
+
+    def test_custom_specs(self):
+        fp = Floorplan([Block("x", 0, 0, 1e-3, 1e-3)])
+        model = PowerModel(
+            fp, specs={"x": BlockPowerSpec("x", 2.0, 0.3)}
+        )
+        assert model.spec("x").peak_dynamic_w == 2.0
+
+    def test_unknown_spec_lookup_raises(self, power_model):
+        with pytest.raises(PowerModelError):
+            power_model.spec("nope")
+
+
+class TestBlockPowers:
+    def test_covers_all_blocks(
+        self, power_model, uniform_activities, warm_temperatures
+    ):
+        powers = power_model.block_powers(
+            uniform_activities, 1.3, 3e9, warm_temperatures
+        )
+        assert set(powers) == set(power_model.floorplan.block_names)
+        assert all(p > 0.0 for p in powers.values())
+
+    def test_total_power_in_calibrated_range(
+        self, power_model, uniform_activities, warm_temperatures
+    ):
+        total = power_model.total_power(
+            uniform_activities, 1.3, 3e9, warm_temperatures
+        )
+        assert 20.0 < total < 40.0
+
+    def test_low_voltage_reduces_power_superlinearly(
+        self, power_model, uniform_activities, warm_temperatures
+    ):
+        vf = power_model.vf_curve
+        v_low = 0.85 * 1.3
+        full = power_model.total_power(
+            uniform_activities, 1.3, 3e9, warm_temperatures
+        )
+        low = power_model.total_power(
+            uniform_activities, v_low, vf.frequency(v_low), warm_temperatures
+        )
+        assert low / full < 0.75  # much more than the 13 % frequency cut
+
+    def test_hotter_chip_leaks_more(
+        self, power_model, uniform_activities, warm_temperatures
+    ):
+        hot = {name: 100.0 for name in warm_temperatures}
+        base = power_model.total_power(
+            uniform_activities, 1.3, 3e9, warm_temperatures
+        )
+        hotter = power_model.total_power(uniform_activities, 1.3, 3e9, hot)
+        assert hotter > base
+
+    def test_overclocking_beyond_vf_curve_raises(
+        self, power_model, uniform_activities, warm_temperatures
+    ):
+        with pytest.raises(PowerModelError):
+            power_model.block_powers(
+                uniform_activities, 1.105, 3e9, warm_temperatures
+            )
+
+    def test_missing_activity_raises(self, power_model, warm_temperatures):
+        with pytest.raises(PowerModelError):
+            power_model.block_powers({"IntReg": 0.5}, 1.3, 3e9, warm_temperatures)
+
+    def test_missing_temperature_raises(
+        self, power_model, uniform_activities
+    ):
+        with pytest.raises(PowerModelError):
+            power_model.block_powers(
+                uniform_activities, 1.3, 3e9, {"IntReg": 85.0}
+            )
+
+    def test_clock_gated_interval_consumes_less(
+        self, power_model, uniform_activities, warm_temperatures
+    ):
+        full = power_model.total_power(
+            uniform_activities, 1.3, 3e9, warm_temperatures
+        )
+        gated = power_model.total_power(
+            uniform_activities, 1.3, 3e9, warm_temperatures,
+            clock_enabled_fraction=0.5,
+        )
+        assert gated < full
+        # Leakage remains even with the clock stopped.
+        fully_gated = power_model.total_power(
+            uniform_activities, 1.3, 3e9, warm_temperatures,
+            clock_enabled_fraction=0.0,
+        )
+        assert fully_gated > 0.0

@@ -1,0 +1,46 @@
+"""Technology parameters."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power import Technology, default_technology
+
+
+def test_default_is_paper_operating_point():
+    tech = default_technology()
+    assert tech.node_nm == 130.0
+    assert tech.vdd_nominal == pytest.approx(1.3)
+    assert tech.frequency_nominal == pytest.approx(3.0e9)
+
+
+def test_relative_voltage():
+    tech = default_technology()
+    assert tech.relative_voltage(1.3) == pytest.approx(1.0)
+    assert tech.relative_voltage(1.105) == pytest.approx(0.85)
+
+
+def test_relative_voltage_rejects_subthreshold():
+    tech = default_technology()
+    with pytest.raises(PowerModelError):
+        tech.relative_voltage(0.3)
+
+
+def test_relative_voltage_rejects_overvolting():
+    tech = default_technology()
+    with pytest.raises(PowerModelError):
+        tech.relative_voltage(1.5)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"vdd_nominal": 0.0},
+        {"vth": 0.0},
+        {"vth": 1.5},
+        {"frequency_nominal": -1.0},
+        {"alpha": 0.5},
+    ],
+)
+def test_rejects_invalid_parameters(kwargs):
+    with pytest.raises(PowerModelError):
+        Technology(**kwargs)

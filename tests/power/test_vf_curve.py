@@ -1,0 +1,92 @@
+"""Voltage-to-frequency curve."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PowerModelError
+from repro.power import Technology, VoltageFrequencyCurve, default_technology
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return VoltageFrequencyCurve(default_technology())
+
+
+def test_nominal_point(curve):
+    assert curve.frequency(1.3) == pytest.approx(3.0e9)
+    assert curve.relative_frequency(1.3) == pytest.approx(1.0)
+
+
+def test_85pct_voltage_gives_sublinear_frequency_drop(curve):
+    # The alpha-power law: 15 % less voltage costs ~13 % frequency
+    # (super-linear power savings, sub-linear speed loss -- the "cubic"
+    # advantage of DVS).
+    rel = curve.relative_frequency(0.85 * 1.3)
+    assert 0.85 < rel < 0.90
+
+
+def test_cubic_power_advantage(curve):
+    # Power scales with V^2 f: at 85 % voltage that is a ~36 % power
+    # reduction for a ~13 % frequency cost.
+    v_rel = 0.85
+    f_rel = curve.relative_frequency(v_rel * 1.3)
+    power_rel = v_rel**2 * f_rel
+    assert power_rel < 0.67
+    assert f_rel > 0.85
+
+
+def test_monotone_increasing_in_voltage(curve):
+    voltages = [0.8 + 0.05 * i for i in range(11)]
+    freqs = [curve.frequency(v) for v in voltages]
+    assert all(f1 < f2 for f1, f2 in zip(freqs, freqs[1:]))
+
+
+class TestLevels:
+    def test_binary_levels(self, curve):
+        levels = curve.levels(2, 0.85 * 1.3)
+        assert len(levels) == 2
+        assert levels[0][0] == pytest.approx(1.105)
+        assert levels[-1][0] == pytest.approx(1.3)
+
+    def test_levels_evenly_spaced_and_sorted(self, curve):
+        levels = curve.levels(5, 1.0)
+        voltages = [v for v, _ in levels]
+        steps = [b - a for a, b in zip(voltages, voltages[1:])]
+        assert all(s == pytest.approx(steps[0]) for s in steps)
+        assert voltages[-1] == pytest.approx(1.3)
+
+    def test_top_level_frequency_is_nominal(self, curve):
+        for count in (2, 3, 5, 10):
+            levels = curve.levels(count, 1.0)
+            assert levels[-1][1] == pytest.approx(3.0e9)
+
+    def test_continuous_levels(self, curve):
+        levels = curve.continuous_levels(1.0)
+        assert len(levels) == 100
+
+    def test_rejects_single_level(self, curve):
+        with pytest.raises(PowerModelError):
+            curve.levels(1, 1.0)
+
+    def test_rejects_low_voltage_out_of_range(self, curve):
+        with pytest.raises(PowerModelError):
+            curve.levels(2, 1.4)
+        with pytest.raises(PowerModelError):
+            curve.levels(2, 0.2)
+
+
+@given(v=st.floats(0.75, 1.3))
+def test_property_frequency_within_physical_bounds(v):
+    curve = VoltageFrequencyCurve(default_technology())
+    rel = curve.relative_frequency(v)
+    assert 0.0 < rel <= 1.0 + 1e-12
+    # Frequency never falls faster than (V - Vt) itself.
+    assert rel >= (v - 0.35) / (1.3 - 0.35) * 0.5
+
+
+def test_different_alpha_changes_curvature():
+    gentle = VoltageFrequencyCurve(Technology(alpha=1.0))
+    steep = VoltageFrequencyCurve(Technology(alpha=2.0))
+    v = 1.0
+    assert steep.relative_frequency(v) < gentle.relative_frequency(v)

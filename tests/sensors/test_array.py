@@ -1,0 +1,80 @@
+"""Per-block sensor array and sampling-rate enforcement."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sensors import SensorArray, SensorParameters
+
+
+@pytest.fixture()
+def array(floorplan):
+    return SensorArray(floorplan, seed=0)
+
+
+def flat_temps(floorplan, value=85.0):
+    return {name: value for name in floorplan.block_names}
+
+
+class TestCoverage:
+    def test_one_sensor_per_block(self, array, floorplan):
+        assert set(array.block_names) == set(floorplan.block_names)
+
+    def test_sample_covers_all_blocks(self, array, floorplan):
+        readings = array.sample(flat_temps(floorplan), 0.0)
+        assert set(readings) == set(floorplan.block_names)
+
+    def test_missing_temperature_raises(self, array):
+        with pytest.raises(SimulationError):
+            array.sample({"IntReg": 85.0}, 0.0)
+
+
+class TestSamplingRate:
+    def test_default_is_10khz(self, array):
+        assert array.sampling_period_s == pytest.approx(100e-6)
+
+    def test_first_sample_due_immediately(self, array):
+        assert array.due(0.0)
+
+    def test_early_resample_rejected(self, array, floorplan):
+        array.sample(flat_temps(floorplan), 0.0)
+        assert not array.due(50e-6)
+        with pytest.raises(SimulationError):
+            array.sample(flat_temps(floorplan), 50e-6)
+
+    def test_resample_after_period(self, array, floorplan):
+        array.sample(flat_temps(floorplan), 0.0)
+        assert array.due(100e-6)
+        array.sample(flat_temps(floorplan), 100e-6)
+
+    def test_rejects_non_positive_rate(self, floorplan):
+        with pytest.raises(SimulationError):
+            SensorArray(floorplan, sampling_rate_hz=0.0)
+
+
+class TestErrors:
+    def test_per_block_offsets_differ(self, array):
+        offsets = {array.offset_of(name) for name in array.block_names}
+        assert len(offsets) > len(array.block_names) // 2
+
+    def test_offset_lookup_unknown_block(self, array):
+        with pytest.raises(SimulationError):
+            array.offset_of("nope")
+
+    def test_ideal_array_reads_exactly(self, floorplan):
+        array = SensorArray(
+            floorplan, parameters=SensorParameters.ideal(), seed=0
+        )
+        readings = array.sample(flat_temps(floorplan, 83.4), 0.0)
+        assert all(v == pytest.approx(83.4) for v in readings.values())
+
+    def test_seeded_reproducibility(self, floorplan):
+        temps = flat_temps(floorplan)
+        a = SensorArray(floorplan, seed=11).sample(temps, 0.0)
+        b = SensorArray(floorplan, seed=11).sample(temps, 0.0)
+        assert a == b
+
+    def test_max_reading(self, array, floorplan):
+        readings = {"a": 1.0, "b": 3.0}
+        assert SensorArray.max_reading(readings) == 3.0
+        with pytest.raises(SimulationError):
+            SensorArray.max_reading({})

@@ -1,0 +1,81 @@
+"""Single-sensor error model."""
+
+import statistics
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sensors import SensorParameters, ThermalSensor
+
+
+class TestParameters:
+    def test_defaults_match_paper(self):
+        params = SensorParameters()
+        # +/-1 degree effective precision as a 3-sigma bound; up to 2
+        # degrees of fixed offset.
+        assert params.noise_sigma_c == pytest.approx(1.0 / 3.0)
+        assert params.max_offset_c == pytest.approx(2.0)
+
+    def test_ideal_sensor_has_no_error(self):
+        params = SensorParameters.ideal()
+        sensor = ThermalSensor(params, seed=5)
+        assert sensor.offset_c == 0.0
+        assert sensor.read(83.217) == pytest.approx(83.217)
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(SimulationError):
+            SensorParameters(noise_sigma_c=-0.1)
+        with pytest.raises(SimulationError):
+            SensorParameters(max_offset_c=-1.0)
+        with pytest.raises(SimulationError):
+            SensorParameters(quantisation_c=-0.5)
+
+
+class TestReadings:
+    def test_offset_within_bound(self):
+        for seed in range(50):
+            sensor = ThermalSensor(SensorParameters(), seed=seed)
+            assert -2.0 <= sensor.offset_c <= 2.0
+
+    def test_offsets_vary_across_sensors(self):
+        offsets = {
+            ThermalSensor(SensorParameters(), seed=s).offset_c
+            for s in range(20)
+        }
+        assert len(offsets) > 10
+
+    def test_same_seed_reproducible(self):
+        a = ThermalSensor(SensorParameters(), seed=7)
+        b = ThermalSensor(SensorParameters(), seed=7)
+        readings_a = [a.read(85.0) for _ in range(10)]
+        readings_b = [b.read(85.0) for _ in range(10)]
+        assert readings_a == readings_b
+
+    def test_mean_reading_is_true_plus_offset(self):
+        sensor = ThermalSensor(SensorParameters(quantisation_c=0.0), seed=3)
+        readings = [sensor.read(85.0) for _ in range(4000)]
+        assert statistics.mean(readings) == pytest.approx(
+            85.0 + sensor.offset_c, abs=0.05
+        )
+
+    def test_noise_spread_matches_sigma(self):
+        sensor = ThermalSensor(SensorParameters(quantisation_c=0.0), seed=3)
+        readings = [sensor.read(85.0) for _ in range(4000)]
+        assert statistics.stdev(readings) == pytest.approx(1.0 / 3.0, rel=0.15)
+
+    def test_effective_precision_within_one_degree(self):
+        # The paper's claim: readings stay within +/-1 degree of the
+        # (offset-shifted) true value almost always.
+        sensor = ThermalSensor(SensorParameters(), seed=9)
+        centre = 85.0 + sensor.offset_c
+        outliers = sum(
+            abs(sensor.read(85.0) - centre) > 1.0 for _ in range(2000)
+        )
+        assert outliers / 2000 < 0.01
+
+    def test_quantisation_step(self):
+        params = SensorParameters(noise_sigma_c=0.0, max_offset_c=0.0,
+                                  quantisation_c=0.25)
+        sensor = ThermalSensor(params, seed=0)
+        assert sensor.read(83.3) == pytest.approx(83.25)
+        assert sensor.read(83.4) == pytest.approx(83.5)

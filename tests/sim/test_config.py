@@ -1,0 +1,32 @@
+"""Engine configuration."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EngineConfig
+
+
+def test_defaults_match_paper():
+    config = EngineConfig()
+    assert config.thermal_step_cycles == 10_000
+    assert config.dvs_switch_time_s == pytest.approx(10e-6)
+    assert config.dvs_mode == "stall"
+
+
+def test_ideal_mode_accepted():
+    assert EngineConfig(dvs_mode="ideal").dvs_mode == "ideal"
+
+
+def test_rejects_unknown_mode():
+    with pytest.raises(SimulationError):
+        EngineConfig(dvs_mode="free")
+
+
+def test_rejects_tiny_thermal_step():
+    with pytest.raises(SimulationError):
+        EngineConfig(thermal_step_cycles=10)
+
+
+def test_rejects_negative_switch_time():
+    with pytest.raises(SimulationError):
+        EngineConfig(dvs_switch_time_s=-1e-6)

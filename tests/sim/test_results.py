@@ -1,0 +1,56 @@
+"""Run result container."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import RunResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        benchmark="gzip",
+        policy="DVS",
+        dvs_mode="stall",
+        instructions=1e7,
+        elapsed_s=4e-3,
+        cycles=11_000_000,
+        violations=0,
+        max_true_temp_c=84.2,
+        hottest_block="IntReg",
+        time_above_trigger_s=3e-3,
+        dvs_switches=6,
+        dvs_low_time_s=2e-3,
+        stall_time_s=60e-6,
+        mean_gating_fraction=0.0,
+        mean_power_w=25.0,
+    )
+    defaults.update(overrides)
+    return RunResult(**defaults)
+
+
+def test_ips():
+    result = make_result()
+    assert result.ips == pytest.approx(1e7 / 4e-3)
+
+
+def test_fraction_above_trigger():
+    assert make_result().fraction_above_trigger == pytest.approx(0.75)
+
+
+def test_violation_free():
+    assert make_result().violation_free
+    assert not make_result(violations=3).violation_free
+
+
+def test_summary_fields():
+    summary = make_result().summary()
+    assert summary["elapsed_ms"] == pytest.approx(4.0)
+    assert summary["dvs_low_frac"] == pytest.approx(0.5)
+    assert summary["stall_ms"] == pytest.approx(0.06)
+
+
+def test_rejects_empty_run():
+    with pytest.raises(SimulationError):
+        make_result(instructions=0.0)
+    with pytest.raises(SimulationError):
+        make_result(elapsed_s=0.0)

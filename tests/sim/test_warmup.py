@@ -1,0 +1,65 @@
+"""Steady-state initialisation."""
+
+import numpy as np
+import pytest
+
+from repro.sim import average_block_powers, initial_temperatures
+from repro.sim.warmup import average_activities
+
+
+class TestAverageActivities:
+    def test_weighted_by_cycles(self, gzip_workload):
+        averages = average_activities(gzip_workload)
+        per_phase = [p.base_activities["IntReg"] for p in gzip_workload.phases]
+        assert min(per_phase) <= averages["IntReg"] <= max(per_phase)
+
+    def test_covers_all_blocks(self, gzip_workload, floorplan):
+        averages = average_activities(gzip_workload)
+        assert set(averages) == set(floorplan.block_names)
+
+
+class TestAveragePowers:
+    def test_positive_everywhere(self, gzip_workload, power_model,
+                                 warm_temperatures):
+        powers = average_block_powers(
+            gzip_workload, power_model, warm_temperatures
+        )
+        assert all(p > 0.0 for p in powers.values())
+
+    def test_total_in_calibrated_range(self, gzip_workload, power_model,
+                                       warm_temperatures):
+        powers = average_block_powers(
+            gzip_workload, power_model, warm_temperatures
+        )
+        assert 18.0 < sum(powers.values()) < 32.0
+
+
+class TestInitialTemperatures:
+    def test_self_consistent_fixed_point(self, gzip_workload, hotspot,
+                                         power_model):
+        vector = initial_temperatures(gzip_workload, hotspot, power_model)
+        mapping = hotspot.network.temperatures_as_mapping(vector)
+        temps = {n: mapping[n] for n in hotspot.block_names}
+        # Re-evaluating power at the fixed point reproduces the same
+        # temperatures.
+        powers = average_block_powers(gzip_workload, power_model, temps)
+        again = hotspot.steady_state_vector(powers)
+        assert np.allclose(vector, again, atol=1e-3)
+
+    def test_intreg_is_hottest_block(self, gzip_workload, hotspot,
+                                     power_model):
+        vector = initial_temperatures(gzip_workload, hotspot, power_model)
+        mapping = hotspot.network.temperatures_as_mapping(vector)
+        temps = {n: mapping[n] for n in hotspot.block_names}
+        assert max(temps, key=temps.get) == "IntReg"
+
+    def test_hot_benchmark_sits_above_trigger(self, gzip_workload, hotspot,
+                                              power_model):
+        vector = initial_temperatures(gzip_workload, hotspot, power_model)
+        mapping = hotspot.network.temperatures_as_mapping(vector)
+        assert mapping["IntReg"] > 81.8
+
+    def test_all_temps_above_ambient(self, mesa_workload, hotspot,
+                                     power_model):
+        vector = initial_temperatures(mesa_workload, hotspot, power_model)
+        assert np.all(vector > hotspot.package.ambient_c)

@@ -1,0 +1,82 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_benchmark_and_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--benchmark", "gzip"])
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--benchmark", "specjbb", "--policy", "Hyb"]
+            )
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--benchmark", "gzip", "--policy", "dvs"]
+            )
+
+    def test_defaults(self):
+        args = build_parser().parse_args(
+            ["run", "--benchmark", "gzip", "--policy", "Hyb"]
+        )
+        assert args.instructions == 20_000_000
+        assert args.dvs_mode == "stall"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out and "PI-Hyb" in out
+
+    def test_run_protected_benchmark_exits_zero(self, capsys):
+        code = main([
+            "run", "--benchmark", "mesa", "--policy", "Hyb",
+            "--instructions", "2000000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "slowdown_factor" in out
+
+    def test_run_unmanaged_hot_benchmark_exits_nonzero(self, capsys):
+        code = main([
+            "run", "--benchmark", "crafty", "--policy", "none",
+            "--instructions", "2000000",
+        ])
+        capsys.readouterr()
+        assert code == 1  # violations occurred
+
+    def test_sweep(self, capsys):
+        code = main([
+            "sweep", "--duty-cycles", "20", "3",
+            "--instructions", "1000000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "best duty cycle" in out
+
+    def test_characterise(self, capsys):
+        code = main(["characterise", "--instructions", "1000000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "IntReg" in out
+
+    def test_evaluate_subset(self, capsys):
+        code = main([
+            "evaluate", "--techniques", "DVS",
+            "--instructions", "1000000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DVS" in out

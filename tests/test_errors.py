@@ -1,0 +1,38 @@
+"""Exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "subclass",
+    [
+        errors.FloorplanError,
+        errors.ThermalModelError,
+        errors.PowerModelError,
+        errors.WorkloadError,
+        errors.DtmConfigError,
+        errors.SimulationError,
+    ],
+)
+def test_all_errors_derive_from_repro_error(subclass):
+    assert issubclass(subclass, errors.ReproError)
+
+
+def test_thermal_violation_is_simulation_error():
+    assert issubclass(errors.ThermalViolationError, errors.SimulationError)
+
+
+def test_thermal_violation_carries_context():
+    exc = errors.ThermalViolationError(86.2, 85.0, 1.5e-3, "IntReg")
+    assert exc.temperature_c == 86.2
+    assert exc.threshold_c == 85.0
+    assert exc.block == "IntReg"
+    assert "IntReg" in str(exc)
+    assert "86.20" in str(exc)
+
+
+def test_catching_base_class_catches_subclasses():
+    with pytest.raises(errors.ReproError):
+        raise errors.FloorplanError("boom")

@@ -1,0 +1,39 @@
+"""Unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_celsius_kelvin_round_trip():
+    assert units.kelvin_to_celsius(units.celsius_to_kelvin(85.0)) == pytest.approx(85.0)
+
+
+def test_celsius_to_kelvin_offset():
+    assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+
+def test_area_round_trip():
+    assert units.m2_to_mm2(units.mm2_to_m2(4.18)) == pytest.approx(4.18)
+
+
+def test_mm2_to_m2_magnitude():
+    assert units.mm2_to_m2(1.0) == pytest.approx(1e-6)
+
+
+def test_cycles_seconds_round_trip():
+    f = 3e9
+    assert units.seconds_to_cycles(units.cycles_to_seconds(10_000, f), f) == pytest.approx(10_000)
+
+
+def test_thermal_step_duration_at_3ghz():
+    # The paper's 10k-cycle step is 3.33 us at 3 GHz.
+    assert units.cycles_to_seconds(10_000, 3e9) == pytest.approx(3.333e-6, rel=1e-3)
+
+
+def test_unit_constants():
+    assert units.MM == pytest.approx(1e-3)
+    assert units.UM == pytest.approx(1e-6)
+    assert units.GHZ == pytest.approx(1e9)
+    assert units.US == pytest.approx(1e-6)
+    assert units.MS == pytest.approx(1e-3)

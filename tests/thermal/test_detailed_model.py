@@ -1,0 +1,116 @@
+"""Detailed (peripheral-node) package model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.floorplan import Block, Floorplan
+from repro.thermal import (
+    HotSpotModel,
+    ThermalPackage,
+    build_detailed_thermal_network,
+    steady_state,
+)
+from repro.thermal.rc_model import (
+    SINK_NODE,
+    SINK_PERIPHERY_NODES,
+    SPREADER_NODE,
+    SPREADER_PERIPHERY_NODES,
+)
+
+
+@pytest.fixture(scope="module")
+def models(floorplan):
+    return (
+        HotSpotModel(floorplan, detail="block"),
+        HotSpotModel(floorplan, detail="full"),
+    )
+
+
+class TestStructure:
+    def test_node_count(self, floorplan):
+        network = build_detailed_thermal_network(floorplan, ThermalPackage())
+        assert network.size == len(floorplan) + 10
+
+    def test_block_names_exclude_package_nodes(self, floorplan):
+        network = build_detailed_thermal_network(floorplan, ThermalPackage())
+        assert set(network.block_names) == set(floorplan.block_names)
+
+    def test_symmetric_conductance(self, floorplan):
+        network = build_detailed_thermal_network(floorplan, ThermalPackage())
+        assert np.allclose(network.conductance, network.conductance.T)
+
+    def test_convection_shared_over_five_sink_nodes(self, floorplan):
+        network = build_detailed_thermal_network(floorplan, ThermalPackage())
+        carriers = [
+            i for i, g in enumerate(network.ambient_conductance) if g > 0.0
+        ]
+        names = {network.node_names[i] for i in carriers}
+        assert names == {SINK_NODE, *SINK_PERIPHERY_NODES}
+        total = network.ambient_conductance.sum()
+        assert total == pytest.approx(1.0)  # 1 / (1.0 K/W)
+
+    def test_periphery_capacitances_positive(self, floorplan):
+        network = build_detailed_thermal_network(floorplan, ThermalPackage())
+        for name in SPREADER_PERIPHERY_NODES + SINK_PERIPHERY_NODES:
+            assert network.capacitance[network.index_of(name)] > 0.0
+
+
+class TestAgreementWithBlockModel:
+    def test_hotspot_within_tenths_of_kelvin(self, models, floorplan):
+        simple, full = models
+        powers = {name: 1.5 for name in floorplan.block_names}
+        t_simple = simple.steady_state(powers)["IntReg"]
+        t_full = full.steady_state(powers)["IntReg"]
+        assert abs(t_simple - t_full) < 0.5
+
+    def test_block_ordering_preserved(self, models, floorplan):
+        simple, full = models
+        powers = {name: 1.5 for name in floorplan.block_names}
+        ts = simple.steady_state(powers)
+        tf = full.steady_state(powers)
+        order_simple = sorted(floorplan.block_names, key=ts.get)
+        order_full = sorted(floorplan.block_names, key=tf.get)
+        # The three hottest blocks are the same in both models.
+        assert order_simple[-3:] == order_full[-3:]
+
+    def test_total_power_still_sets_mean_sink_rise(self, floorplan):
+        # Energy conservation: all heat leaves through convection, so the
+        # ambient-weighted mean sink temperature satisfies the global
+        # balance P_total = sum(g_i (T_i - T_amb)).
+        network = build_detailed_thermal_network(floorplan, ThermalPackage())
+        power = network.power_vector(
+            {name: 2.0 for name in floorplan.block_names}
+        )
+        temps = steady_state(network, power)
+        outflow = float(
+            np.sum(network.ambient_conductance * (temps - network.ambient_c))
+        )
+        assert outflow == pytest.approx(2.0 * len(floorplan), rel=1e-9)
+
+    def test_periphery_cooler_than_centre(self, models, floorplan):
+        _, full = models
+        powers = {name: 1.5 for name in floorplan.block_names}
+        temps = full.steady_state(powers)
+        for name in SPREADER_PERIPHERY_NODES:
+            assert temps[name] < temps[SPREADER_NODE]
+
+
+class TestFacade:
+    def test_rejects_unknown_detail(self, floorplan):
+        with pytest.raises(ThermalModelError):
+            HotSpotModel(floorplan, detail="ultra")
+
+    def test_transient_runs_on_full_model(self, models, floorplan):
+        _, full = models
+        solver = full.make_transient()
+        power = full.network.power_vector(
+            {name: 1.5 for name in floorplan.block_names}
+        )
+        for _ in range(50):
+            temps = solver.step(power, 1e-5)
+        assert np.all(np.isfinite(temps))
+
+    def test_block_names_reject_package_prefix(self):
+        with pytest.raises(Exception):
+            Floorplan([Block("__bad__", 0, 0, 1e-3, 1e-3)])

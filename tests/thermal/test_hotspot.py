@@ -1,0 +1,78 @@
+"""HotSpotModel facade."""
+
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.thermal import HotSpotModel, ThermalPackage
+
+
+@pytest.fixture(scope="module")
+def model(floorplan):
+    return HotSpotModel(floorplan)
+
+
+def uniform_power(model, watts):
+    return {name: watts for name in model.block_names}
+
+
+class TestSteadyState:
+    def test_returns_all_nodes(self, model):
+        temps = model.steady_state(uniform_power(model, 1.0))
+        assert set(temps) == set(model.network.node_names)
+
+    def test_uniform_power_heats_small_blocks_more(self, model):
+        temps = model.steady_state(uniform_power(model, 1.0))
+        # Same power into a smaller area means higher power density.
+        assert temps["IntReg"] > temps["Icache"] > temps["L2"]
+
+    def test_intreg_is_hotspot_under_alpha_budget(
+        self, model, power_model, warm_temperatures, uniform_activities
+    ):
+        activities = dict(uniform_activities)
+        activities["IntReg"] = 0.9
+        powers = power_model.block_powers(
+            activities, 1.3, 3e9, warm_temperatures
+        )
+        temps = model.steady_state(powers)
+        assert model.hottest_block(temps) == "IntReg"
+
+    def test_vector_and_mapping_agree(self, model):
+        powers = uniform_power(model, 2.0)
+        vector = model.steady_state_vector(powers)
+        mapping = model.steady_state(powers)
+        for i, name in enumerate(model.network.node_names):
+            assert mapping[name] == pytest.approx(vector[i])
+
+
+class TestTransientFactory:
+    def test_default_initial_is_ambient(self, model):
+        solver = model.make_transient()
+        assert solver.temperatures == pytest.approx(
+            model.package.ambient_c
+        )
+
+    def test_explicit_initial_mapping(self, model):
+        initial = {name: 60.0 for name in model.network.node_names}
+        solver = model.make_transient(initial)
+        assert solver.temperatures == pytest.approx(60.0)
+
+    def test_incomplete_initial_mapping_raises(self, model):
+        with pytest.raises(KeyError):
+            model.make_transient({"IntReg": 60.0})
+
+
+def test_custom_package_changes_operating_point(floorplan):
+    cheap = HotSpotModel(floorplan, ThermalPackage(convection_resistance=1.0))
+    premium = HotSpotModel(floorplan, ThermalPackage(convection_resistance=0.5))
+    powers = {name: 1.5 for name in cheap.block_names}
+    hot = cheap.steady_state(powers)["IntReg"]
+    cool = premium.steady_state(powers)["IntReg"]
+    # A better heat sink lowers everything by ~ P_total * delta_R.
+    total = 1.5 * len(cheap.block_names)
+    assert hot - cool == pytest.approx(total * 0.5, rel=0.05)
+
+
+def test_missing_power_entry_raises(floorplan):
+    model = HotSpotModel(floorplan)
+    with pytest.raises(ThermalModelError):
+        model.steady_state({"IntReg": 1.0})

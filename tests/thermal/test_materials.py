@@ -1,0 +1,47 @@
+"""Material properties."""
+
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.thermal import COPPER, SILICON, Material
+
+
+def test_silicon_and_copper_values_are_physical():
+    assert 80.0 <= SILICON.thermal_conductivity <= 150.0
+    assert 300.0 <= COPPER.thermal_conductivity <= 450.0
+    assert COPPER.volumetric_heat_capacity > SILICON.volumetric_heat_capacity
+
+
+def test_conduction_resistance_formula():
+    # R = L / (k A): 1 mm of silicon over 1 mm^2.
+    r = SILICON.conduction_resistance(1e-3, 1e-6)
+    assert r == pytest.approx(1e-3 / (100.0 * 1e-6))
+
+
+def test_conduction_resistance_scales_inversely_with_area():
+    r1 = SILICON.conduction_resistance(1e-3, 1e-6)
+    r2 = SILICON.conduction_resistance(1e-3, 2e-6)
+    assert r1 == pytest.approx(2.0 * r2)
+
+
+def test_capacitance_formula():
+    c = COPPER.capacitance(1e-9)
+    assert c == pytest.approx(3.55e6 * 1e-9)
+
+
+@pytest.mark.parametrize("k,c", [(0.0, 1.0), (-1.0, 1.0), (1.0, 0.0)])
+def test_rejects_non_physical_materials(k, c):
+    with pytest.raises(ThermalModelError):
+        Material(name="bad", thermal_conductivity=k, volumetric_heat_capacity=c)
+
+
+def test_conduction_rejects_bad_geometry():
+    with pytest.raises(ThermalModelError):
+        SILICON.conduction_resistance(0.0, 1.0)
+    with pytest.raises(ThermalModelError):
+        SILICON.conduction_resistance(1.0, -1.0)
+
+
+def test_capacitance_rejects_bad_volume():
+    with pytest.raises(ThermalModelError):
+        SILICON.capacitance(0.0)

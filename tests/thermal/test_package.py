@@ -1,0 +1,78 @@
+"""Thermal package."""
+
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.thermal import ThermalPackage, default_package
+from repro.units import MM
+
+
+def test_default_matches_paper_setup():
+    pkg = default_package()
+    assert pkg.die_thickness == pytest.approx(0.5 * MM)
+    assert pkg.convection_resistance == pytest.approx(1.0)  # low-cost package
+    assert pkg.ambient_c == pytest.approx(45.0)
+
+
+def test_rejects_non_positive_parameters():
+    with pytest.raises(ThermalModelError):
+        ThermalPackage(die_thickness=0.0)
+    with pytest.raises(ThermalModelError):
+        ThermalPackage(convection_resistance=-1.0)
+
+
+def test_rejects_sink_smaller_than_spreader():
+    with pytest.raises(ThermalModelError):
+        ThermalPackage(spreader_side=60.0 * MM, sink_side=30.0 * MM)
+
+
+def test_vertical_resistance_decreases_with_block_area():
+    pkg = default_package()
+    small = pkg.block_vertical_resistance(1e-6)
+    large = pkg.block_vertical_resistance(4e-6)
+    assert small > large
+    # Pure 1-D conduction scales exactly inversely with area.
+    assert small == pytest.approx(4.0 * large)
+
+
+def test_vertical_resistance_magnitude():
+    # For a 4.18 mm^2 block (IntReg): die + TIM + half spreader,
+    # a few K/W.
+    pkg = default_package()
+    r = pkg.block_vertical_resistance(4.18e-6)
+    assert 1.0 < r < 5.0
+
+
+def test_spreader_to_sink_resistance_is_small_vs_convection():
+    pkg = default_package()
+    r = pkg.spreader_to_sink_resistance((16 * MM) ** 2)
+    assert r < 0.2 * pkg.convection_resistance
+
+
+def test_lateral_resistance_formula():
+    pkg = default_package()
+    r = pkg.lateral_resistance(2e-3, 1e-3)
+    expected = 2e-3 / (100.0 * pkg.die_thickness * 1e-3)
+    assert r == pytest.approx(expected)
+
+
+def test_lateral_resistance_rejects_bad_geometry():
+    pkg = default_package()
+    with pytest.raises(ThermalModelError):
+        pkg.lateral_resistance(0.0, 1e-3)
+    with pytest.raises(ThermalModelError):
+        pkg.lateral_resistance(1e-3, 0.0)
+
+
+def test_block_capacitance_uses_lumping_factor():
+    pkg = default_package()
+    full_slab = 1.75e6 * 4.18e-6 * pkg.die_thickness
+    assert pkg.block_capacitance(4.18e-6) == pytest.approx(
+        pkg.die_capacitance_factor * full_slab
+    )
+
+
+def test_sink_capacitance_dwarfs_block_capacitance():
+    # This is why "the heat sink temperature changes little" over a run.
+    pkg = default_package()
+    assert pkg.sink_capacitance > 1e3 * pkg.block_capacitance(4.18e-6)

@@ -1,0 +1,187 @@
+"""Thermal solvers, validated against analytical results."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ThermalModelError
+from repro.floorplan import Block, Floorplan
+from repro.thermal import (
+    ThermalPackage,
+    TransientSolver,
+    build_thermal_network,
+    steady_state,
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    fp = Floorplan(
+        [Block("a", 0, 0, 2e-3, 2e-3), Block("b", 2e-3, 0, 2e-3, 2e-3)]
+    )
+    return build_thermal_network(fp, ThermalPackage())
+
+
+class TestSteadyState:
+    def test_zero_power_settles_at_ambient(self, network):
+        temps = steady_state(network, np.zeros(network.size))
+        assert np.allclose(temps, network.ambient_c)
+
+    def test_total_power_sets_sink_rise(self, network):
+        # In steady state all heat leaves through the convection
+        # resistance: T_sink = T_amb + R_conv * P_total.
+        power = network.power_vector({"a": 3.0, "b": 2.0})
+        temps = steady_state(network, power)
+        sink = temps[network.index_of("__sink__")]
+        assert sink == pytest.approx(network.ambient_c + 1.0 * 5.0, rel=1e-9)
+
+    def test_heat_flows_downhill(self, network):
+        power = network.power_vector({"a": 5.0, "b": 0.0})
+        temps = steady_state(network, power)
+        a = temps[network.index_of("a")]
+        b = temps[network.index_of("b")]
+        spreader = temps[network.index_of("__spreader__")]
+        assert a > b > spreader > network.ambient_c
+
+    def test_superposition(self, network):
+        # The network is linear: temperatures superpose.
+        p1 = network.power_vector({"a": 2.0, "b": 0.0})
+        p2 = network.power_vector({"a": 0.0, "b": 3.0})
+        t1 = steady_state(network, p1) - network.ambient_c
+        t2 = steady_state(network, p2) - network.ambient_c
+        t12 = steady_state(network, p1 + p2) - network.ambient_c
+        assert np.allclose(t12, t1 + t2)
+
+    def test_wrong_shape_raises(self, network):
+        with pytest.raises(ThermalModelError):
+            steady_state(network, np.zeros(2))
+
+
+class TestTransient:
+    def test_converges_to_steady_state(self, network):
+        power = network.power_vector({"a": 4.0, "b": 1.0})
+        target = steady_state(network, power)
+        solver = TransientSolver(
+            network, np.full(network.size, network.ambient_c)
+        )
+        # March long enough for even the sink (tau ~ R C ~ minutes) to
+        # settle: adaptive giant steps are fine for backward Euler.
+        for _ in range(200):
+            temps = solver.step(power, 10.0)
+        assert np.allclose(temps, target, atol=1e-3)
+
+    def test_starting_at_steady_state_stays_there(self, network):
+        power = network.power_vector({"a": 4.0, "b": 1.0})
+        target = steady_state(network, power)
+        solver = TransientSolver(network, target)
+        temps = solver.step(power, 1e-5)
+        assert np.allclose(temps, target, atol=1e-9)
+
+    def test_monotone_heating_from_ambient(self, network):
+        power = network.power_vector({"a": 4.0, "b": 4.0})
+        solver = TransientSolver(
+            network, np.full(network.size, network.ambient_c)
+        )
+        previous = solver.temperatures
+        for _ in range(50):
+            current = solver.step(power, 1e-4)
+            assert np.all(current >= previous - 1e-12)
+            previous = current
+
+    def test_single_node_exponential_decay_rate(self):
+        # One tiny block: die node decays toward its driven equilibrium
+        # with tau ~= R_vertical * C_block when the package nodes barely
+        # move.  Backward Euler with small steps must track the
+        # analytical exponential within a few percent.
+        fp = Floorplan([Block("solo", 0, 0, 1e-3, 1e-3)])
+        package = ThermalPackage()
+        network = build_thermal_network(fp, package)
+        steady = steady_state(network, np.zeros(network.size))
+        # Perturb the die node by +10 K and watch it relax.
+        start = steady.copy()
+        die = network.index_of("solo")
+        start[die] += 10.0
+        solver = TransientSolver(network, start)
+
+        r_vertical = package.block_vertical_resistance(1e-6)
+        capacitance = package.block_capacitance(1e-6)
+        tau = r_vertical * capacitance
+
+        dt = tau / 50.0
+        steps = 50  # one time constant
+        for _ in range(steps):
+            temps = solver.step(np.zeros(network.size), dt)
+        excess = (temps[die] - steady[die]) / 10.0
+        assert excess == pytest.approx(np.exp(-1.0), rel=0.08)
+
+    def test_dt_cache_consistency(self, network):
+        # Alternating between two step sizes must agree with a fresh
+        # solver using the same sequence (exercises the LU cache).
+        power = network.power_vector({"a": 2.0, "b": 2.0})
+        s1 = TransientSolver(network, np.full(network.size, 45.0))
+        s2 = TransientSolver(network, np.full(network.size, 45.0))
+        for dt in (1e-5, 3e-6, 1e-5, 3e-6, 1e-5):
+            t1 = s1.step(power, dt)
+        for dt in (1e-5, 3e-6, 1e-5, 3e-6, 1e-5):
+            t2 = s2.step(power, dt)
+        assert np.allclose(t1, t2)
+
+    def test_time_tracking_and_reset(self, network):
+        solver = TransientSolver(network, np.full(network.size, 45.0))
+        solver.step(np.zeros(network.size), 2e-6)
+        solver.step(np.zeros(network.size), 3e-6)
+        assert solver.time_s == pytest.approx(5e-6)
+        solver.reset(np.full(network.size, 50.0))
+        assert solver.time_s == 0.0
+        assert np.allclose(solver.temperatures, 50.0)
+
+    def test_rejects_bad_inputs(self, network):
+        solver = TransientSolver(network, np.full(network.size, 45.0))
+        with pytest.raises(ThermalModelError):
+            solver.step(np.zeros(network.size), 0.0)
+        with pytest.raises(ThermalModelError):
+            solver.step(np.zeros(2), 1e-6)
+        with pytest.raises(ThermalModelError):
+            TransientSolver(network, np.zeros(2))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pa=st.floats(0.0, 20.0),
+    pb=st.floats(0.0, 20.0),
+)
+def test_property_steady_state_bounded_and_ordered(pa, pb):
+    fp = Floorplan(
+        [Block("a", 0, 0, 2e-3, 2e-3), Block("b", 2e-3, 0, 2e-3, 2e-3)]
+    )
+    network = build_thermal_network(fp, ThermalPackage())
+    temps = steady_state(network, network.power_vector({"a": pa, "b": pb}))
+    # No node can be cooler than ambient or hotter than the dissipation
+    # bound T_amb + P_total * (sum of worst-case series resistances).
+    assert np.all(temps >= network.ambient_c - 1e-9)
+    total = pa + pb
+    worst_series = 50.0  # generous bound for this tiny network
+    assert np.all(temps <= network.ambient_c + total * worst_series + 1e-9)
+    # More power in "a" than "b" implies "a" is at least as hot.
+    if pa > pb:
+        assert temps[network.index_of("a")] >= temps[network.index_of("b")]
+
+
+@settings(max_examples=20, deadline=None)
+@given(power_w=st.floats(0.5, 10.0), dt=st.floats(1e-7, 1e-3))
+def test_property_energy_conservation_single_step(power_w, dt):
+    # Backward Euler conserves energy exactly per step:
+    # sum(C dT) = (P_in - P_out_to_ambient(T_new)) dt.
+    fp = Floorplan([Block("solo", 0, 0, 1e-3, 1e-3)])
+    network = build_thermal_network(fp, ThermalPackage())
+    start = np.full(network.size, network.ambient_c)
+    solver = TransientSolver(network, start)
+    power = network.power_vector({"solo": power_w})
+    after = solver.step(power, dt)
+    stored = float(np.sum(network.capacitance * (after - start)))
+    leaked = float(
+        np.sum(network.ambient_conductance * (after - network.ambient_c)) * dt
+    )
+    injected = power_w * dt
+    assert stored + leaked == pytest.approx(injected, rel=1e-6)

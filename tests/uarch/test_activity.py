@@ -1,0 +1,99 @@
+"""Activity accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.uarch import ActivityModel
+from repro.uarch.activity import PEAK_EVENTS_PER_CYCLE, normalise_event_counts
+
+
+class TestNormalisation:
+    def test_events_at_peak_rate_give_activity_one(self):
+        events = {"Icache": 1000.0}  # peak 1.0/cycle over 1000 cycles
+        acts = normalise_event_counts(events, 1000)
+        assert acts["Icache"] == pytest.approx(1.0)
+
+    def test_clamped_at_one(self):
+        acts = normalise_event_counts({"Icache": 5000.0}, 1000)
+        assert acts["Icache"] == 1.0
+
+    def test_missing_blocks_report_zero(self):
+        acts = normalise_event_counts({}, 1000)
+        assert acts["FPMul"] == 0.0
+
+    def test_l2_banks_share_traffic(self):
+        acts = normalise_event_counts({"L2": 250.0}, 1000)
+        assert acts["L2"] == acts["L2_left"] == acts["L2_right"]
+        assert acts["L2"] == pytest.approx(0.5)
+
+    def test_covers_every_floorplan_block(self, floorplan):
+        acts = normalise_event_counts({}, 100)
+        assert set(acts) == set(floorplan.block_names)
+        assert set(PEAK_EVENTS_PER_CYCLE) == set(floorplan.block_names)
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(WorkloadError):
+            normalise_event_counts({}, 0)
+
+
+class TestActivityModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        base = {
+            "Icache": 0.6, "IntReg": 0.8, "IntExec": 0.7, "L2": 0.2,
+        }
+        return ActivityModel(base, speculation_waste=0.25)
+
+    def test_nominal_rates_reproduce_base(self, model):
+        acts = model.activities(1.0, 1.0)
+        assert acts == pytest.approx(model.base_activities)
+
+    def test_fetch_gating_cuts_frontend_first(self, model):
+        acts = model.activities(0.67, 1.0)
+        base = model.base_activities
+        # Front-end scales with fetch; back-end only loses wrong-path
+        # work; commit-tied blocks are untouched.
+        assert acts["Icache"] == pytest.approx(base["Icache"] * 0.67)
+        assert acts["L2"] == pytest.approx(base["L2"])
+        assert base["IntReg"] * 0.9 < acts["IntReg"] < base["IntReg"]
+
+    def test_speculation_waste_formula(self, model):
+        acts = model.activities(0.5, 1.0)
+        expected_issue_factor = (1.0 + 0.25 * 0.5) / 1.25
+        assert acts["IntReg"] == pytest.approx(0.8 * expected_issue_factor)
+
+    def test_commit_rate_scales_backend(self, model):
+        acts = model.activities(1.0, 0.5)
+        expected_issue_factor = (0.5 + 0.25) / 1.25
+        assert acts["IntExec"] == pytest.approx(0.7 * expected_issue_factor)
+        assert acts["L2"] == pytest.approx(0.2 * 0.5)
+
+    def test_zero_rates_zero_everything(self, model):
+        acts = model.activities(0.0, 0.0)
+        assert all(v == 0.0 for v in acts.values())
+
+    def test_rejects_negative_rates(self, model):
+        with pytest.raises(WorkloadError):
+            model.activities(-0.1, 1.0)
+
+    def test_rejects_bad_base_activity(self):
+        with pytest.raises(WorkloadError):
+            ActivityModel({"IntReg": 1.5}, 0.2)
+
+    def test_rejects_negative_waste(self):
+        with pytest.raises(WorkloadError):
+            ActivityModel({"IntReg": 0.5}, -0.1)
+
+
+@given(
+    fetch=st.floats(0.0, 1.0),
+    commit=st.floats(0.0, 1.0),
+    waste=st.floats(0.0, 0.5),
+)
+def test_property_activities_stay_in_unit_interval(fetch, commit, waste):
+    model = ActivityModel({"Icache": 0.9, "IntReg": 0.95, "L2": 0.4}, waste)
+    acts = model.activities(fetch, commit)
+    for value in acts.values():
+        assert 0.0 <= value <= 1.0

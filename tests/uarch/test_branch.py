@@ -1,0 +1,90 @@
+"""Branch predictor."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.uarch import GshareBranchPredictor
+
+
+def test_learns_always_taken_branch():
+    p = GshareBranchPredictor()
+    for _ in range(10):
+        p.update(0x100, True)
+    assert p.predict(0x100) is True
+
+
+def test_learns_never_taken_branch():
+    p = GshareBranchPredictor()
+    for _ in range(10):
+        p.update(0x200, False)
+    assert p.predict(0x200) is False
+
+
+def test_biased_site_mispredict_near_bias_floor():
+    p = GshareBranchPredictor()
+    rng = random.Random(1)
+    mispredicts = sum(p.update(0x40, rng.random() < 0.1) for _ in range(20_000))
+    rate = mispredicts / 20_000
+    # 2-bit counters on a p=0.1 Bernoulli site: close to but above 10 %.
+    assert 0.09 < rate < 0.16
+
+
+def test_alternating_pattern_needs_history():
+    # T,N,T,N ... is hopeless for a bimodal table but learnable with
+    # global history.
+    bimodal = GshareBranchPredictor(history_bits=0)
+    gshare = GshareBranchPredictor(history_bits=4)
+    for predictor in (bimodal, gshare):
+        for i in range(2_000):
+            predictor.update(0x80, i % 2 == 0)
+        predictor_rate = predictor.mispredict_rate
+    for i in range(2_000):
+        bimodal.update(0x80, i % 2 == 0)
+        gshare.update(0x80, i % 2 == 0)
+    assert gshare.mispredict_rate < 0.05
+    assert bimodal.mispredict_rate > 0.3
+
+
+def test_update_reports_mispredict_consistent_with_predict():
+    p = GshareBranchPredictor()
+    for outcome in (True, False, True, True, False):
+        predicted = p.predict(0x10)
+        mispredicted = p.update(0x10, outcome)
+        assert mispredicted == (predicted != outcome)
+
+
+def test_distinct_pcs_use_distinct_counters():
+    p = GshareBranchPredictor()
+    for _ in range(10):
+        p.update(0x100, True)
+        p.update(0x104, False)
+    assert p.predict(0x100) is True
+    assert p.predict(0x104) is False
+
+
+def test_statistics_and_reset():
+    p = GshareBranchPredictor()
+    for i in range(100):
+        p.update(0x10, i % 3 == 0)
+    assert p.predictions == 100
+    assert 0.0 < p.mispredict_rate < 1.0
+    p.reset_statistics()
+    assert p.predictions == 0
+    assert p.mispredict_rate == 0.0
+
+
+def test_table_size():
+    assert GshareBranchPredictor(index_bits=10).table_size == 1024
+
+
+def test_rejects_bad_configuration():
+    with pytest.raises(SimulationError):
+        GshareBranchPredictor(index_bits=0)
+    with pytest.raises(SimulationError):
+        GshareBranchPredictor(index_bits=30)
+    with pytest.raises(SimulationError):
+        GshareBranchPredictor(index_bits=8, history_bits=9)
+    with pytest.raises(SimulationError):
+        GshareBranchPredictor(history_bits=-1)

@@ -1,0 +1,164 @@
+"""ILP response curves."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.uarch import (
+    AnalyticIlpResponse,
+    IlpResponse,
+    IlpResponsePoint,
+    characterise_ilp_response,
+)
+from repro.uarch.trace import TraceParameters
+
+
+class TestIlpResponsePoints:
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(WorkloadError):
+            IlpResponsePoint(1.0, 0.5)
+
+    def test_rejects_non_positive_ipc(self):
+        with pytest.raises(WorkloadError):
+            IlpResponsePoint(0.5, 0.0)
+
+
+class TestInterpolation:
+    @pytest.fixture(scope="class")
+    def response(self):
+        return IlpResponse(
+            [
+                IlpResponsePoint(0.0, 2.0),
+                IlpResponsePoint(0.4, 1.9),
+                IlpResponsePoint(0.6, 1.2),
+            ]
+        )
+
+    def test_normalised_to_unity_at_zero(self, response):
+        assert response.ipc_rel(0.0) == pytest.approx(1.0)
+
+    def test_linear_interpolation_between_points(self, response):
+        assert response.ipc_rel(0.2) == pytest.approx((2.0 + 1.9) / 2 / 2.0)
+
+    def test_exact_at_measured_points(self, response):
+        assert response.ipc_rel(0.4) == pytest.approx(0.95)
+        assert response.ipc_rel(0.6) == pytest.approx(0.6)
+
+    def test_extrapolation_falls_toward_zero(self, response):
+        beyond = response.ipc_rel(0.9)
+        assert 0.0 < beyond < response.ipc_rel(0.6)
+
+    def test_requires_zero_point(self):
+        with pytest.raises(WorkloadError):
+            IlpResponse(
+                [IlpResponsePoint(0.1, 1.0), IlpResponsePoint(0.5, 0.8)]
+            )
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(WorkloadError):
+            IlpResponse(
+                [
+                    IlpResponsePoint(0.0, 1.0),
+                    IlpResponsePoint(0.0, 0.9),
+                ]
+            )
+
+    def test_rejects_single_point(self):
+        with pytest.raises(WorkloadError):
+            IlpResponse([IlpResponsePoint(0.0, 1.0)])
+
+    def test_rejects_out_of_range_query(self, response):
+        with pytest.raises(WorkloadError):
+            response.ipc_rel(1.0)
+
+
+class TestAnalyticResponse:
+    def test_flat_while_supply_exceeds_demand(self):
+        response = AnalyticIlpResponse(base_ipc=2.0, fetch_supply_ipc=3.2)
+        assert response.ipc_rel(0.05) > 0.995
+
+    def test_knee_near_supply_equals_demand(self):
+        # Supply 3.0, demand 2.0: the knee is at g = 1/3.
+        response = AnalyticIlpResponse(base_ipc=2.0, fetch_supply_ipc=3.0)
+        before = 1.0 - response.ipc_rel(0.25)
+        after = 1.0 - response.ipc_rel(0.45)
+        assert before < 0.06
+        assert after > 0.12
+
+    def test_linear_regime_beyond_the_knee(self):
+        # Deep gating: IPC tracks remaining fetch bandwidth, so slowdown
+        # is linear in duty cycle -- the paper's Figure 3b observation.
+        response = AnalyticIlpResponse(base_ipc=2.0, fetch_supply_ipc=3.0)
+        r1 = response.ipc_rel(0.6)
+        r2 = response.ipc_rel(0.8)
+        assert r2 / r1 == pytest.approx((1 - 0.8) / (1 - 0.6), rel=0.05)
+
+    def test_rejects_supply_below_demand(self):
+        with pytest.raises(WorkloadError):
+            AnalyticIlpResponse(base_ipc=2.0, fetch_supply_ipc=1.5)
+
+    def test_sharpness_controls_corner(self):
+        blunt = AnalyticIlpResponse(2.0, 3.0, sharpness=4.0)
+        sharp = AnalyticIlpResponse(2.0, 3.0, sharpness=24.0)
+        # At the knee the sharper curve is closer to the ideal min().
+        assert sharp.ipc_rel(1.0 / 3.0) > blunt.ipc_rel(1.0 / 3.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(g1=st.floats(0.0, 0.9), g2=st.floats(0.0, 0.9))
+    def test_property_monotone_decreasing(self, g1, g2):
+        response = AnalyticIlpResponse(base_ipc=2.0, fetch_supply_ipc=3.1)
+        lo, hi = sorted((g1, g2))
+        assert response.ipc_rel(lo) >= response.ipc_rel(hi) - 1e-12
+
+
+class TestCharacterisation:
+    @pytest.fixture(scope="class")
+    def measured(self):
+        params = TraceParameters(
+            working_set_bytes=64 * 1024,
+            sequential_fraction=0.8,
+            dep_distance_mean=10.0,
+            branch_predictability=0.95,
+        )
+        return characterise_ilp_response(
+            params,
+            gating_fractions=[0.0, 0.2, 1.0 / 3.0, 0.5, 2.0 / 3.0],
+            cycles_per_point=12_000,
+            warmup_cycles=4_000,
+        )
+
+    def test_measured_curve_is_mostly_monotone(self, measured):
+        values = [p.ipc_rel for p in measured.points]
+        for earlier, later in zip(values, values[2:]):
+            assert later <= earlier + 0.05
+
+    def test_mild_gating_hidden_on_real_machine(self, measured):
+        assert measured.ipc_rel(0.2) > 0.9
+
+    def test_deep_gating_hurts_on_real_machine(self, measured):
+        assert measured.ipc_rel(0.65) < 0.85
+
+    def test_analytic_model_tracks_measurement(self, measured):
+        # The interval engine's closed form must stay within a few
+        # percent of the cycle-level machine across the sweep.
+        base_ipc = 1.8
+        analytic = AnalyticIlpResponse(
+            base_ipc=base_ipc, fetch_supply_ipc=1.7 * base_ipc, sharpness=8.0
+        )
+        for g in (0.2, 1.0 / 3.0, 0.5):
+            assert analytic.ipc_rel(g) == pytest.approx(
+                measured.ipc_rel(g), abs=0.12
+            )
+
+    def test_requires_zero_fraction(self):
+        with pytest.raises(WorkloadError):
+            characterise_ilp_response(
+                TraceParameters(), gating_fractions=[0.1], cycles_per_point=2_000
+            )
+
+    def test_rejects_tiny_budget(self):
+        with pytest.raises(WorkloadError):
+            characterise_ilp_response(
+                TraceParameters(), gating_fractions=[0.0], cycles_per_point=10
+            )

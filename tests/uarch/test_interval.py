@@ -1,0 +1,166 @@
+"""Interval performance engine."""
+
+import pytest
+
+from repro.errors import SimulationError, WorkloadError
+from repro.uarch import DtmActuation, IntervalPerformanceModel
+from repro.workloads import Phase, make_activity_profile
+
+
+def make_phase(name="p", instructions=1_000_000, ipc=2.0, mem=0.2,
+               supply=3.2, waste=0.2):
+    return Phase(
+        name=name,
+        instructions=instructions,
+        base_ipc=ipc,
+        memory_cpi_fraction=mem,
+        fetch_supply_ipc=supply,
+        speculation_waste=waste,
+        base_activities=make_activity_profile(0.8, 0.1, 0.5, 0.7, 0.2),
+    )
+
+
+NOMINAL = DtmActuation()
+
+
+class TestNominalExecution:
+    def test_ipc_matches_phase(self):
+        model = IntervalPerformanceModel([make_phase(ipc=2.0)])
+        sample = model.advance(10_000, NOMINAL)
+        assert sample.instructions == pytest.approx(20_000)
+        assert sample.commit_rate_rel == pytest.approx(1.0)
+        assert sample.fetch_rate_rel == pytest.approx(1.0)
+
+    def test_activities_match_base_profile(self):
+        phase = make_phase()
+        model = IntervalPerformanceModel([phase])
+        sample = model.advance(10_000, NOMINAL)
+        assert sample.activities == pytest.approx(phase.base_activities)
+
+    def test_total_instruction_accounting(self):
+        model = IntervalPerformanceModel([make_phase()])
+        for _ in range(5):
+            model.advance(10_000, NOMINAL)
+        assert model.total_instructions == pytest.approx(5 * 20_000)
+
+
+class TestFetchGating:
+    def test_mild_gating_keeps_ipc(self):
+        model = IntervalPerformanceModel([make_phase()])
+        sample = model.advance(10_000, DtmActuation(gating_fraction=0.1))
+        assert sample.instructions > 0.97 * 20_000
+
+    def test_deep_gating_cuts_ipc(self):
+        model = IntervalPerformanceModel([make_phase()])
+        sample = model.advance(10_000, DtmActuation(gating_fraction=2 / 3))
+        assert sample.instructions < 0.75 * 20_000
+
+    def test_gating_reduces_frontend_activity(self):
+        phase = make_phase()
+        model = IntervalPerformanceModel([phase])
+        sample = model.advance(10_000, DtmActuation(gating_fraction=0.5))
+        assert sample.activities["Icache"] == pytest.approx(
+            phase.base_activities["Icache"] * 0.5
+        )
+
+
+class TestFrequencyScaling:
+    def test_memory_bound_phase_gains_cycle_ipc_at_low_clock(self):
+        memory_bound = make_phase(ipc=1.0, mem=0.5, supply=2.8)
+        model = IntervalPerformanceModel([memory_bound])
+        slow = model.advance(
+            10_000, DtmActuation(relative_frequency=0.873)
+        )
+        # Fewer memory stall *cycles* at the lower clock.
+        assert slow.instructions > 10_000 * 1.0
+
+    def test_compute_bound_phase_unchanged_per_cycle(self):
+        compute_bound = make_phase(ipc=2.0, mem=0.0)
+        model = IntervalPerformanceModel([compute_bound])
+        slow = model.advance(
+            10_000, DtmActuation(relative_frequency=0.873)
+        )
+        assert slow.instructions == pytest.approx(20_000, rel=1e-6)
+
+    def test_wall_clock_slowdown_less_than_frequency_for_memory_bound(self):
+        # instructions per second = f * IPC(f): for mem=0.5 the slowdown
+        # is roughly half the frequency reduction.
+        memory_bound = make_phase(ipc=1.0, mem=0.5, supply=2.8)
+        model = IntervalPerformanceModel([memory_bound])
+        nominal_rate = model.advance(10_000, NOMINAL).instructions  # per 10k cycles
+        slow_sample = model.advance(10_000, DtmActuation(relative_frequency=0.873))
+        ips_nominal = nominal_rate * 1.0
+        ips_slow = slow_sample.instructions * 0.873
+        slowdown = ips_nominal / ips_slow
+        assert 1.0 < slowdown < 1.0 / 0.873
+
+
+class TestClockGating:
+    def test_half_duty_halves_progress(self):
+        model = IntervalPerformanceModel([make_phase()])
+        sample = model.advance(
+            10_000, DtmActuation(clock_enabled_fraction=0.5)
+        )
+        assert sample.instructions == pytest.approx(10_000)
+
+    def test_fully_gated_interval_commits_nothing(self):
+        model = IntervalPerformanceModel([make_phase()])
+        sample = model.advance(
+            10_000, DtmActuation(clock_enabled_fraction=0.0)
+        )
+        assert sample.instructions == 0.0
+        assert all(v == 0.0 for v in sample.activities.values())
+
+
+class TestPhaseSequencing:
+    def test_crossing_a_phase_boundary_blends_activities(self):
+        quiet = make_phase("quiet", instructions=10_000, ipc=2.0)
+        hot = Phase(
+            name="hot",
+            instructions=1_000_000,
+            base_ipc=2.0,
+            memory_cpi_fraction=0.2,
+            fetch_supply_ipc=3.2,
+            speculation_waste=0.2,
+            base_activities=make_activity_profile(1.0, 0.2, 0.6, 0.9, 0.3),
+        )
+        model = IntervalPerformanceModel([quiet, hot])
+        sample = model.advance(10_000, NOMINAL)  # 20k instructions
+        low = quiet.base_activities["IntReg"]
+        high = hot.base_activities["IntReg"]
+        assert low < sample.activities["IntReg"] < high
+
+    def test_loops_back_to_first_phase(self):
+        phase = make_phase(instructions=15_000)
+        model = IntervalPerformanceModel([phase], loop=True)
+        model.advance(10_000, NOMINAL)  # consumes 20k > 15k
+        assert model.current_phase.name == "p"
+
+    def test_no_loop_raises_when_exhausted(self):
+        phase = make_phase(instructions=15_000)
+        model = IntervalPerformanceModel([phase], loop=False)
+        with pytest.raises(SimulationError):
+            model.advance(10_000, NOMINAL)
+
+    def test_phase_name_reported(self):
+        model = IntervalPerformanceModel([make_phase("alpha")])
+        assert model.advance(100, NOMINAL).phase_name == "alpha"
+
+
+class TestValidation:
+    def test_rejects_empty_phase_list(self):
+        with pytest.raises(WorkloadError):
+            IntervalPerformanceModel([])
+
+    def test_rejects_non_positive_interval(self):
+        model = IntervalPerformanceModel([make_phase()])
+        with pytest.raises(SimulationError):
+            model.advance(0, NOMINAL)
+
+    def test_actuation_validation(self):
+        with pytest.raises(SimulationError):
+            DtmActuation(gating_fraction=1.0)
+        with pytest.raises(SimulationError):
+            DtmActuation(relative_frequency=1.5)
+        with pytest.raises(SimulationError):
+            DtmActuation(clock_enabled_fraction=1.5)

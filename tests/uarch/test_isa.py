@@ -1,0 +1,35 @@
+"""Micro-op classes."""
+
+import pytest
+
+from repro.uarch import OpClass
+from repro.uarch.isa import EXECUTION_LATENCY, execution_latency
+
+
+def test_every_class_has_a_latency():
+    for op_class in OpClass:
+        assert execution_latency(op_class) >= 1
+
+
+def test_fp_classification():
+    assert OpClass.FADD.is_fp and OpClass.FMUL.is_fp
+    assert not OpClass.IALU.is_fp
+    assert not OpClass.LOAD.is_fp
+
+
+def test_memory_classification():
+    assert OpClass.LOAD.is_memory and OpClass.STORE.is_memory
+    assert not OpClass.BRANCH.is_memory
+
+
+def test_multiply_slower_than_alu():
+    assert execution_latency(OpClass.IMUL) > execution_latency(OpClass.IALU)
+
+
+def test_fp_latencies_are_pipelined_multicycle():
+    assert EXECUTION_LATENCY[OpClass.FADD] == 4
+    assert EXECUTION_LATENCY[OpClass.FMUL] == 4
+
+
+def test_single_cycle_integer_alu():
+    assert execution_latency(OpClass.IALU) == 1

@@ -1,0 +1,144 @@
+"""Detailed out-of-order core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.uarch import DetailedCore, MachineParameters, TraceGenerator
+from repro.uarch.trace import TraceParameters
+
+FAST_PARAMS = TraceParameters(
+    working_set_bytes=64 * 1024,
+    sequential_fraction=0.8,
+    dep_distance_mean=10.0,
+    branch_predictability=0.95,
+)
+
+
+@pytest.fixture(scope="module")
+def warmed_result():
+    core = DetailedCore.warmed(FAST_PARAMS, seed=1)
+    core.run(max_cycles=5_000)
+    core.reset_statistics()
+    return core.run(max_cycles=20_000)
+
+
+class TestBasicExecution:
+    def test_commits_instructions(self, warmed_result):
+        assert warmed_result.instructions > 0
+        assert warmed_result.cycles == 20_000
+
+    def test_ipc_in_superscalar_range(self, warmed_result):
+        assert 0.8 < warmed_result.ipc < 4.0
+
+    def test_activities_are_normalised(self, warmed_result):
+        for block, activity in warmed_result.activities.items():
+            assert 0.0 <= activity <= 1.0, block
+
+    def test_integer_blocks_active_fp_blocks_idle(self, warmed_result):
+        acts = warmed_result.activities
+        assert acts["IntReg"] > 0.1
+        assert acts["IntExec"] > 0.1
+        assert acts["FPAdd"] < 0.05  # default mix is integer-dominated
+
+    def test_prewarmed_caches_mostly_hit(self, warmed_result):
+        assert warmed_result.icache_miss_rate < 0.02
+        assert warmed_result.l2_miss_rate < 0.05
+
+    def test_pretrained_predictor_near_bias_floor(self, warmed_result):
+        assert warmed_result.branch_mispredict_rate < 0.12
+
+
+class TestFetchGatingResponse:
+    @pytest.fixture(scope="class")
+    def ipcs(self):
+        results = {}
+        for fraction in (0.0, 0.2, 2.0 / 3.0):
+            core = DetailedCore.warmed(
+                FAST_PARAMS, seed=1, gating_fraction=fraction
+            )
+            core.run(max_cycles=5_000)
+            core.reset_statistics()
+            results[fraction] = core.run(max_cycles=20_000)
+        return results
+
+    def test_mild_gating_mostly_hidden_by_ilp(self, ipcs):
+        # 20 % gating should cost far less than 20 % of IPC.
+        ratio = ipcs[0.2].ipc / ipcs[0.0].ipc
+        assert ratio > 0.9
+
+    def test_deep_gating_starves_the_machine(self, ipcs):
+        ratio = ipcs[2.0 / 3.0].ipc / ipcs[0.0].ipc
+        assert ratio < 0.75
+
+    def test_gating_reduces_frontend_activity_proportionally(self, ipcs):
+        base = ipcs[0.0].activities["Icache"]
+        gated = ipcs[2.0 / 3.0].activities["Icache"]
+        assert gated < 0.55 * base
+
+    def test_response_is_monotone(self, ipcs):
+        assert ipcs[0.0].ipc >= ipcs[0.2].ipc >= ipcs[2.0 / 3.0].ipc
+
+
+class TestFrequencyScaling:
+    def test_memory_latency_cheaper_at_lower_clock(self):
+        # A memory-bound workload commits *more per cycle* at lower
+        # frequency because memory is fixed in wall-clock terms.
+        params = TraceParameters(
+            working_set_bytes=8 * 1024 * 1024,
+            sequential_fraction=0.2,
+            dep_distance_mean=4.0,
+        )
+        full = DetailedCore.warmed(params, seed=2, relative_frequency=1.0)
+        slow = DetailedCore.warmed(params, seed=2, relative_frequency=0.7)
+        for core in (full, slow):
+            core.run(max_cycles=4_000)
+            core.reset_statistics()
+        ipc_full = full.run(max_cycles=15_000).ipc
+        ipc_slow = slow.run(max_cycles=15_000).ipc
+        assert ipc_slow > ipc_full
+
+
+class TestValidation:
+    def test_rejects_invalid_gating_fraction(self):
+        trace = TraceGenerator(FAST_PARAMS, seed=0)
+        with pytest.raises(SimulationError):
+            DetailedCore(trace, gating_fraction=1.0)
+
+    def test_rejects_invalid_frequency(self):
+        trace = TraceGenerator(FAST_PARAMS, seed=0)
+        with pytest.raises(SimulationError):
+            DetailedCore(trace, relative_frequency=0.0)
+
+    def test_run_requires_a_budget(self):
+        core = DetailedCore(TraceGenerator(FAST_PARAMS, seed=0))
+        with pytest.raises(SimulationError):
+            core.run()
+
+    def test_instruction_budget(self):
+        core = DetailedCore.warmed(FAST_PARAMS, seed=1)
+        result = core.run(max_instructions=1_000)
+        assert result.instructions >= 1_000
+
+
+class TestMachineParameters:
+    def test_default_is_21264_class(self):
+        machine = MachineParameters()
+        assert machine.fetch_width == 4
+        assert machine.issue_width == 6
+        assert machine.rob_size == 80
+
+    def test_rejects_zero_widths(self):
+        with pytest.raises(SimulationError):
+            MachineParameters(fetch_width=0)
+
+    def test_narrow_machine_commits_less(self):
+        narrow = MachineParameters(
+            fetch_width=1, rename_width=1, int_issue_width=1,
+            fp_issue_width=1, commit_width=1,
+        )
+        core_narrow = DetailedCore.warmed(FAST_PARAMS, seed=1, machine=narrow)
+        core_wide = DetailedCore.warmed(FAST_PARAMS, seed=1)
+        ipc_narrow = core_narrow.run(max_cycles=10_000).ipc
+        ipc_wide = core_wide.run(max_cycles=10_000).ipc
+        assert ipc_narrow < ipc_wide
+        assert ipc_narrow <= 1.0 + 1e-9

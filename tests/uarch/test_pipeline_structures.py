@@ -1,0 +1,77 @@
+"""Structural backpressure in the detailed core.
+
+These tests shrink individual machine structures and verify the expected
+bottleneck appears -- evidence that each structure actually constrains the
+pipeline rather than being decorative state.
+"""
+
+import pytest
+
+from repro.uarch import DetailedCore, MachineParameters
+from repro.uarch.trace import TraceParameters
+
+PARAMS = TraceParameters(
+    working_set_bytes=64 * 1024,
+    sequential_fraction=0.8,
+    dep_distance_mean=10.0,
+    branch_predictability=0.95,
+)
+
+
+def run_ipc(machine=None, trace_params=PARAMS, cycles=12_000, seed=1):
+    core = DetailedCore.warmed(trace_params, seed=seed, machine=machine)
+    core.run(max_cycles=3_000)
+    core.reset_statistics()
+    return core.run(max_cycles=cycles).ipc
+
+
+@pytest.fixture(scope="module")
+def baseline_ipc():
+    return run_ipc()
+
+
+def test_tiny_rob_limits_mlp(baseline_ipc):
+    small_rob = MachineParameters(rob_size=8)
+    assert run_ipc(machine=small_rob) < 0.8 * baseline_ipc
+
+
+def test_tiny_issue_queue_limits_ilp(baseline_ipc):
+    small_iq = MachineParameters(int_queue_size=2)
+    assert run_ipc(machine=small_iq) < 0.9 * baseline_ipc
+
+
+def test_single_entry_lsq_serialises_memory(baseline_ipc):
+    small_lsq = MachineParameters(load_store_queue_size=1)
+    assert run_ipc(machine=small_lsq) < 0.85 * baseline_ipc
+
+
+def test_narrow_issue_caps_throughput(baseline_ipc):
+    narrow = MachineParameters(int_issue_width=1)
+    ipc = run_ipc(machine=narrow)
+    assert ipc < baseline_ipc
+    assert ipc <= 1.05  # cannot sustain more than ~1 integer op/cycle
+
+
+def test_long_mispredict_penalty_hurts(baseline_ipc):
+    slow_redirect = MachineParameters(branch_mispredict_penalty=60)
+    assert run_ipc(machine=slow_redirect) < baseline_ipc
+
+
+def test_dependency_chains_limit_ipc(baseline_ipc):
+    serial = TraceParameters(
+        working_set_bytes=64 * 1024,
+        sequential_fraction=0.8,
+        dep_distance_mean=1.2,  # nearly every op depends on the previous
+        branch_predictability=0.95,
+    )
+    assert run_ipc(trace_params=serial) < 0.75 * baseline_ipc
+
+
+def test_unpredictable_branches_limit_ipc(baseline_ipc):
+    chaotic = TraceParameters(
+        working_set_bytes=64 * 1024,
+        sequential_fraction=0.8,
+        dep_distance_mean=10.0,
+        branch_predictability=0.6,
+    )
+    assert run_ipc(trace_params=chaotic) < 0.8 * baseline_ipc

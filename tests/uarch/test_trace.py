@@ -1,0 +1,171 @@
+"""Synthetic trace generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.uarch import MicroOp, OpClass, TraceGenerator
+from repro.uarch.trace import TraceParameters
+
+
+def collect(params, n, seed=0):
+    gen = TraceGenerator(params, seed=seed)
+    return [gen.next_op() for _ in range(n)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        params = TraceParameters()
+        a = collect(params, 500, seed=3)
+        b = collect(params, 500, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        params = TraceParameters()
+        a = collect(params, 500, seed=1)
+        b = collect(params, 500, seed=2)
+        assert a != b
+
+
+class TestOpMix:
+    def test_mix_roughly_matches_weights(self):
+        params = TraceParameters()
+        ops = collect(params, 20_000)
+        branch_fraction = sum(
+            1 for op in ops if op.op_class is OpClass.BRANCH
+        ) / len(ops)
+        assert branch_fraction == pytest.approx(0.15, abs=0.02)
+
+    def test_sequence_numbers_are_consecutive(self):
+        ops = collect(TraceParameters(), 100)
+        assert [op.seq for op in ops] == list(range(100))
+
+    def test_memory_ops_carry_addresses(self):
+        for op in collect(TraceParameters(), 2_000):
+            if op.op_class.is_memory:
+                assert op.address is not None
+                assert 0 <= op.address < TraceParameters().working_set_bytes
+            else:
+                assert op.address is None
+
+
+class TestControlFlow:
+    def test_pcs_stay_within_code_footprint(self):
+        params = TraceParameters(code_footprint_bytes=16 * 1024)
+        for op in collect(params, 5_000):
+            assert 0 <= op.pc < 16 * 1024
+
+    def test_branches_revisit_sites(self):
+        # Loop structure means branch PCs repeat heavily -- that is what
+        # makes them predictable.
+        ops = collect(TraceParameters(), 30_000)
+        branch_pcs = [op.pc for op in ops if op.op_class is OpClass.BRANCH]
+        visits = len(branch_pcs) / max(1, len(set(branch_pcs)))
+        assert visits > 3.0
+
+    def test_only_branches_may_be_taken(self):
+        for op in collect(TraceParameters(), 2_000):
+            if op.taken:
+                assert op.op_class is OpClass.BRANCH
+
+    def test_predictability_controls_taken_bias(self):
+        predictable = TraceParameters(branch_predictability=0.99)
+        coin_flip = TraceParameters(branch_predictability=0.5)
+
+        def inherent_floor(params):
+            ops = collect(params, 60_000, seed=5)
+            per_pc = {}
+            for op in ops:
+                if op.op_class is OpClass.BRANCH:
+                    stats = per_pc.setdefault(op.pc, [0, 0])
+                    stats[op.taken] += 1
+            weighted = 0.0
+            total = 0
+            for not_taken, taken in per_pc.values():
+                n = not_taken + taken
+                weighted += n * min(not_taken, taken) / n
+                total += n
+            return weighted / total
+
+        assert inherent_floor(predictable) < 0.05
+        assert inherent_floor(coin_flip) > 0.3
+
+
+class TestDependencies:
+    def test_source_distances_positive_and_bounded(self):
+        for op in collect(TraceParameters(), 5_000):
+            for distance in op.src_distances:
+                assert 1 <= distance <= 512
+
+    def test_mean_distance_tracks_parameter(self):
+        short = TraceParameters(dep_distance_mean=2.0)
+        long = TraceParameters(dep_distance_mean=12.0)
+
+        def mean_distance(params):
+            distances = [
+                d
+                for op in collect(params, 10_000)
+                for d in op.src_distances
+            ]
+            return sum(distances) / len(distances)
+
+        assert mean_distance(short) < mean_distance(long)
+        assert mean_distance(short) == pytest.approx(2.0, rel=0.25)
+
+
+class TestAddressStream:
+    def test_sequential_fraction_controls_locality(self):
+        streaming = TraceParameters(sequential_fraction=1.0)
+        ops = collect(streaming, 5_000)
+        addresses = [op.address for op in ops if op.op_class.is_memory]
+        deltas = [b - a for a, b in zip(addresses, addresses[1:])]
+        # Pure streaming: nearly all deltas are the +8 stride (modulo
+        # wrap-around).
+        strides = sum(1 for d in deltas if d == 8)
+        assert strides / len(deltas) > 0.95
+
+    def test_random_fraction_spreads_over_working_set(self):
+        params = TraceParameters(sequential_fraction=0.0,
+                                 working_set_bytes=1 << 20)
+        ops = collect(params, 5_000)
+        addresses = [op.address for op in ops if op.op_class.is_memory]
+        assert max(addresses) > (1 << 19)  # reaches the upper half
+
+
+class TestValidation:
+    def test_rejects_empty_mix(self):
+        with pytest.raises(WorkloadError):
+            TraceParameters(op_mix={})
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(WorkloadError):
+            TraceParameters(op_mix={OpClass.IALU: -1.0})
+
+    def test_rejects_bad_dep_mean(self):
+        with pytest.raises(WorkloadError):
+            TraceParameters(dep_distance_mean=0.5)
+
+    def test_rejects_bad_sequential_fraction(self):
+        with pytest.raises(WorkloadError):
+            TraceParameters(sequential_fraction=1.5)
+
+    def test_rejects_loop_bigger_than_footprint(self):
+        with pytest.raises(WorkloadError):
+            TraceParameters(
+                code_footprint_bytes=4096, loop_size_bytes=8192
+            )
+
+    def test_rejects_bad_predictability(self):
+        with pytest.raises(WorkloadError):
+            TraceParameters(branch_predictability=0.4)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_stream_is_well_formed(seed):
+    gen = TraceGenerator(TraceParameters(), seed=seed)
+    for expected_seq in range(200):
+        op = gen.next_op()
+        assert isinstance(op, MicroOp)
+        assert op.seq == expected_seq

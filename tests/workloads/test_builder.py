@@ -1,0 +1,82 @@
+"""Workload builder."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import WorkloadBuilder
+
+
+def test_builds_a_runnable_workload():
+    workload = (
+        WorkloadBuilder("custom", description="test kernel")
+        .phase("a", millions=1.0, ipc=1.8)
+        .phase("b", millions=2.0, ipc=2.2, fp_intensity=0.4)
+        .build()
+    )
+    assert workload.name == "custom"
+    assert workload.total_instructions == 3_000_000
+    assert len(workload.phases) == 2
+
+
+def test_defaults_are_consistent():
+    workload = WorkloadBuilder("w").phase("only").build()
+    phase = workload.phases[0]
+    assert phase.fetch_supply_ipc == pytest.approx(1.55 * phase.base_ipc)
+    assert 0.0 < phase.base_activities["Icache"] <= 1.0
+
+
+def test_frontend_tracks_integer_intensity_by_default():
+    low = WorkloadBuilder("w").phase("p", int_intensity=0.2).build()
+    high = WorkloadBuilder("w").phase("p", int_intensity=0.9).build()
+    assert (
+        low.phases[0].base_activities["Icache"]
+        < high.phases[0].base_activities["Icache"]
+    )
+
+
+def test_explicit_supply_respected():
+    workload = (
+        WorkloadBuilder("w").phase("p", ipc=1.0, fetch_supply_ipc=3.0).build()
+    )
+    assert workload.phases[0].fetch_supply_ipc == 3.0
+
+
+def test_chaining_returns_builder():
+    builder = WorkloadBuilder("w")
+    assert builder.phase("p") is builder
+
+
+def test_rejects_empty_build():
+    with pytest.raises(WorkloadError):
+        WorkloadBuilder("w").build()
+
+
+def test_rejects_empty_name():
+    with pytest.raises(WorkloadError):
+        WorkloadBuilder("")
+
+
+def test_rejects_non_positive_length():
+    with pytest.raises(WorkloadError):
+        WorkloadBuilder("w").phase("p", millions=0.0)
+
+
+def test_invalid_phase_parameters_surface_phase_errors():
+    with pytest.raises(WorkloadError):
+        WorkloadBuilder("w").phase("p", ipc=0.0)
+
+
+def test_custom_workload_simulates_end_to_end():
+    from repro.dtm import HybPolicy
+    from repro.sim import SimulationEngine
+
+    workload = (
+        WorkloadBuilder("hotloop")
+        .phase("spin", millions=2.0, ipc=2.2, int_intensity=0.8,
+               frontend_intensity=0.7, mem_intensity=0.4)
+        .build()
+    )
+    engine = SimulationEngine(workload, policy=HybPolicy())
+    run = engine.run(1_000_000, settle_time_s=1e-3)
+    assert run.instructions == 1_000_000
+    assert run.max_true_temp_c < 100.0

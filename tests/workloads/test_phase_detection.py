@@ -1,0 +1,136 @@
+"""Phase detection from interval traces."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import make_activity_profile
+from repro.workloads.phase_detection import (
+    IntervalRecord,
+    detect_phases,
+    workload_from_trace,
+)
+
+HOT = make_activity_profile(0.85, 0.05, 0.6, 0.75, 0.2)
+COOL = make_activity_profile(0.35, 0.05, 0.3, 0.35, 0.1)
+
+
+def synthetic_trace(pattern="HHHHCCCC", wobble=0.01):
+    """Alternating hot/cool intervals with a deterministic wobble."""
+    records = []
+    for i, kind in enumerate(pattern):
+        base = HOT if kind == "H" else COOL
+        jitter = ((i * 37) % 7 - 3) * wobble / 3.0
+        activities = {
+            block: min(1.0, max(0.0, value + jitter))
+            for block, value in base.items()
+        }
+        records.append(
+            IntervalRecord(
+                instructions=100_000,
+                ipc=2.2 if kind == "H" else 1.4,
+                activities=activities,
+            )
+        )
+    return records
+
+
+class TestIntervalRecord:
+    def test_rejects_empty_activities(self):
+        with pytest.raises(WorkloadError):
+            IntervalRecord(instructions=100, ipc=1.0, activities={})
+
+    def test_rejects_non_positive_work(self):
+        with pytest.raises(WorkloadError):
+            IntervalRecord(instructions=0, ipc=1.0, activities={"a": 0.5})
+        with pytest.raises(WorkloadError):
+            IntervalRecord(instructions=10, ipc=0.0, activities={"a": 0.5})
+
+
+class TestDetection:
+    def test_recovers_two_phases(self):
+        phases = detect_phases(synthetic_trace(), max_phases=2)
+        assert len(phases) == 2
+        ipcs = sorted(p.base_ipc for p in phases)
+        assert ipcs[0] == pytest.approx(1.4, rel=0.05)
+        assert ipcs[1] == pytest.approx(2.2, rel=0.05)
+
+    def test_phase_activities_match_cluster_means(self):
+        phases = detect_phases(synthetic_trace(), max_phases=2)
+        hot_phase = max(phases, key=lambda p: p.base_ipc)
+        assert hot_phase.base_activities["IntReg"] == pytest.approx(
+            HOT["IntReg"], abs=0.03
+        )
+
+    def test_instruction_totals_conserved(self):
+        trace = synthetic_trace("HHHCC")
+        phases = detect_phases(trace, max_phases=2)
+        assert sum(p.instructions for p in phases) == 5 * 100_000
+
+    def test_phases_ordered_by_first_appearance(self):
+        phases = detect_phases(synthetic_trace("CCHH"), max_phases=2)
+        assert phases[0].base_ipc < phases[1].base_ipc  # cool seen first
+
+    def test_deterministic_across_calls(self):
+        a = detect_phases(synthetic_trace(), max_phases=2, seed=3)
+        b = detect_phases(synthetic_trace(), max_phases=2, seed=3)
+        assert [p.base_ipc for p in a] == [p.base_ipc for p in b]
+
+    def test_single_cluster_when_uniform(self):
+        phases = detect_phases(synthetic_trace("HHHH", wobble=0.0),
+                               max_phases=3)
+        assert len(phases) >= 1
+        total = sum(p.instructions for p in phases)
+        assert total == 4 * 100_000
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(WorkloadError):
+            detect_phases([])
+
+    def test_rejects_inconsistent_block_sets(self):
+        records = synthetic_trace("HH")
+        bad = IntervalRecord(
+            instructions=100_000, ipc=2.0, activities={"IntReg": 0.5}
+        )
+        with pytest.raises(WorkloadError):
+            detect_phases(records + [bad])
+
+
+class TestWorkloadFromTrace:
+    def test_builds_runnable_workload(self):
+        workload = workload_from_trace("traced", synthetic_trace(),
+                                       max_phases=2)
+        assert workload.name == "traced"
+        assert workload.total_instructions == 8 * 100_000
+
+        from repro.dtm import HybPolicy
+        from repro.sim import SimulationEngine
+
+        engine = SimulationEngine(workload, policy=HybPolicy())
+        run = engine.run(500_000, settle_time_s=1e-3)
+        assert run.instructions == 500_000
+
+    def test_round_trip_from_detailed_core(self):
+        # Characterise a real detailed-core run into interval records and
+        # rebuild a workload: the whole tooling chain end to end.
+        from repro.uarch import DetailedCore
+        from repro.uarch.trace import TraceParameters
+
+        params = TraceParameters(
+            working_set_bytes=64 * 1024, sequential_fraction=0.8,
+            dep_distance_mean=10.0, branch_predictability=0.95,
+        )
+        core = DetailedCore.warmed(params, seed=1)
+        records = []
+        for _ in range(4):
+            core.reset_statistics()
+            result = core.run(max_cycles=4_000)
+            records.append(
+                IntervalRecord(
+                    instructions=max(result.instructions, 1),
+                    ipc=max(result.ipc, 0.1),
+                    activities=result.activities,
+                )
+            )
+        workload = workload_from_trace("measured", records, max_phases=2)
+        assert workload.total_instructions > 0
+        assert 0.5 < workload.mean_ipc < 4.0

@@ -1,0 +1,82 @@
+"""Workload phases."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.uarch import AnalyticIlpResponse, IlpResponse, IlpResponsePoint
+from repro.workloads import Phase, make_activity_profile
+
+
+def make_phase(**overrides):
+    defaults = dict(
+        name="p",
+        instructions=1_000_000,
+        base_ipc=2.0,
+        memory_cpi_fraction=0.15,
+        fetch_supply_ipc=3.1,
+        speculation_waste=0.2,
+        base_activities=make_activity_profile(0.8, 0.1, 0.5, 0.7, 0.2),
+    )
+    defaults.update(overrides)
+    return Phase(**defaults)
+
+
+class TestValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(WorkloadError):
+            make_phase(name="")
+
+    def test_rejects_zero_instructions(self):
+        with pytest.raises(WorkloadError):
+            make_phase(instructions=0)
+
+    def test_rejects_non_positive_ipc(self):
+        with pytest.raises(WorkloadError):
+            make_phase(base_ipc=0.0)
+
+    def test_rejects_memory_fraction_of_one(self):
+        with pytest.raises(WorkloadError):
+            make_phase(memory_cpi_fraction=1.0)
+
+    def test_rejects_supply_below_ipc(self):
+        with pytest.raises(WorkloadError):
+            make_phase(base_ipc=2.0, fetch_supply_ipc=1.8)
+
+    def test_rejects_negative_waste(self):
+        with pytest.raises(WorkloadError):
+            make_phase(speculation_waste=-0.1)
+
+
+class TestDerivedModels:
+    def test_default_ilp_response_is_analytic(self):
+        phase = make_phase()
+        assert isinstance(phase.ilp_response, AnalyticIlpResponse)
+        assert phase.ilp_response.base_ipc == phase.base_ipc
+
+    def test_ilp_response_is_cached(self):
+        phase = make_phase()
+        assert phase.ilp_response is phase.ilp_response
+
+    def test_activity_model_reflects_base_and_waste(self):
+        phase = make_phase(speculation_waste=0.3)
+        model = phase.activity_model
+        assert model.speculation_waste == 0.3
+        assert model.base_activities == phase.base_activities
+
+    def test_with_measured_response(self):
+        phase = make_phase()
+        measured = IlpResponse(
+            [IlpResponsePoint(0.0, 2.0), IlpResponsePoint(0.5, 1.0)]
+        )
+        replaced = phase.with_measured_response(measured)
+        assert replaced.ilp_response is measured
+        assert replaced.name == phase.name
+        # The original is untouched.
+        assert phase.ilp_response is not measured
+
+    def test_scaled_activities_clamped(self):
+        phase = make_phase()
+        scaled = phase.scaled_activities(2.0)
+        assert all(v <= 1.0 for v in scaled.values())
+        with pytest.raises(WorkloadError):
+            phase.scaled_activities(-1.0)

@@ -1,0 +1,48 @@
+"""Activity profiles."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.floorplan import ALL_BLOCKS
+from repro.workloads import make_activity_profile
+
+
+def test_covers_every_block():
+    profile = make_activity_profile(0.5, 0.5, 0.5, 0.5, 0.5)
+    assert set(profile) == set(ALL_BLOCKS)
+
+
+def test_intreg_tracks_integer_knob_with_highest_weight():
+    profile = make_activity_profile(1.0, 0.0, 0.0, 0.0, 0.0)
+    assert profile["IntReg"] == pytest.approx(0.95)
+    assert profile["IntReg"] > profile["IntExec"]
+    assert profile["FPAdd"] == 0.0
+
+
+def test_fp_knob_drives_fp_blocks():
+    profile = make_activity_profile(0.0, 1.0, 0.0, 0.0, 0.0)
+    assert profile["FPReg"] > 0.5
+    assert profile["IntReg"] == 0.0
+
+
+def test_l2_banks_share_one_knob():
+    profile = make_activity_profile(0.0, 0.0, 0.0, 0.0, 0.4)
+    assert profile["L2"] == profile["L2_left"] == profile["L2_right"] == 0.4
+
+
+def test_rejects_out_of_range_knobs():
+    with pytest.raises(WorkloadError):
+        make_activity_profile(1.5, 0.0, 0.0, 0.0, 0.0)
+    with pytest.raises(WorkloadError):
+        make_activity_profile(0.0, -0.1, 0.0, 0.0, 0.0)
+
+
+@given(
+    knobs=st.tuples(*[st.floats(0.0, 1.0)] * 5)
+)
+def test_property_profile_in_unit_interval(knobs):
+    profile = make_activity_profile(*knobs)
+    for value in profile.values():
+        assert 0.0 <= value <= 1.0

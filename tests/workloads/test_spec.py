@@ -1,0 +1,81 @@
+"""The nine synthetic SPEC benchmarks."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.floorplan import ALL_BLOCKS
+from repro.workloads import SPEC_BENCHMARK_NAMES, build_benchmark, build_spec_suite
+
+
+def test_suite_has_the_papers_nine_benchmarks():
+    assert set(SPEC_BENCHMARK_NAMES) == {
+        "mesa", "perlbmk", "gzip", "bzip2", "eon",
+        "crafty", "vortex", "gcc", "art",
+    }
+    suite = build_spec_suite()
+    assert [wl.name for wl in suite] == list(SPEC_BENCHMARK_NAMES)
+
+
+def test_unknown_benchmark_raises():
+    with pytest.raises(WorkloadError):
+        build_benchmark("specjbb")
+
+
+def test_each_benchmark_has_multiple_phases():
+    for wl in build_spec_suite():
+        assert len(wl.phases) >= 2
+
+
+def test_phases_cover_all_blocks():
+    for wl in build_spec_suite():
+        for phase in wl.phases:
+            assert set(phase.base_activities) == set(ALL_BLOCKS)
+
+
+def test_benchmarks_are_multi_million_instruction_samples():
+    for wl in build_spec_suite():
+        assert wl.total_instructions >= 5_000_000
+
+
+def test_art_is_memory_bound():
+    art = build_benchmark("art")
+    assert all(p.memory_cpi_fraction >= 0.35 for p in art.phases)
+    assert art.mean_ipc < 1.5
+
+
+def test_crafty_is_high_ilp_integer():
+    crafty = build_benchmark("crafty")
+    assert crafty.mean_ipc > 2.0
+    for phase in crafty.phases:
+        assert phase.base_activities["FPAdd"] < 0.05
+
+
+def test_int_register_file_is_most_active_block_everywhere():
+    # The calibration requirement behind "the hottest unit is the integer
+    # register file" for all nine benchmarks.
+    for wl in build_spec_suite():
+        for phase in wl.phases:
+            acts = phase.base_activities
+            assert max(acts, key=acts.get) == "IntReg", (wl.name, phase.name)
+
+
+def test_fp_benchmarks_exercise_fp_blocks():
+    for name in ("mesa", "eon", "art"):
+        wl = build_benchmark(name)
+        assert any(p.base_activities["FPAdd"] > 0.2 for p in wl.phases)
+
+
+def test_trace_parameters_attached_and_plausible():
+    for wl in build_spec_suite():
+        for phase in wl.phases:
+            params = phase.trace_parameters
+            assert params is not None
+            total = sum(params.op_mix.values())
+            assert total == pytest.approx(1.0, abs=0.05)
+
+
+def test_builds_are_independent():
+    a = build_benchmark("gzip")
+    b = build_benchmark("gzip")
+    assert a is not b
+    assert a.phases[0].base_activities == b.phases[0].base_activities

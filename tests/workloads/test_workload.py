@@ -1,0 +1,55 @@
+"""Workload container."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import Phase, Workload, make_activity_profile
+
+
+def phase(name, instructions=1_000_000, ipc=2.0):
+    return Phase(
+        name=name,
+        instructions=instructions,
+        base_ipc=ipc,
+        memory_cpi_fraction=0.1,
+        fetch_supply_ipc=3.2,
+        speculation_waste=0.2,
+        base_activities=make_activity_profile(0.8, 0.1, 0.5, 0.7, 0.2),
+    )
+
+
+def test_total_instructions():
+    wl = Workload("w", [phase("a", 1_000_000), phase("b", 2_000_000)])
+    assert wl.total_instructions == 3_000_000
+
+
+def test_mean_ipc_is_instruction_weighted_harmonic():
+    wl = Workload("w", [phase("a", 1_000_000, ipc=1.0),
+                        phase("b", 1_000_000, ipc=3.0)])
+    # Equal instructions: total cycles = 1M/1 + 1M/3; mean IPC = 2M/cycles.
+    assert wl.mean_ipc == pytest.approx(2.0 / (1.0 + 1.0 / 3.0))
+
+
+def test_phases_returns_copy():
+    phases = [phase("a")]
+    wl = Workload("w", phases)
+    wl.phases.append(phase("b"))
+    assert len(wl.phases) == 1
+
+
+def test_rejects_empty():
+    with pytest.raises(WorkloadError):
+        Workload("w", [])
+    with pytest.raises(WorkloadError):
+        Workload("", [phase("a")])
+
+
+def test_rejects_duplicate_phase_names():
+    with pytest.raises(WorkloadError):
+        Workload("w", [phase("a"), phase("a")])
+
+
+def test_repr_is_informative():
+    wl = Workload("gzip", [phase("a")])
+    assert "gzip" in repr(wl)
+    assert "1 phases" in repr(wl)
