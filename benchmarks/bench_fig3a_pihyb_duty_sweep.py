@@ -5,7 +5,13 @@ once every three cycles); slowdown rises sharply for deeper gating, while
 the mild end of the sweep is nearly flat.
 """
 
-from _helpers import bench_instructions, save_table
+from _helpers import (
+    bench_instructions,
+    bench_processes,
+    reset_throughput,
+    save_table,
+    throughput_report,
+)
 
 from repro.analysis import render_table
 from repro.analysis.experiments import fig3a_pihyb_duty_sweep
@@ -13,8 +19,11 @@ from repro.core import find_crossover
 
 
 def _run(dvs_mode: str) -> str:
+    reset_throughput()
     result = fig3a_pihyb_duty_sweep(
-        dvs_mode=dvs_mode, instructions=bench_instructions()
+        dvs_mode=dvs_mode,
+        instructions=bench_instructions(),
+        processes=bench_processes(),
     )
     rows = []
     for duty, evaluation in sorted(result.evaluations.items(), reverse=True):
@@ -31,7 +40,7 @@ def _run(dvs_mode: str) -> str:
             f"(paper: 3 for stall, 20 for ideal)"
         ),
     )
-    return table
+    return table + "\n\n" + throughput_report()
 
 
 def test_fig3a_duty_sweep_stall(benchmark):

@@ -6,14 +6,23 @@ curves cross near duty cycle 2; only the deepest setting eliminates all
 violations (which is why stand-alone FG needs feedback control).
 """
 
-from _helpers import bench_instructions, save_table
+from _helpers import (
+    bench_instructions,
+    bench_processes,
+    reset_throughput,
+    save_table,
+    throughput_report,
+)
 
 from repro.analysis import render_table
 from repro.analysis.experiments import fig3b_fg_vs_dvs
 
 
 def _run() -> str:
-    result = fig3b_fg_vs_dvs(instructions=bench_instructions())
+    reset_throughput()
+    result = fig3b_fg_vs_dvs(
+        instructions=bench_instructions(), processes=bench_processes()
+    )
     rows = []
     for duty in sorted(result.fg_mean_slowdowns, reverse=True):
         rows.append(
@@ -24,7 +33,7 @@ def _run() -> str:
             ]
         )
     rows.append(["DVS (ref)", result.dvs_mean_slowdown, result.dvs_violations])
-    return render_table(
+    table = render_table(
         ["duty cycle", "mean slowdown", "violations"],
         rows,
         title=(
@@ -32,6 +41,7 @@ def _run() -> str:
             "DVS-stall superimposed"
         ),
     )
+    return table + "\n\n" + throughput_report()
 
 
 def test_fig3b_fg_vs_dvs(benchmark):

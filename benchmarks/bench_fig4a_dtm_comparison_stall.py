@@ -5,7 +5,13 @@ DVS by 5.5-6 % performance, about a 25 % reduction in DTM overhead, with
 the differences significant at the 99 % confidence level.
 """
 
-from _helpers import bench_instructions, save_table
+from _helpers import (
+    bench_instructions,
+    bench_processes,
+    reset_throughput,
+    save_table,
+    throughput_report,
+)
 
 from repro.analysis import paired_comparison, render_table
 from repro.analysis.experiments import fig4_technique_comparison
@@ -13,8 +19,11 @@ from repro.core import overhead_reduction
 
 
 def _run() -> str:
+    reset_throughput()
     results = fig4_technique_comparison(
-        dvs_mode="stall", instructions=bench_instructions()
+        dvs_mode="stall",
+        instructions=bench_instructions(),
+        processes=bench_processes(),
     )
     benchmarks = sorted(results["DVS"].slowdowns)
     rows = []
@@ -53,6 +62,7 @@ def _run() -> str:
             f"(paper: ~25%), p={stats.p_value:.4g}, "
             f"significant at 99%: {stats.significant(0.99)}"
         )
+    lines.append(throughput_report())
     return "\n\n".join(lines)
 
 

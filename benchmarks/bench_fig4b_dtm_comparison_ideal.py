@@ -5,7 +5,13 @@ advantage shrinks to about 1 % performance (an ~11 % reduction in DTM
 overhead) -- but they still win.
 """
 
-from _helpers import bench_instructions, save_table
+from _helpers import (
+    bench_instructions,
+    bench_processes,
+    reset_throughput,
+    save_table,
+    throughput_report,
+)
 
 from repro.analysis import paired_comparison, render_table
 from repro.analysis.experiments import fig4_technique_comparison
@@ -13,8 +19,11 @@ from repro.core import overhead_reduction
 
 
 def _run() -> str:
+    reset_throughput()
     results = fig4_technique_comparison(
-        dvs_mode="ideal", instructions=bench_instructions()
+        dvs_mode="ideal",
+        instructions=bench_instructions(),
+        processes=bench_processes(),
     )
     rows = []
     for name in ("FG", "DVS", "PI-Hyb", "Hyb"):
@@ -40,6 +49,7 @@ def _run() -> str:
             f"reduction (paper: ~11%), p={stats.p_value:.4g}, "
             f"significant at 99%: {stats.significant(0.99)}"
         )
+    lines.append(throughput_report())
     return "\n\n".join(lines)
 
 

@@ -9,6 +9,7 @@ All return plain data structures; the benchmarks render them with
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.crossover import (
@@ -37,12 +38,16 @@ def fig3a_pihyb_duty_sweep(
     dvs_mode: str = "stall",
     duty_cycles: Sequence[float] = PAPER_DUTY_CYCLES,
     instructions: int = DEFAULT_INSTRUCTIONS,
+    processes: Optional[int] = None,
 ) -> CrossoverResult:
     """PI-Hyb slowdown as a function of the maximum fetch-gating duty
     cycle (Figure 3a)."""
-    baselines = run_baselines(instructions=instructions)
+    baselines = run_baselines(instructions=instructions, processes=processes)
     return sweep_duty_cycles(
-        duty_cycles=duty_cycles, dvs_mode=dvs_mode, baselines=baselines
+        duty_cycles=duty_cycles,
+        dvs_mode=dvs_mode,
+        baselines=baselines,
+        processes=processes,
     )
 
 
@@ -62,6 +67,7 @@ def fig3b_fg_vs_dvs(
     duty_cycles: Sequence[float] = PAPER_DUTY_CYCLES,
     dvs_mode: str = "stall",
     instructions: int = DEFAULT_INSTRUCTIONS,
+    processes: Optional[int] = None,
 ) -> Fig3bResult:
     """Fixed-duty stand-alone FG sweep with the DVS overhead superimposed
     (Figure 3b).
@@ -69,19 +75,19 @@ def fig3b_fg_vs_dvs(
     Most duty cycles do not eliminate violations -- the violation counts
     are part of the result, as in the paper's discussion.
     """
-    baselines = run_baselines(instructions=instructions)
+    baselines = run_baselines(instructions=instructions, processes=processes)
     fg_means: Dict[float, float] = {}
     fg_violations: Dict[float, int] = {}
     for duty in duty_cycles:
         fraction = duty_cycle_to_gating_fraction(duty)
         evaluation = evaluate_policy(
-            lambda fraction=fraction: FixedFetchGatingPolicy(fraction),
+            partial(FixedFetchGatingPolicy, fraction),
             baselines,
             dvs_mode=dvs_mode,
         )
         fg_means[duty] = evaluation.mean_slowdown
         fg_violations[duty] = evaluation.total_violations
-    dvs = evaluate_policy(lambda: DvsPolicy(), baselines, dvs_mode=dvs_mode)
+    dvs = evaluate_policy(partial(DvsPolicy), baselines, dvs_mode=dvs_mode)
     return Fig3bResult(
         fg_mean_slowdowns=fg_means,
         fg_violations=fg_violations,
@@ -95,10 +101,13 @@ def fig3b_fg_vs_dvs(
 def fig4_technique_comparison(
     dvs_mode: str = "stall",
     instructions: int = DEFAULT_INSTRUCTIONS,
+    processes: Optional[int] = None,
 ) -> Dict[str, SuiteEvaluation]:
     """FG / DVS / PI-Hyb / Hyb across the suite (Figure 4a or 4b by
     ``dvs_mode``)."""
-    return evaluate_techniques(dvs_mode=dvs_mode, instructions=instructions)
+    return evaluate_techniques(
+        dvs_mode=dvs_mode, instructions=instructions, processes=processes
+    )
 
 
 # --- In-text table T1: DVS step-count sensitivity --------------------------------
@@ -107,20 +116,21 @@ def t1_dvs_step_sensitivity(
     step_counts: Sequence[int] = (2, 3, 5, 10, CONTINUOUS_LEVEL_COUNT),
     dvs_modes: Sequence[str] = ("stall", "ideal"),
     instructions: int = DEFAULT_INSTRUCTIONS,
+    processes: Optional[int] = None,
 ) -> Dict[str, Dict[int, float]]:
     """Mean slowdown of DVS per level count and mode.
 
     The paper finds the level count barely matters: below 0.4 % spread for
     DVS-stall and below 0.01 % for DVS-ideal.
     """
-    baselines = run_baselines(instructions=instructions)
+    baselines = run_baselines(instructions=instructions, processes=processes)
     results: Dict[str, Dict[int, float]] = {}
     for mode in dvs_modes:
         per_mode: Dict[int, float] = {}
         for count in step_counts:
             config = DvsConfig(level_count=count)
             evaluation = evaluate_policy(
-                lambda config=config: DvsPolicy(config),
+                partial(DvsPolicy, config),
                 baselines,
                 dvs_mode=mode,
             )
@@ -149,18 +159,19 @@ def t2_voltage_floor(
     ratios: Sequence[float] = (0.80, 0.825, 0.85, 0.875, 0.90, 0.925),
     dvs_mode: str = "stall",
     instructions: int = DEFAULT_INSTRUCTIONS,
+    processes: Optional[int] = None,
 ) -> VoltageFloorResult:
     """Binary-DVS low-voltage sweep: the paper reports 85 % of nominal as
     the largest setting that eliminates thermal violations."""
     if not ratios:
         raise ReproError("need at least one voltage ratio")
-    baselines = run_baselines(instructions=instructions)
+    baselines = run_baselines(instructions=instructions, processes=processes)
     violations: Dict[float, int] = {}
     slowdowns: Dict[float, float] = {}
     for ratio in ratios:
         config = DvsConfig(v_low_ratio=ratio)
         evaluation = evaluate_policy(
-            lambda config=config: DvsPolicy(config),
+            partial(DvsPolicy, config),
             baselines,
             dvs_mode=dvs_mode,
         )
@@ -185,11 +196,12 @@ class BenchmarkCharacter:
 
 def t4_benchmark_characterisation(
     instructions: int = DEFAULT_INSTRUCTIONS,
+    processes: Optional[int] = None,
 ) -> List[BenchmarkCharacter]:
     """No-DTM thermal characterisation of the nine benchmarks (paper,
     Section 3: all operate above the trigger most of the time, integer
     register file hottest)."""
-    baselines = run_baselines(instructions=instructions)
+    baselines = run_baselines(instructions=instructions, processes=processes)
     rows: List[BenchmarkCharacter] = []
     for workload in baselines.suite:
         run = baselines.baseline[workload.name]

@@ -9,6 +9,7 @@ response and DVS.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.evaluation import (
@@ -52,6 +53,7 @@ def sweep_duty_cycles(
     dvs_mode: str = "stall",
     baselines: Optional[_Baselines] = None,
     instructions: Optional[int] = None,
+    processes: Optional[int] = None,
 ) -> CrossoverResult:
     """Sweep PI-Hyb's maximum duty cycle over the suite (Figure 3a).
 
@@ -64,15 +66,16 @@ def sweep_duty_cycles(
         kwargs = {}
         if instructions is not None:
             kwargs["instructions"] = instructions
-        baselines = run_baselines(**kwargs)
+        baselines = run_baselines(processes=processes, **kwargs)
     evaluations: Dict[float, SuiteEvaluation] = {}
     for duty in duty_cycles:
         fraction = duty_cycle_to_gating_fraction(duty)
         config = PIHybConfig(max_gating_fraction=fraction)
         evaluations[duty] = evaluate_policy(
-            lambda config=config: PIHybPolicy(config),
+            partial(PIHybPolicy, config),
             baselines,
             dvs_mode=dvs_mode,
+            processes=processes,
         )
     return CrossoverResult(dvs_mode=dvs_mode, evaluations=evaluations)
 

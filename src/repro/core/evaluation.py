@@ -8,6 +8,7 @@ then a fixed instruction budget measured against the no-DTM baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -16,8 +17,8 @@ from repro.core.metrics import mean_slowdown, slowdown_factor
 from repro.core.policies import make_policy
 from repro.dtm.base import DtmPolicy
 from repro.errors import SimulationError
+from repro.sim.batch import RunSpec, run_many, steady_state_for
 from repro.sim.config import EngineConfig
-from repro.sim.engine import SimulationEngine
 from repro.sim.results import RunResult
 from repro.workloads.spec import build_spec_suite
 from repro.workloads.workload import Workload
@@ -79,22 +80,34 @@ class _Baselines:
         instructions: int,
         settle_time_s: float,
         seed: int,
+        processes: Optional[int] = None,
     ):
         self.suite = list(suite)
         self.instructions = instructions
         self.settle_time_s = settle_time_s
         self.seed = seed
-        self.initial: Dict[str, np.ndarray] = {}
-        self.baseline: Dict[str, RunResult] = {}
-        for workload in self.suite:
-            engine = SimulationEngine(
-                workload, policy=make_policy("none"), seed=seed
-            )
-            init = engine.compute_initial_temperatures()
-            self.initial[workload.name] = init
-            self.baseline[workload.name] = engine.run(
-                instructions, initial=init.copy(), settle_time_s=settle_time_s
-            )
+        self.processes = processes
+        self.initial: Dict[str, np.ndarray] = {
+            workload.name: steady_state_for(workload)
+            for workload in self.suite
+        }
+        runs = run_many(
+            [
+                RunSpec(
+                    workload=workload,
+                    policy="none",
+                    instructions=instructions,
+                    settle_time_s=settle_time_s,
+                    seed=seed,
+                    initial=self.initial[workload.name],
+                )
+                for workload in self.suite
+            ],
+            processes=processes,
+        )
+        self.baseline: Dict[str, RunResult] = {
+            workload.name: run for workload, run in zip(self.suite, runs)
+        }
 
 
 def run_baselines(
@@ -102,15 +115,18 @@ def run_baselines(
     instructions: int = DEFAULT_INSTRUCTIONS,
     settle_time_s: float = DEFAULT_SETTLE_TIME_S,
     seed: int = 0,
+    processes: Optional[int] = None,
 ) -> _Baselines:
     """Compute (and cache in the returned object) the no-DTM baselines.
 
     Reuse one baselines object across many :func:`evaluate_policy` calls:
     the baseline runs and steady-state solves dominate harness cost.
+    ``processes`` fans the baseline runs out over a process pool and is
+    remembered as the default for evaluations built on this object.
     """
     if suite is None:
         suite = build_spec_suite()
-    return _Baselines(suite, instructions, settle_time_s, seed)
+    return _Baselines(suite, instructions, settle_time_s, seed, processes)
 
 
 def evaluate_policy(
@@ -118,6 +134,7 @@ def evaluate_policy(
     baselines: _Baselines,
     dvs_mode: str = "stall",
     engine_config: Optional[EngineConfig] = None,
+    processes: Optional[int] = None,
 ) -> SuiteEvaluation:
     """Run one technique across the suite.
 
@@ -125,42 +142,52 @@ def evaluate_policy(
     ----------
     policy_factory:
         Zero-argument callable returning a *fresh* policy (controller
-        state must not leak across benchmarks).
+        state must not leak across benchmarks).  Must be picklable --
+        e.g. ``functools.partial`` around a policy class -- to run in a
+        process pool; lambdas still work but force a serial fallback.
     baselines:
         Output of :func:`run_baselines`.
     dvs_mode:
         ``"stall"`` or ``"ideal"`` (ignored if ``engine_config`` given).
     engine_config:
         Full engine configuration override.
+    processes:
+        Worker-process count for :func:`repro.sim.batch.run_many`;
+        defaults to the count the baselines were built with.
     """
     config = (
         engine_config
         if engine_config is not None
         else EngineConfig(dvs_mode=dvs_mode)
     )
-    policy_name = None
-    evaluation = SuiteEvaluation(policy="", dvs_mode=config.dvs_mode)
-    for workload in baselines.suite:
-        policy = policy_factory()
-        if policy_name is None:
-            policy_name = policy.name
-            evaluation.policy = policy_name
-        elif policy.name != policy_name:
-            raise SimulationError(
-                "policy_factory must build the same technique every call"
+    if processes is None:
+        processes = baselines.processes
+    runs = run_many(
+        [
+            RunSpec(
+                workload=workload,
+                policy=policy_factory,
+                instructions=baselines.instructions,
+                settle_time_s=baselines.settle_time_s,
+                engine_config=config,
+                seed=baselines.seed,
+                initial=baselines.initial[workload.name],
             )
-        engine = SimulationEngine(
-            workload, policy=policy, config=config, seed=baselines.seed
+            for workload in baselines.suite
+        ],
+        processes=processes,
+    )
+    names = {run.policy for run in runs}
+    if len(names) > 1:
+        raise SimulationError(
+            "policy_factory must build the same technique every call"
         )
-        run = engine.run(
-            baselines.instructions,
-            initial=baselines.initial[workload.name].copy(),
-            settle_time_s=baselines.settle_time_s,
-        )
+    evaluation = SuiteEvaluation(policy=runs[0].policy, dvs_mode=config.dvs_mode)
+    for workload, run in zip(baselines.suite, runs):
         evaluation.per_benchmark.append(
             BenchmarkEvaluation(
                 benchmark=workload.name,
-                policy=policy.name,
+                policy=run.policy,
                 run=run,
                 baseline=baselines.baseline[workload.name],
             )
@@ -174,15 +201,21 @@ def evaluate_techniques(
     baselines: Optional[_Baselines] = None,
     instructions: int = DEFAULT_INSTRUCTIONS,
     settle_time_s: float = DEFAULT_SETTLE_TIME_S,
+    processes: Optional[int] = None,
 ) -> Dict[str, SuiteEvaluation]:
     """The Figure 4 experiment: all techniques over the full suite."""
     if baselines is None:
         baselines = run_baselines(
-            instructions=instructions, settle_time_s=settle_time_s
+            instructions=instructions,
+            settle_time_s=settle_time_s,
+            processes=processes,
         )
     return {
         name: evaluate_policy(
-            lambda name=name: make_policy(name), baselines, dvs_mode=dvs_mode
+            partial(make_policy, name),
+            baselines,
+            dvs_mode=dvs_mode,
+            processes=processes,
         )
         for name in names
     }

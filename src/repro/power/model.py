@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Union
 
+import numpy as np
+
 from repro.errors import PowerModelError
 from repro.floorplan.floorplan import Floorplan
 from repro.power.budget import default_power_specs
@@ -51,6 +53,32 @@ class PowerModel:
         if missing:
             raise PowerModelError(f"no power spec for blocks: {missing}")
         self._vf_curve = VoltageFrequencyCurve(self._tech)
+        # Per-block spec coefficients in floorplan order, precomputed once
+        # so the hot path can evaluate all blocks with a handful of array
+        # operations instead of two Python calls per block per step.
+        self._names = tuple(floorplan.block_names)
+        self._index = {name: i for i, name in enumerate(self._names)}
+        self._peak_dynamic_w = np.array(
+            [self._specs[n].peak_dynamic_w for n in self._names]
+        )
+        self._clock_fraction = np.array(
+            [self._specs[n].clock_fraction for n in self._names]
+        )
+        self._leakage_ref_w = np.array(
+            [self._specs[n].leakage_ref_w for n in self._names]
+        )
+        # Dynamic power split into its activity-independent and
+        # activity-proportional parts, so the hot path evaluates
+        # ``base + slope * activity`` without forming the intermediate
+        # switching-fraction array.
+        self._dyn_base_w = self._peak_dynamic_w * self._clock_fraction
+        self._dyn_act_w = self._peak_dynamic_w * (1.0 - self._clock_fraction)
+        self._dyn_buf = np.empty(len(self._names))
+        self._leak_buf = np.empty(len(self._names))
+        # (voltage, frequency) -> (dynamic scale, leakage scale); DTM uses
+        # a handful of operating points per run, so validating and scaling
+        # each once keeps the per-step cost to pure array arithmetic.
+        self._op_cache: Dict[tuple, tuple] = {}
 
     # --- introspection -----------------------------------------------------------
 
@@ -74,6 +102,18 @@ class PowerModel:
         """Leakage curve shape."""
         return self._leakage
 
+    @property
+    def block_names(self) -> tuple:
+        """Block names in the model's evaluation (floorplan) order."""
+        return self._names
+
+    def block_index(self, block: str) -> int:
+        """Position of ``block`` in the vectorized evaluation order."""
+        try:
+            return self._index[block]
+        except KeyError:
+            raise PowerModelError(f"no power spec for block {block!r}") from None
+
     def spec(self, block: str) -> BlockPowerSpec:
         """Power spec of one block."""
         try:
@@ -82,6 +122,138 @@ class PowerModel:
             raise PowerModelError(f"no power spec for block {block!r}") from None
 
     # --- evaluation --------------------------------------------------------------
+
+    def _check_operating_point(self, voltage: float, frequency: float) -> float:
+        """Validate (V, f) against the curve; return the relative voltage."""
+        v_rel = self._tech.relative_voltage(voltage)
+        f_max = self._vf_curve.frequency(voltage)
+        if frequency > f_max * (1.0 + 1e-9):
+            raise PowerModelError(
+                f"frequency {frequency / 1e9:.3f} GHz exceeds the maximum "
+                f"{f_max / 1e9:.3f} GHz allowed at {voltage} V"
+            )
+        if frequency <= 0.0:
+            raise PowerModelError("frequency must be > 0")
+        return v_rel
+
+    def _operating_point(self, voltage: float, frequency: float) -> tuple:
+        """Validated ``(dynamic scale, leakage scale)`` for (V, f), cached
+        per distinct operating point."""
+        key = (voltage, frequency)
+        cached = self._op_cache.get(key)
+        if cached is None:
+            v_rel = self._check_operating_point(voltage, frequency)
+            f_rel = frequency / self._tech.frequency_nominal
+            cached = (
+                v_rel * v_rel * f_rel,
+                v_rel**self._leakage.voltage_exponent,
+            )
+            if len(self._op_cache) >= 256:
+                self._op_cache.clear()
+            self._op_cache[key] = cached
+        return cached
+
+    def block_powers_vector(
+        self,
+        activities: np.ndarray,
+        voltage: float,
+        frequency: float,
+        temperatures: np.ndarray,
+        clock_enabled_fraction: Union[float, np.ndarray] = 1.0,
+        check: bool = True,
+    ) -> np.ndarray:
+        """Total (dynamic + leakage) power of every block as one array.
+
+        This is the hot-path form of :meth:`block_powers`: inputs and
+        output are arrays over :attr:`block_names` (floorplan order), and
+        all per-block spec coefficients were precomputed at construction,
+        so one call costs a handful of numpy operations regardless of the
+        block count.
+
+        Parameters
+        ----------
+        activities:
+            (n_blocks,) switching activities in [0, 1], floorplan order.
+        voltage, frequency:
+            Operating point, validated against the V/f curve.
+        temperatures:
+            (n_blocks,) block temperatures in Celsius for the leakage term.
+        clock_enabled_fraction:
+            Scalar clock-enabled fraction, or an (n_blocks,) array for
+            per-block gating (local toggling).
+        check:
+            Validate array shapes and value ranges.  The simulation inner
+            loop passes ``False`` for inputs it constructed itself; the
+            operating point is always validated (once per distinct
+            (V, f)).
+
+        Returns
+        -------
+        numpy.ndarray
+            (n_blocks,) total power in watts, floorplan order.  With
+            ``check=False`` the returned array is an internal buffer
+            reused by the next call -- consume or copy it immediately.
+        """
+        n = len(self._names)
+        acts = activities
+        temps = temperatures
+        gate: Union[float, np.ndarray] = clock_enabled_fraction
+        if check:
+            acts = np.asarray(acts, dtype=float)
+            temps = np.asarray(temps, dtype=float)
+            if acts.shape != (n,):
+                raise PowerModelError(
+                    f"activities have shape {acts.shape}, expected ({n},)"
+                )
+            if temps.shape != (n,):
+                raise PowerModelError(
+                    f"temperatures have shape {temps.shape}, expected ({n},)"
+                )
+            if np.any((acts < 0.0) | (acts > 1.0)):
+                bad = int(np.argmax((acts < 0.0) | (acts > 1.0)))
+                raise PowerModelError(
+                    f"block {self._names[bad]!r}: activity {acts[bad]} "
+                    f"outside [0, 1]"
+                )
+            if isinstance(gate, (int, float)):
+                gate = float(gate)
+                if not 0.0 <= gate <= 1.0:
+                    raise PowerModelError(
+                        f"clock enabled fraction {gate} outside [0, 1]"
+                    )
+            else:
+                gate = np.asarray(gate, dtype=float)
+                if gate.shape != (n,):
+                    raise PowerModelError(
+                        f"clock gate vector has shape {gate.shape}, "
+                        f"expected ({n},)"
+                    )
+                if np.any((gate < 0.0) | (gate > 1.0)):
+                    bad = int(np.argmax((gate < 0.0) | (gate > 1.0)))
+                    raise PowerModelError(
+                        f"block {self._names[bad]!r}: clock fraction "
+                        f"{gate[bad]} outside [0, 1]"
+                    )
+        dyn_scale, leak_scale = self._operating_point(voltage, frequency)
+        # All arithmetic lands in two preallocated buffers: on a
+        # ~17-block chip the per-call cost is numpy dispatch, not flops,
+        # so every avoided temporary counts.
+        out = self._dyn_buf
+        np.multiply(self._dyn_act_w, acts, out=out)
+        out += self._dyn_base_w
+        if isinstance(gate, np.ndarray):
+            out *= gate
+            out *= dyn_scale
+        else:
+            out *= gate * dyn_scale
+        leak = self._leak_buf
+        np.subtract(temps, self._leakage.reference_temp_c, out=leak)
+        leak *= self._leakage.beta_per_k
+        np.exp(leak, out=leak)
+        leak *= leak_scale
+        leak *= self._leakage_ref_w
+        out += leak
+        return out.copy() if check else out
 
     def block_powers(
         self,
@@ -92,6 +264,10 @@ class PowerModel:
         clock_enabled_fraction: Union[float, Mapping[str, float]] = 1.0,
     ) -> Dict[str, float]:
         """Total (dynamic + leakage) power per block, in watts.
+
+        A thin mapping-based wrapper over :meth:`block_powers_vector` for
+        callers that speak ``{block: value}``; the simulation hot path
+        uses the vector form directly.
 
         Parameters
         ----------
@@ -111,13 +287,42 @@ class PowerModel:
             default to 1.0) for local toggling of individual clock
             domains.
         """
-        v_rel = self._tech.relative_voltage(voltage)
-        f_max = self._vf_curve.frequency(voltage)
-        if frequency > f_max * (1.0 + 1e-9):
-            raise PowerModelError(
-                f"frequency {frequency / 1e9:.3f} GHz exceeds the maximum "
-                f"{f_max / 1e9:.3f} GHz allowed at {voltage} V"
+        n = len(self._names)
+        acts = np.empty(n)
+        temps = np.empty(n)
+        for i, name in enumerate(self._names):
+            if name not in activities:
+                raise PowerModelError(f"no activity given for block {name!r}")
+            if name not in temperatures:
+                raise PowerModelError(f"no temperature given for block {name!r}")
+            acts[i] = activities[name]
+            temps[i] = temperatures[name]
+        if isinstance(clock_enabled_fraction, (int, float)):
+            gate: Union[float, np.ndarray] = clock_enabled_fraction
+        else:
+            gate = np.array(
+                [clock_enabled_fraction.get(name, 1.0) for name in self._names]
             )
+        vector = self.block_powers_vector(acts, voltage, frequency, temps, gate)
+        return {name: float(vector[i]) for i, name in enumerate(self._names)}
+
+    def block_powers_reference(
+        self,
+        activities: Mapping[str, float],
+        voltage: float,
+        frequency: float,
+        temperatures: Mapping[str, float],
+        clock_enabled_fraction: Union[float, Mapping[str, float]] = 1.0,
+    ) -> Dict[str, float]:
+        """Scalar per-block evaluation (the pre-vectorization path).
+
+        Composes :func:`~repro.power.dynamic.dynamic_power` and
+        :func:`~repro.power.leakage.leakage_power` block by block.  Kept as
+        the numerical regression anchor for :meth:`block_powers_vector`
+        (see ``tests/power/test_model.py`` and the engine's
+        ``power_path="mapping"`` mode); not used on the hot path.
+        """
+        v_rel = self._check_operating_point(voltage, frequency)
         f_rel = frequency / self._tech.frequency_nominal
 
         per_block_gate = not isinstance(clock_enabled_fraction, (int, float))

@@ -12,11 +12,16 @@ from repro.sim.config import EngineConfig
 from repro.sim.results import RunResult
 from repro.sim.warmup import average_block_powers, initial_temperatures
 from repro.sim.engine import SimulationEngine
+from repro.sim.batch import BatchStats, RunSpec, run_many, run_one
 
 __all__ = [
+    "BatchStats",
     "EngineConfig",
     "RunResult",
+    "RunSpec",
     "SimulationEngine",
     "initial_temperatures",
     "average_block_powers",
+    "run_many",
+    "run_one",
 ]

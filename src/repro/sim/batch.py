@@ -1,0 +1,335 @@
+"""Batch execution of simulation runs.
+
+Sweeps (figure reproductions, duty-cycle crossovers, suite evaluations)
+are embarrassingly parallel: every run is one workload under one policy
+with its own seed.  This module gives them a common runner:
+
+* :class:`RunSpec` -- a frozen, picklable description of one run;
+* :func:`run_many` -- executes a list of specs, serially or across a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, preserving spec order
+  and producing results identical to the serial path (each run is seeded
+  from its spec alone, so scheduling cannot perturb it);
+* a per-process steady-state warmup cache, so the expensive no-DTM
+  fixed-point solve happens once per workload rather than once per run.
+
+Throughput accounting (:func:`stats` / :func:`reset_stats`) lets
+benchmarks report thermal steps per second for whole sweeps.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.config import EngineConfig
+from repro.sim.results import RunResult
+from repro.workloads.workload import Workload
+
+DEFAULT_INSTRUCTIONS = 20_000_000
+
+
+@dataclass(frozen=True, eq=False)
+class RunSpec:
+    """One simulation run, described by value.
+
+    Everything needed to reproduce the run is in the spec -- workload,
+    policy, budget, engine configuration and seed -- so a spec can be
+    shipped to a worker process and executed there with a result
+    identical to running it in-process.
+
+    Parameters
+    ----------
+    workload:
+        A :class:`~repro.workloads.workload.Workload`, or a SPEC
+        benchmark name (resolved with
+        :func:`~repro.workloads.spec.build_benchmark`).
+    policy:
+        A technique name for :func:`~repro.core.policies.make_policy`,
+        or a zero-argument factory returning a fresh
+        :class:`~repro.dtm.base.DtmPolicy`.  Factories must be picklable
+        for multi-process execution -- use :func:`functools.partial`
+        around a top-level class or function, not a lambda.
+    instructions:
+        Measured commit budget.
+    settle_time_s:
+        Unmeasured lead-in with the policy active.
+    dvs_mode:
+        Shorthand for ``EngineConfig(dvs_mode=...)``; ignored when
+        ``engine_config`` is given.
+    engine_config:
+        Full engine configuration override.
+    seed:
+        Sensor-noise seed; each run is seeded from its spec alone.
+    initial:
+        Node temperature vector to start from.  When omitted, the
+        workload's no-DTM steady state is computed (and cached per
+        process, keyed by the workload's name under the default
+        floorplan/package/technology substrate).
+    """
+
+    workload: Union[str, Workload]
+    policy: Union[str, Callable] = "none"
+    instructions: int = DEFAULT_INSTRUCTIONS
+    settle_time_s: float = 0.0
+    dvs_mode: str = "stall"
+    engine_config: Optional[EngineConfig] = None
+    seed: int = 0
+    initial: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise SimulationError("instruction budget must be > 0")
+        if self.settle_time_s < 0.0:
+            raise SimulationError("settle time must be >= 0")
+
+    @property
+    def config(self) -> EngineConfig:
+        """The effective engine configuration."""
+        if self.engine_config is not None:
+            return self.engine_config
+        return EngineConfig(dvs_mode=self.dvs_mode)
+
+    @property
+    def workload_name(self) -> str:
+        """The workload's name without building it."""
+        if isinstance(self.workload, str):
+            return self.workload
+        return self.workload.name
+
+
+@dataclass
+class BatchStats:
+    """Aggregate throughput over :func:`run_many` calls since the last
+    :func:`reset_stats`."""
+
+    runs: int = 0
+    thermal_steps: float = 0.0
+    wall_s: float = 0.0
+
+    @property
+    def steps_per_second(self) -> float:
+        """Measured thermal steps per wall-clock second."""
+        return self.thermal_steps / self.wall_s if self.wall_s > 0.0 else 0.0
+
+
+_TOTALS = BatchStats()
+
+# Per-process steady-state cache: workload name -> node temperature
+# vector.  Valid for the default substrate only (RunSpec carries no
+# floorplan/package/technology overrides); specs with an explicit
+# ``initial`` bypass it.
+_WARMUP_CACHE: Dict[str, np.ndarray] = {}
+
+# Per-process default substrate (floorplan, thermal model, power model),
+# shared across every engine this module builds: all three are read-only
+# after construction, and re-assembling the thermal network is the
+# dominant per-run fixed cost in short sweeps.
+_SUBSTRATE: Optional[tuple] = None
+
+
+def _default_substrate() -> tuple:
+    global _SUBSTRATE
+    if _SUBSTRATE is None:
+        from repro.floorplan.alpha21364 import build_alpha21364_floorplan
+        from repro.power.model import PowerModel
+        from repro.thermal.hotspot import HotSpotModel
+
+        floorplan = build_alpha21364_floorplan()
+        _SUBSTRATE = (
+            floorplan,
+            HotSpotModel(floorplan),
+            PowerModel(floorplan),
+        )
+    return _SUBSTRATE
+
+# The worker pool persists across run_many calls: a sweep issues one
+# batch per policy configuration, and paying pool start-up per batch
+# would dominate short sweeps.
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_SIZE = 0
+
+
+def _get_pool(processes: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_SIZE
+    if _POOL is not None and _POOL_SIZE != processes:
+        _POOL.shutdown(wait=False)
+        _POOL = None
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(max_workers=processes)
+        _POOL_SIZE = processes
+    return _POOL
+
+
+def _shutdown_pool() -> None:
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=False)
+        _POOL = None
+
+
+atexit.register(_shutdown_pool)
+
+
+def reset_stats() -> None:
+    """Zero the batch throughput counters."""
+    global _TOTALS
+    _TOTALS = BatchStats()
+
+
+def stats() -> BatchStats:
+    """A snapshot of the batch throughput counters."""
+    return replace(_TOTALS)
+
+
+def _resolve_workload(spec: RunSpec) -> Workload:
+    if isinstance(spec.workload, str):
+        from repro.workloads.spec import build_benchmark
+
+        return build_benchmark(spec.workload)
+    return spec.workload
+
+
+def _build_policy(spec: RunSpec):
+    if isinstance(spec.policy, str):
+        from repro.core.policies import make_policy
+
+        return make_policy(spec.policy)
+    return spec.policy()
+
+
+def steady_state_for(workload: Union[str, Workload]) -> np.ndarray:
+    """No-DTM steady-state node temperatures under the default substrate,
+    cached per process (a copy is returned)."""
+    name = workload if isinstance(workload, str) else workload.name
+    cached = _WARMUP_CACHE.get(name)
+    if cached is None:
+        from repro.sim.engine import SimulationEngine
+
+        if isinstance(workload, str):
+            from repro.workloads.spec import build_benchmark
+
+            workload = build_benchmark(workload)
+        floorplan, hotspot, power_model = _default_substrate()
+        engine = SimulationEngine(
+            workload,
+            floorplan=floorplan,
+            hotspot=hotspot,
+            power_model=power_model,
+        )
+        cached = engine.compute_initial_temperatures()
+        _WARMUP_CACHE[name] = cached
+    return cached.copy()
+
+
+def run_one(spec: RunSpec) -> RunResult:
+    """Execute one spec in this process."""
+    from repro.sim.engine import SimulationEngine
+
+    workload = _resolve_workload(spec)
+    initial = spec.initial
+    if initial is None:
+        initial = steady_state_for(workload)
+    floorplan, hotspot, power_model = _default_substrate()
+    engine = SimulationEngine(
+        workload,
+        policy=_build_policy(spec),
+        floorplan=floorplan,
+        hotspot=hotspot,
+        power_model=power_model,
+        config=spec.config,
+        seed=spec.seed,
+    )
+    return engine.run(
+        spec.instructions,
+        initial=np.array(initial, dtype=float, copy=True),
+        settle_time_s=spec.settle_time_s,
+    )
+
+
+def _precompute_warmups(specs: Sequence[RunSpec]) -> List[RunSpec]:
+    """Fill in ``initial`` for every spec that lacks one.
+
+    The steady-state solve is the per-run fixed cost; computing each
+    distinct workload's warmup once in the parent keeps worker processes
+    from repeating it and keeps results independent of how specs are
+    distributed over the pool.
+    """
+    filled: List[RunSpec] = []
+    for spec in specs:
+        if spec.initial is None:
+            filled.append(replace(spec, initial=steady_state_for(spec.workload)))
+        else:
+            filled.append(spec)
+    return filled
+
+
+def run_many(
+    specs: Sequence[RunSpec],
+    processes: Optional[int] = None,
+) -> List[RunResult]:
+    """Execute ``specs`` and return their results in spec order.
+
+    Parameters
+    ----------
+    specs:
+        The runs to execute.
+    processes:
+        ``None`` or ``1`` -- run serially in this process.  ``N > 1`` --
+        fan out over a process pool of ``N`` workers.  Results are
+        identical either way: warmups are precomputed in the parent and
+        every run is seeded from its spec, so the schedule cannot leak
+        into the physics.  Specs that fail to pickle (e.g. a lambda
+        policy factory) trigger a warning and a serial fallback.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    started = time.perf_counter()
+    if processes is not None and processes > 1:
+        specs = _precompute_warmups(specs)
+        unpicklable = _first_unpicklable(specs)
+        if unpicklable is not None:
+            warnings.warn(
+                f"spec #{unpicklable} is not picklable (lambda policy "
+                f"factory? use functools.partial); running the batch "
+                f"serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            results = [run_one(spec) for spec in specs]
+        else:
+            try:
+                results = list(_get_pool(processes).map(run_one, specs))
+            except BrokenProcessPool:
+                # A worker died (e.g. OOM-killed); rebuild the pool and
+                # retry the batch once before giving up.
+                _shutdown_pool()
+                results = list(_get_pool(processes).map(run_one, specs))
+    else:
+        results = [run_one(spec) for spec in specs]
+    wall = time.perf_counter() - started
+    _TOTALS.runs += len(results)
+    _TOTALS.wall_s += wall
+    for spec, result in zip(specs, results):
+        _TOTALS.thermal_steps += (
+            result.cycles / spec.config.thermal_step_cycles
+        )
+    return results
+
+
+def _first_unpicklable(specs: Sequence[RunSpec]) -> Optional[int]:
+    for i, spec in enumerate(specs):
+        try:
+            pickle.dumps(spec)
+        except Exception:
+            return i
+    return None

@@ -9,6 +9,9 @@ from repro.errors import SimulationError
 DVS_MODE_STALL = "stall"
 DVS_MODE_IDEAL = "ideal"
 
+POWER_PATH_VECTOR = "vector"
+POWER_PATH_MAPPING = "mapping"
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -36,6 +39,15 @@ class EngineConfig:
         Pipeline-flush stall charged whenever an activity-migration
         policy moves work between copies (2 us: drain plus a register
         transfer burst).
+    power_path:
+        ``"vector"`` (default) -- the array-native power/thermal hot
+        path; ``"mapping"`` -- the per-block scalar path retained as a
+        numerical regression reference (identical physics, ~5x slower).
+    max_no_progress_steps:
+        Consecutive thermal steps allowed to commit zero instructions
+        (e.g. under a fully clock-gated policy) before the engine raises
+        :class:`~repro.errors.SimulationError` instead of spinning
+        forever.
     """
 
     thermal_step_cycles: int = 10_000
@@ -44,6 +56,8 @@ class EngineConfig:
     raise_on_violation: bool = False
     record_trace: bool = False
     migration_time_s: float = 2.0e-6
+    power_path: str = POWER_PATH_VECTOR
+    max_no_progress_steps: int = 10_000
 
     def __post_init__(self) -> None:
         if self.thermal_step_cycles < 100:
@@ -56,3 +70,10 @@ class EngineConfig:
             )
         if self.migration_time_s < 0.0:
             raise SimulationError("migration time must be >= 0")
+        if self.power_path not in (POWER_PATH_VECTOR, POWER_PATH_MAPPING):
+            raise SimulationError(
+                f"power_path must be 'vector' or 'mapping', "
+                f"got {self.power_path!r}"
+            )
+        if self.max_no_progress_steps < 1:
+            raise SimulationError("no-progress step budget must be >= 1")

@@ -14,7 +14,7 @@ from repro.floorplan.alpha21364 import build_alpha21364_floorplan
 from repro.floorplan.floorplan import Floorplan
 from repro.power.model import PowerModel
 from repro.sensors.array import SensorArray
-from repro.sim.config import DVS_MODE_IDEAL, DVS_MODE_STALL, EngineConfig
+from repro.sim.config import DVS_MODE_STALL, POWER_PATH_VECTOR, EngineConfig
 from repro.sim.results import RunResult, TracePoint
 from repro.sim.warmup import initial_temperatures
 from repro.thermal.hotspot import HotSpotModel
@@ -29,6 +29,13 @@ class SimulationEngine:
     All substrate objects can be injected for experiments; the defaults
     reproduce the paper's setup (Alpha 21364 floorplan, low-cost package,
     Alpha power budget, 10 kHz noisy sensors).
+
+    The inner loop is array-native: temperatures stay in the thermal
+    solver's node vector, per-block power is evaluated with
+    :meth:`~repro.power.model.PowerModel.block_powers_vector`, and block
+    names are translated to vector indices exactly once per run.  Per-block
+    ``{name: value}`` mappings are built only at the 10 kHz sensor sampling
+    boundary (and in the ``power_path="mapping"`` regression mode).
     """
 
     def __init__(
@@ -38,6 +45,7 @@ class SimulationEngine:
         floorplan: Optional[Floorplan] = None,
         package: Optional[ThermalPackage] = None,
         power_model: Optional[PowerModel] = None,
+        hotspot: Optional[HotSpotModel] = None,
         sensors: Optional[SensorArray] = None,
         thresholds: Optional[ThermalThresholds] = None,
         config: Optional[EngineConfig] = None,
@@ -47,7 +55,13 @@ class SimulationEngine:
         self._floorplan = (
             floorplan if floorplan is not None else build_alpha21364_floorplan()
         )
-        self._hotspot = HotSpotModel(self._floorplan, package)
+        # An injected HotSpotModel (read-only after construction) lets
+        # batch runners share one thermal network across many engines
+        # instead of re-assembling it per run; it must have been built
+        # from the same floorplan.
+        self._hotspot = (
+            hotspot if hotspot is not None else HotSpotModel(self._floorplan, package)
+        )
         self._power = (
             power_model if power_model is not None else PowerModel(self._floorplan)
         )
@@ -65,6 +79,19 @@ class SimulationEngine:
         self._config = config if config is not None else EngineConfig()
         self._tech = self._power.technology
         self._vf = self._power.vf_curve
+        network = self._hotspot.network
+        if self._power.block_names != network.block_names:
+            raise SimulationError(
+                "power model and thermal network disagree on the block set"
+            )
+        # Name -> index translation, computed exactly once per engine: the
+        # inner loop only ever touches arrays in this order.
+        self._block_names = network.block_names
+        self._block_pos: Dict[str, int] = {
+            name: i for i, name in enumerate(self._block_names)
+        }
+        self._node_idx = network.block_node_indices
+        self._domain_pos: Dict[str, np.ndarray] = {}
 
     @property
     def workload(self) -> Workload:
@@ -94,6 +121,23 @@ class SimulationEngine:
     def compute_initial_temperatures(self) -> np.ndarray:
         """No-DTM steady-state node temperatures for this workload."""
         return initial_temperatures(self._workload, self._hotspot, self._power)
+
+    def _domain_positions(self, domain: str) -> np.ndarray:
+        """Vector positions of a clock domain's blocks (cached)."""
+        cached = self._domain_pos.get(domain)
+        if cached is None:
+            from repro.dtm.domains import CLOCK_DOMAINS
+
+            cached = np.array(
+                [
+                    self._block_pos[block]
+                    for block in CLOCK_DOMAINS[domain]
+                    if block in self._block_pos
+                ],
+                dtype=np.intp,
+            )
+            self._domain_pos[domain] = cached
+        return cached
 
     # --- main loop ---------------------------------------------------------------
 
@@ -134,8 +178,11 @@ class SimulationEngine:
         perf = IntervalPerformanceModel(self._workload.phases, loop=True)
         self._policy.reset()
 
-        block_names = list(network.block_names)
-        hot_block_index = {name: network.index_of(name) for name in block_names}
+        block_names = self._block_names
+        n_blocks = len(block_names)
+        pos = self._block_pos
+        node_idx = self._node_idx
+        use_vector = self._config.power_path == POWER_PATH_VECTOR
 
         nominal_v = self._tech.vdd_nominal
         command = DtmCommand(gating_fraction=0.0, voltage=nominal_v)
@@ -148,7 +195,7 @@ class SimulationEngine:
         measure_start_s = 0.0
         measuring = settle_time_s == 0.0
         done = 0.0
-        cycles = 0
+        cycles_f = 0.0
         violations = 0
         max_temp = -1e9
         hottest_block = block_names[0]
@@ -160,28 +207,133 @@ class SimulationEngine:
         stall_s = 0.0
         gating_time_weighted = 0.0
         energy_j = 0.0
+        no_progress_steps = 0
         trace = [] if self._config.record_trace else None
+        actuation: Optional[DtmActuation] = None
+        actuation_cmd: Optional[DtmCommand] = None
+        actuation_f_rel = -1.0
+        gate_cmd: Optional[DtmCommand] = None
+        gate_vec: Optional[np.ndarray] = None
 
         step_cycles = self._config.thermal_step_cycles
         switch_time = self._config.dvs_switch_time_s
         stall_mode = self._config.dvs_mode == DVS_MODE_STALL
+        max_no_progress = self._config.max_no_progress_steps
+        raise_on_violation = self._config.raise_on_violation
+        trigger_c = self._thresholds.trigger_c
+        emergency_c = self._thresholds.emergency_c
 
-        def temps_mapping() -> Dict[str, float]:
-            current = solver.temperatures
-            return {name: current[hot_block_index[name]] for name in block_names}
+        # Bound methods and constants hoisted out of the loop: at ~10 us
+        # of work per thermal step, repeated attribute lookups are a
+        # measurable fraction of the whole run.
+        sensors_due = self._sensors.due
+        sensors_sample = self._sensors.sample
+        sampling_period_s = self._sensors.sampling_period_s
+        policy_update = self._policy.update
+        vf_frequency = self._vf.frequency
+        f_nominal = self._tech.frequency_nominal
+        power_vector_fn = self._power.block_powers_vector
+        solver_step = solver.step
+        perf_advance = perf.advance
 
-        def idle_powers(temps: Dict[str, float]) -> Dict[str, float]:
+        temps_vec = solver.temperatures
+        block_temps = temps_vec[node_idx]
+        act_vec = np.zeros(n_blocks)
+        zero_acts = np.zeros(n_blocks)
+        power_buffer = np.zeros(network.size)
+        # The interval model memoizes its activity dicts, so the same
+        # dict object comes back for thousands of consecutive steps;
+        # translating it to vector order once per distinct dict (keyed by
+        # identity, with the dict itself pinned in the entry so ids stay
+        # unique) removes a per-step Python loop over the blocks.
+        act_cache: Dict[int, tuple] = {}
+
+        def block_temps_mapping() -> Dict[str, float]:
+            return {
+                name: float(block_temps[i]) for i, name in enumerate(block_names)
+            }
+
+        def idle_step_power():
+            """Full-node power vector (and block total) with zero
+            switching activity at the current operating point."""
+            if use_vector:
+                blocks_w = power_vector_fn(
+                    zero_acts, voltage, frequency, block_temps, check=False
+                )
+                power_buffer[node_idx] = blocks_w
+                return power_buffer, float(blocks_w.sum())
             zero = {name: 0.0 for name in block_names}
-            return self._power.block_powers(zero, voltage, frequency, temps)
+            powers = self._power.block_powers_reference(
+                zero, voltage, frequency, block_temps_mapping()
+            )
+            return network.power_vector(powers), float(sum(powers.values()))
+
+        def account_thermal(dt_acct: float, power_sum_w: float) -> None:
+            """Measured-window statistics shared by execution steps and
+            stall/migration sub-steps (which the accounting previously
+            skipped -- an emergency reached during a 10 us stall window
+            was silently missed)."""
+            nonlocal max_temp, hottest_block, violations
+            nonlocal above_trigger_s, low_time_s, energy_j
+            step_max = float(block_temps.max())
+            if step_max > max_temp:
+                # argmax only when the maximum moved: the hottest block's
+                # identity changes rarely, its temperature every step.
+                max_temp = step_max
+                hottest_block = block_names[int(np.argmax(block_temps))]
+            if step_max > emergency_c:
+                violations += 1
+                if raise_on_violation:
+                    raise ThermalViolationError(
+                        step_max,
+                        emergency_c,
+                        time_s,
+                        block_names[int(np.argmax(block_temps))],
+                    )
+            if step_max > trigger_c:
+                above_trigger_s += dt_acct
+            if voltage < nominal_v - 1e-12:
+                low_time_s += dt_acct
+            energy_j += power_sum_w * dt_acct
+
+        def append_trace() -> None:
+            # Callers guard on ``trace is not None`` so the common
+            # no-trace run pays no call at all.
+            if trace is not None:
+                k = int(np.argmax(block_temps))
+                trace.append(
+                    TracePoint(
+                        time_s=time_s,
+                        hottest_block=block_names[k],
+                        hottest_temp_c=float(block_temps[k]),
+                        gating_fraction=command.gating_fraction,
+                        voltage=voltage,
+                        clock_enabled_fraction=command.clock_enabled_fraction,
+                        instructions=done,
+                    )
+                )
+
+        def stalled_substep(dt_sub: float) -> None:
+            """Advance the thermal state through a stall window (DVS
+            switch or migration flush) at idle power, with full thermal
+            accounting and trace coverage."""
+            nonlocal temps_vec, block_temps, time_s, stall_s
+            power, power_sum = idle_step_power()
+            temps_vec = solver_step(power, dt_sub, copy=False)
+            block_temps = temps_vec[node_idx]
+            time_s += dt_sub
+            if measuring:
+                stall_s += dt_sub
+                account_thermal(dt_sub, power_sum)
+            if trace is not None:
+                append_trace()
 
         while done < instructions:
-            temps = temps_mapping()
-
             # --- sensing and policy -------------------------------------------
-            if self._sensors.due(time_s):
-                readings = self._sensors.sample(temps, time_s)
-                new_command = self._policy.update(
-                    readings, time_s, self._sensors.sampling_period_s
+            if sensors_due(time_s):
+                readings = sensors_sample(block_temps_mapping(), time_s)
+                new_command = policy_update(
+                    readings, time_s, sampling_period_s
                 )
                 if abs(new_command.voltage - voltage) > 1e-12 and (
                     pending_voltage is None
@@ -191,14 +343,9 @@ class SimulationEngine:
                         switches += 1
                     if stall_mode:
                         if switch_time > 0.0:
-                            power = idle_powers(temps)
-                            solver.step(network.power_vector(power), switch_time)
-                            time_s += switch_time
-                            if measuring:
-                                stall_s += switch_time
-                            temps = temps_mapping()
+                            stalled_substep(switch_time)
                         voltage = new_command.voltage
-                        frequency = self._vf.frequency(voltage)
+                        frequency = vf_frequency(voltage)
                         pending_voltage = None
                     else:
                         pending_voltage = new_command.voltage
@@ -207,7 +354,7 @@ class SimulationEngine:
 
             if pending_voltage is not None and time_s >= pending_effective_s:
                 voltage = pending_voltage
-                frequency = self._vf.frequency(voltage)
+                frequency = vf_frequency(voltage)
                 pending_voltage = None
 
             # --- activity-migration transitions --------------------------------
@@ -216,94 +363,145 @@ class SimulationEngine:
                 if measuring:
                     migrations += 1
                 if self._config.migration_time_s > 0.0:
-                    power = idle_powers(temps)
-                    solver.step(
-                        network.power_vector(power),
-                        self._config.migration_time_s,
-                    )
-                    time_s += self._config.migration_time_s
-                    if measuring:
-                        stall_s += self._config.migration_time_s
-                    temps = temps_mapping()
+                    stalled_substep(self._config.migration_time_s)
 
             # --- one thermal step of execution --------------------------------
-            f_rel = frequency / self._tech.frequency_nominal
-            actuation = DtmActuation(
-                gating_fraction=command.gating_fraction,
-                relative_frequency=f_rel,
-                clock_enabled_fraction=command.clock_enabled_fraction,
-                domain_gating=command.domain_gating,
-            )
-            sample = perf.advance(step_cycles, actuation)
+            f_rel = frequency / f_nominal
+            if command is not actuation_cmd or f_rel != actuation_f_rel:
+                # The policy holds its command steady between 10 kHz sensor
+                # samples (~30 thermal steps), so reuse the validated
+                # actuation object while nothing changed.
+                actuation = DtmActuation(
+                    gating_fraction=command.gating_fraction,
+                    relative_frequency=f_rel,
+                    clock_enabled_fraction=command.clock_enabled_fraction,
+                    domain_gating=command.domain_gating,
+                )
+                actuation_cmd = command
+                actuation_f_rel = f_rel
+            sample = perf_advance(step_cycles, actuation)
             dt = step_cycles / frequency
 
-            if command.domain_gating:
-                from repro.dtm.domains import CLOCK_DOMAINS
-
-                clock_gate = {
-                    block: command.clock_enabled_fraction * (1.0 - duty)
-                    for domain, duty in command.domain_gating.items()
-                    for block in CLOCK_DOMAINS[domain]
-                }
-            else:
-                clock_gate = command.clock_enabled_fraction
-
-            activities = dict(sample.activities)
-            for name in block_names:
-                activities.setdefault(name, 0.0)  # e.g. spare structures
-            if command.migration is not None:
-                source, target, fraction = command.migration
-                moved = activities.get(source, 0.0) * fraction
-                activities[source] = activities.get(source, 0.0) - moved
-                activities[target] = min(
-                    1.0, activities.get(target, 0.0) + moved
+            if use_vector:
+                if command.domain_gating:
+                    if command is not gate_cmd:
+                        clock_gate = np.ones(n_blocks)
+                        for domain, duty in command.domain_gating.items():
+                            clock_gate[self._domain_positions(domain)] = (
+                                command.clock_enabled_fraction * (1.0 - duty)
+                            )
+                        gate_cmd = command
+                        gate_vec = clock_gate
+                    else:
+                        clock_gate = gate_vec
+                else:
+                    clock_gate = command.clock_enabled_fraction
+                acts_map = sample.activities
+                entry = act_cache.get(id(acts_map))
+                if entry is not None and entry[0] is acts_map:
+                    step_acts = entry[1]
+                else:
+                    step_acts = np.zeros(n_blocks)
+                    for name, value in acts_map.items():
+                        p = pos.get(name)
+                        if p is not None:
+                            step_acts[p] = value
+                    if len(act_cache) >= 2048:
+                        act_cache.clear()
+                    act_cache[id(acts_map)] = (acts_map, step_acts)
+                if command.migration is not None:
+                    source, target, fraction = command.migration
+                    try:
+                        si = pos[source]
+                        ti = pos[target]
+                    except KeyError as exc:
+                        raise SimulationError(
+                            f"migration names unknown block {exc.args[0]!r}"
+                        ) from None
+                    # Cached vectors are shared; mutate a scratch copy.
+                    act_vec[:] = step_acts
+                    moved = act_vec[si] * fraction
+                    act_vec[si] -= moved
+                    act_vec[ti] = min(1.0, act_vec[ti] + moved)
+                    step_acts = act_vec
+                blocks_w = power_vector_fn(
+                    step_acts, voltage, frequency, block_temps, clock_gate,
+                    check=False,
                 )
-            powers = self._power.block_powers(
-                activities,
-                voltage,
-                frequency,
-                temps,
-                clock_gate,
-            )
-            solver.step(network.power_vector(powers), dt)
+                power_buffer[node_idx] = blocks_w
+                step_power = power_buffer
+                power_sum = float(blocks_w.sum())
+            else:
+                if command.domain_gating:
+                    from repro.dtm.domains import CLOCK_DOMAINS
+
+                    clock_gate = {
+                        block: command.clock_enabled_fraction * (1.0 - duty)
+                        for domain, duty in command.domain_gating.items()
+                        for block in CLOCK_DOMAINS[domain]
+                    }
+                else:
+                    clock_gate = command.clock_enabled_fraction
+                activities = dict(sample.activities)
+                for name in block_names:
+                    activities.setdefault(name, 0.0)  # e.g. spare structures
+                if command.migration is not None:
+                    source, target, fraction = command.migration
+                    moved = activities.get(source, 0.0) * fraction
+                    activities[source] = activities.get(source, 0.0) - moved
+                    activities[target] = min(
+                        1.0, activities.get(target, 0.0) + moved
+                    )
+                powers = self._power.block_powers_reference(
+                    activities,
+                    voltage,
+                    frequency,
+                    block_temps_mapping(),
+                    clock_gate,
+                )
+                step_power = network.power_vector(powers)
+                power_sum = float(sum(powers.values()))
+
+            temps_vec = solver_step(step_power, dt, copy=False)
+            block_temps = temps_vec[node_idx]
 
             # --- accounting ----------------------------------------------------
-            new_temps = solver.temperatures
-            step_hottest = max(block_names, key=lambda n: new_temps[hot_block_index[n]])
-            step_max = new_temps[hot_block_index[step_hottest]]
+            if sample.instructions <= 0.0:
+                # Zero-progress step (e.g. a fully clock-gated interval):
+                # the clock still runs wall-time forward, but interpolating
+                # `remaining / sample.instructions` would divide by zero
+                # and the commit counter would never advance.
+                no_progress_steps += 1
+                if no_progress_steps >= max_no_progress:
+                    raise SimulationError(
+                        f"no instructions committed in {no_progress_steps} "
+                        f"consecutive thermal steps (is the clock fully "
+                        f"gated?); raise max_no_progress_steps if this "
+                        f"workload legitimately idles this long"
+                    )
+            else:
+                no_progress_steps = 0
+
             if measuring:
                 remaining = instructions - done
-                if sample.instructions >= remaining:
+                if sample.instructions <= 0.0:
+                    dt_measured = dt
+                    cycles_f += step_cycles
+                elif sample.instructions >= remaining:
                     # Interpolate the final partial step for exact elapsed
                     # time.
                     fraction = remaining / sample.instructions
                     dt_measured = dt * fraction
-                    cycles += int(step_cycles * fraction)
+                    cycles_f += step_cycles * fraction
                     done = instructions
                 else:
                     dt_measured = dt
-                    cycles += step_cycles
+                    cycles_f += step_cycles
                     done += sample.instructions
                 time_s += dt_measured
 
-                if step_max > max_temp:
-                    max_temp = step_max
-                    hottest_block = step_hottest
-                if step_max > self._thresholds.emergency_c:
-                    violations += 1
-                    if self._config.raise_on_violation:
-                        raise ThermalViolationError(
-                            step_max,
-                            self._thresholds.emergency_c,
-                            time_s,
-                            step_hottest,
-                        )
-                if step_max > self._thresholds.trigger_c:
-                    above_trigger_s += dt_measured
-                if voltage < nominal_v - 1e-12:
-                    low_time_s += dt_measured
+                account_thermal(dt_measured, power_sum)
                 gating_time_weighted += command.gating_fraction * dt_measured
-                energy_j += sum(powers.values()) * dt_measured
             else:
                 time_s += dt
                 if time_s >= settle_time_s:
@@ -315,19 +513,10 @@ class SimulationEngine:
                     perf = IntervalPerformanceModel(
                         self._workload.phases, loop=True
                     )
+                    perf_advance = perf.advance
 
             if trace is not None:
-                trace.append(
-                    TracePoint(
-                        time_s=time_s,
-                        hottest_block=step_hottest,
-                        hottest_temp_c=step_max,
-                        gating_fraction=command.gating_fraction,
-                        voltage=voltage,
-                        clock_enabled_fraction=command.clock_enabled_fraction,
-                        instructions=done,
-                    )
-                )
+                append_trace()
 
         elapsed_s = time_s - measure_start_s
         return RunResult(
@@ -336,7 +525,9 @@ class SimulationEngine:
             dvs_mode=self._config.dvs_mode,
             instructions=done,
             elapsed_s=elapsed_s,
-            cycles=cycles,
+            # Fractional final-step cycles accumulate exactly and are
+            # rounded once here, instead of truncating per run.
+            cycles=int(round(cycles_f)),
             violations=violations,
             max_true_temp_c=max_temp,
             hottest_block=hottest_block,

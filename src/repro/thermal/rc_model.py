@@ -14,6 +14,7 @@ The network has one node per floorplan block plus two package nodes
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Mapping
 
 import numpy as np
@@ -69,7 +70,7 @@ class ThermalNetwork:
         """Number of nodes in the network."""
         return len(self.node_names)
 
-    @property
+    @cached_property
     def block_names(self) -> tuple:
         """Names of the die-block nodes (package nodes carry a ``__``
         prefix and are excluded)."""
@@ -77,11 +78,28 @@ class ThermalNetwork:
             name for name in self.node_names if not name.startswith("__")
         )
 
+    @cached_property
+    def _node_index(self) -> Dict[str, int]:
+        return {name: i for i, name in enumerate(self.node_names)}
+
+    @cached_property
+    def block_node_indices(self) -> np.ndarray:
+        """Node indices of the die blocks, in :attr:`block_names` order.
+
+        Cached so hot paths can scatter per-block power into the full
+        node-power vector (and gather block temperatures out of the node
+        vector) with one fancy-index operation per step.
+        """
+        index = self._node_index
+        return np.array(
+            [index[name] for name in self.block_names], dtype=np.intp
+        )
+
     def index_of(self, name: str) -> int:
         """Row/column index of a node."""
         try:
-            return self.node_names.index(name)
-        except ValueError:
+            return self._node_index[name]
+        except KeyError:
             raise ThermalModelError(f"no thermal node named {name!r}") from None
 
     def power_vector(self, block_powers: Mapping[str, float]) -> np.ndarray:

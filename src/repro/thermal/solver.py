@@ -17,10 +17,11 @@ because DVS changes the cycle time and therefore the step length.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
-from scipy.linalg import lu_factor, lu_solve
+from scipy.linalg import lu_factor
+from scipy.linalg.lapack import get_lapack_funcs
 
 from repro.errors import ThermalModelError
 from repro.thermal.rc_model import ThermalNetwork
@@ -75,7 +76,8 @@ class TransientSolver:
         self._network = network
         self._temps = np.array(initial, dtype=float, copy=True)
         self._ambient_source = _ambient_source(network)
-        self._factor_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._factor_cache: Dict[int, tuple] = {}
+        self._rhs = np.empty(network.size)
         self._time_s = 0.0
 
     @property
@@ -97,17 +99,26 @@ class TransientSolver:
         key = int(round(dt * 1e15))
         cached = self._factor_cache.get(key)
         if cached is None:
-            matrix = (
-                np.diag(self._network.capacitance / dt) + self._network.conductance
-            )
-            cached = lu_factor(matrix)
-            self._factor_cache[key] = cached
-        return cached
+            c_over_dt = self._network.capacitance / dt
+            matrix = np.diag(c_over_dt) + self._network.conductance
+            lu, piv = lu_factor(matrix)
+            # Bind the LAPACK triangular solve directly: it is what
+            # lu_solve calls after several layers of validation, which
+            # dominate the cost of solving a ~17-node system once per
+            # thermal step.
+            getrs, = get_lapack_funcs(("getrs",), (lu,))
+            self._factor_cache[key] = (lu, piv, c_over_dt, getrs)
+        return self._factor_cache[key]
 
-    def step(self, power: np.ndarray, dt: float) -> np.ndarray:
+    def step(self, power: np.ndarray, dt: float, copy: bool = True) -> np.ndarray:
         """Advance the network by ``dt`` seconds with constant injected
-        ``power`` over the step.  Returns the new temperature vector (a
-        copy)."""
+        ``power`` over the step.
+
+        Returns the new temperature vector -- a copy by default.  With
+        ``copy=False`` the solver's own state array is returned; it is
+        overwritten by the next :meth:`step`, so read what you need from
+        it before advancing again (the engine's inner loop gathers the
+        block temperatures immediately)."""
         if dt <= 0.0:
             raise ThermalModelError(f"time step must be > 0, got {dt}")
         if power.shape != (self._network.size,):
@@ -115,14 +126,22 @@ class TransientSolver:
                 f"power vector has shape {power.shape}, "
                 f"expected ({self._network.size},)"
             )
-        rhs = (
-            (self._network.capacitance / dt) * self._temps
-            + power
-            + self._ambient_source
-        )
-        self._temps = lu_solve(self._factorisation(dt), rhs)
+        lu, piv, c_over_dt, getrs = self._factorisation(dt)
+        # Assemble the right-hand side in a reused buffer and let LAPACK
+        # solve in place on it; the buffer then *becomes* the state
+        # vector (next step's multiply is elementwise, so reading the
+        # old state out of the same array it writes is safe).
+        rhs = self._rhs
+        np.multiply(c_over_dt, self._temps, out=rhs)
+        rhs += power
+        rhs += self._ambient_source
+        solution, info = getrs(lu, piv, rhs, overwrite_b=1)
+        if info != 0:  # pragma: no cover - defensive
+            raise ThermalModelError(f"transient solve failed (info={info})")
+        self._temps = solution
+        self._rhs = solution
         self._time_s += dt
-        return self._temps.copy()
+        return self._temps.copy() if copy else self._temps
 
     def reset(self, temperatures: np.ndarray) -> None:
         """Overwrite the state with ``temperatures`` and zero the clock."""

@@ -119,6 +119,11 @@ class ActivityModel:
             raise WorkloadError("speculation waste must be >= 0")
         self._base = dict(base_activities)
         self._waste = speculation_waste
+        # (fetch_rate_rel, commit_rate_rel) -> activity dict.  The interval
+        # engine calls with the same handful of rate pairs for thousands of
+        # consecutive thermal steps, so memoising removes a per-block
+        # Python loop from the simulation hot path.
+        self._cache: Dict[tuple, Dict[str, float]] = {}
 
     @property
     def base_activities(self) -> Dict[str, float]:
@@ -142,7 +147,17 @@ class ActivityModel:
             under fetch gating).
         commit_rate_rel:
             Per-cycle IPC relative to the phase's nominal IPC.
+
+        Returns
+        -------
+        Dict[str, float]
+            Per-block activities.  The mapping is cached and shared
+            between calls with the same rates -- treat it as read-only.
         """
+        key = (fetch_rate_rel, commit_rate_rel)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
         if fetch_rate_rel < 0.0 or commit_rate_rel < 0.0:
             raise WorkloadError("relative rates must be >= 0")
         factor_f = fetch_rate_rel
@@ -155,4 +170,7 @@ class ActivityModel:
         for block, base in self._base.items():
             rate_class = _RATE_CLASS.get(block, "C")
             result[block] = min(1.0, base * factors[rate_class])
+        if len(self._cache) >= 1024:
+            self._cache.clear()
+        self._cache[key] = result
         return result

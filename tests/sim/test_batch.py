@@ -1,0 +1,157 @@
+"""The batch sweep runner."""
+
+import warnings
+from functools import partial
+
+import pytest
+
+from repro.dtm import FetchGatingPolicy
+from repro.errors import SimulationError
+from repro.sim import EngineConfig, RunSpec, run_many, run_one
+from repro.sim.batch import (
+    _WARMUP_CACHE,
+    reset_stats,
+    stats,
+    steady_state_for,
+)
+from repro.workloads import build_benchmark
+
+FAST_N = 1_500_000
+
+RESULT_FIELDS = (
+    "benchmark",
+    "policy",
+    "instructions",
+    "elapsed_s",
+    "cycles",
+    "violations",
+    "max_true_temp_c",
+    "hottest_block",
+    "time_above_trigger_s",
+    "dvs_switches",
+    "stall_time_s",
+    "mean_power_w",
+)
+
+
+def _specs():
+    return [
+        RunSpec(
+            workload=name,
+            policy=policy,
+            instructions=FAST_N,
+            settle_time_s=1.0e-4,
+            seed=seed,
+        )
+        for seed, (name, policy) in enumerate(
+            [
+                ("gzip", "none"),
+                ("gcc", "FG"),
+                ("mesa", "DVS"),
+                ("gzip", partial(FetchGatingPolicy)),
+            ]
+        )
+    ]
+
+
+def _as_tuples(results):
+    return [
+        tuple(getattr(r, field) for field in RESULT_FIELDS) for r in results
+    ]
+
+
+class TestRunMany:
+    def test_parallel_matches_serial_exactly(self):
+        serial = run_many(_specs(), processes=1)
+        parallel = run_many(_specs(), processes=4)
+        assert _as_tuples(serial) == _as_tuples(parallel)
+
+    def test_results_preserve_spec_order(self):
+        results = run_many(_specs(), processes=4)
+        assert [r.benchmark for r in results] == ["gzip", "gcc", "mesa", "gzip"]
+        assert [r.policy for r in results] == ["none", "FG", "DVS", "FG"]
+
+    def test_deterministic_across_repeats(self):
+        first = run_many(_specs(), processes=2)
+        second = run_many(_specs(), processes=3)
+        assert _as_tuples(first) == _as_tuples(second)
+
+    def test_empty_batch(self):
+        assert run_many([], processes=4) == []
+
+    def test_unpicklable_policy_falls_back_to_serial(self):
+        spec = RunSpec(
+            workload="gzip",
+            policy=lambda: FetchGatingPolicy(),
+            instructions=FAST_N,
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            results = run_many([spec], processes=2)
+        assert any("picklable" in str(w.message) for w in caught)
+        assert results[0].policy == "FG"
+
+    def test_stats_accumulate(self):
+        reset_stats()
+        results = run_many(_specs()[:2], processes=1)
+        snapshot = stats()
+        assert snapshot.runs == 2
+        expected_steps = sum(
+            r.cycles / EngineConfig().thermal_step_cycles for r in results
+        )
+        assert snapshot.thermal_steps == pytest.approx(expected_steps)
+        assert snapshot.wall_s > 0.0
+        assert snapshot.steps_per_second > 0.0
+
+
+class TestRunSpec:
+    def test_rejects_bad_budget(self):
+        with pytest.raises(SimulationError):
+            RunSpec(workload="gzip", instructions=0)
+
+    def test_rejects_negative_settle(self):
+        with pytest.raises(SimulationError):
+            RunSpec(workload="gzip", settle_time_s=-1.0)
+
+    def test_workload_object_and_name_agree(self):
+        workload = build_benchmark("gzip")
+        by_name = run_one(
+            RunSpec(workload="gzip", policy="none", instructions=FAST_N)
+        )
+        by_object = run_one(
+            RunSpec(workload=workload, policy="none", instructions=FAST_N)
+        )
+        assert _as_tuples([by_name]) == _as_tuples([by_object])
+
+    def test_dvs_mode_shorthand(self):
+        spec = RunSpec(workload="gzip", dvs_mode="ideal")
+        assert spec.config.dvs_mode == "ideal"
+        explicit = RunSpec(
+            workload="gzip",
+            dvs_mode="ideal",
+            engine_config=EngineConfig(dvs_mode="stall"),
+        )
+        assert explicit.config.dvs_mode == "stall"
+
+
+class TestWarmupCache:
+    def test_steady_state_cached_per_workload(self):
+        _WARMUP_CACHE.clear()
+        first = steady_state_for("gzip")
+        assert "gzip" in _WARMUP_CACHE
+        second = steady_state_for("gzip")
+        assert first is not second  # callers get copies
+        assert (first == second).all()
+
+    def test_explicit_initial_bypasses_cache(self):
+        init = steady_state_for("gzip")
+        _WARMUP_CACHE.clear()
+        run_one(
+            RunSpec(
+                workload="gzip",
+                policy="none",
+                instructions=FAST_N,
+                initial=init,
+            )
+        )
+        assert "gzip" not in _WARMUP_CACHE

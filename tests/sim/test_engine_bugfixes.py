@@ -1,0 +1,172 @@
+"""Regression tests for engine edge cases.
+
+Each test pins one of three bugs the array-native engine rewrite fixed:
+
+* a zero-instruction interval (fully gated clock) used to spin the run
+  loop forever -- the commit counter never advanced and nothing bounded
+  the retries;
+* thermal accounting skipped DVS-switch and migration stall sub-steps,
+  so an emergency reached during a 10 us stall window was silently
+  missed and ``time_above_trigger_s`` under-counted by the stall time;
+* per-run cycle counts truncated the final partial step
+  (``int(step_cycles * fraction)``) instead of rounding the accumulated
+  fractional total once.
+"""
+
+import pytest
+
+from repro.dtm.base import DtmCommand, DtmPolicy
+from repro.dtm.thresholds import ThermalThresholds
+from repro.errors import SimulationError
+from repro.power.technology import default_technology
+from repro.sim import EngineConfig, SimulationEngine
+from repro.workloads import build_benchmark
+
+NOMINAL_V = default_technology().vdd_nominal
+NOMINAL_F = default_technology().frequency_nominal
+
+
+@pytest.fixture(scope="module")
+def gcc():
+    return build_benchmark("gcc")
+
+
+class _FullyGatedPolicy(DtmPolicy):
+    """Requests a clock-enabled fraction so small no work ever commits,
+    optionally releasing the clock after ``release_time_s``."""
+
+    name = "gate-all"
+
+    def __init__(self, release_time_s=None):
+        self._release_time_s = release_time_s
+
+    def update(self, readings, time_s, dt_s):
+        if self._release_time_s is not None and time_s >= self._release_time_s:
+            return DtmCommand(gating_fraction=0.0, voltage=NOMINAL_V)
+        # Small enough that a 10 000-cycle interval rounds to zero
+        # instructions, yet legal for DtmCommand's (0, 1] range.
+        return DtmCommand(
+            gating_fraction=0.0, voltage=NOMINAL_V,
+            clock_enabled_fraction=1e-14,
+        )
+
+    def reset(self):
+        pass
+
+
+class _OneSwitchPolicy(DtmPolicy):
+    """Drops the voltage once, on the first sensor sample."""
+
+    name = "one-switch"
+
+    def __init__(self, v_low):
+        self._v_low = v_low
+        self._switched = False
+
+    def update(self, readings, time_s, dt_s):
+        if not self._switched:
+            self._switched = True
+            return DtmCommand(gating_fraction=0.0, voltage=self._v_low)
+        return DtmCommand(gating_fraction=0.0, voltage=self._v_low)
+
+    def reset(self):
+        self._switched = False
+
+
+class TestZeroProgressGuard:
+    def test_fully_gated_run_raises_instead_of_spinning(self, gcc):
+        engine = SimulationEngine(
+            gcc,
+            policy=_FullyGatedPolicy(),
+            config=EngineConfig(max_no_progress_steps=50),
+        )
+        with pytest.raises(SimulationError, match="no instructions committed"):
+            engine.run(1_000_000)
+
+    def test_gated_steps_still_advance_wall_time(self, gcc):
+        """A transiently gated clock is legitimate: time moves forward
+        through the gated window and the run completes once released."""
+        release_s = 2.0e-4
+        engine = SimulationEngine(
+            gcc,
+            policy=_FullyGatedPolicy(release_time_s=release_s),
+            config=EngineConfig(max_no_progress_steps=1_000),
+        )
+        result = engine.run(500_000)
+        assert result.instructions == 500_000
+        # The gated lead-in is real elapsed time, far more than the
+        # ungated execution needs.
+        assert result.elapsed_s > release_s
+
+    def test_budget_is_consecutive_not_cumulative(self, gcc):
+        """Progress resets the counter: a run that alternates gated and
+        ungated windows never trips a budget larger than one window."""
+        engine = SimulationEngine(
+            gcc,
+            policy=_FullyGatedPolicy(release_time_s=1.0e-4),
+            config=EngineConfig(max_no_progress_steps=40),
+        )
+        # ~30 gated steps (one sensor period) fit under the 40-step
+        # budget; the run must complete rather than raise.
+        result = engine.run(200_000)
+        assert result.instructions == 200_000
+
+
+class TestStallWindowAccounting:
+    def test_violation_inside_dvs_stall_window_is_counted(self, gcc):
+        """With the emergency threshold below the operating range, every
+        accounted step is a violation -- including the 10 us DVS-switch
+        stall sub-step, which the accounting used to skip."""
+        thresholds = ThermalThresholds(
+            emergency_c=40.0, practical_limit_c=40.0, trigger_c=40.0
+        )
+        engine = SimulationEngine(
+            gcc,
+            policy=_OneSwitchPolicy(v_low=NOMINAL_V * 0.85),
+            thresholds=thresholds,
+            config=EngineConfig(dvs_mode="stall", record_trace=True),
+        )
+        result = engine.run(1_000_000)
+        assert result.dvs_switches == 1
+        assert result.stall_time_s > 0.0
+        # One violation per accounted step; the trace has exactly one
+        # point per accounted step, so the counts must agree.  On the
+        # pre-fix engine the stall sub-step is missing from both the
+        # violation count and this equality's right-hand side.
+        assert result.violations == len(result.trace)
+        # Time above trigger covers the whole measured window, stall
+        # included (the pre-fix engine was short by stall_time_s).
+        assert result.time_above_trigger_s == pytest.approx(
+            result.elapsed_s, abs=1e-15
+        )
+
+    def test_stall_substep_appears_in_trace(self, gcc):
+        engine = SimulationEngine(
+            gcc,
+            policy=_OneSwitchPolicy(v_low=NOMINAL_V * 0.85),
+            config=EngineConfig(dvs_mode="stall", record_trace=True),
+        )
+        result = engine.run(1_000_000)
+        switch_time = engine.config.dvs_switch_time_s
+        # The policy switches on the very first sensor sample (t = 0), so
+        # the stall sub-step is the first trace point, at exactly the
+        # switch time.  The pre-fix engine recorded nothing until the
+        # first execution step.
+        assert result.trace[0].time_s == pytest.approx(switch_time, rel=1e-12)
+
+
+class TestCycleAccumulation:
+    def test_cycles_match_elapsed_time_within_half_a_cycle(self, gcc):
+        """At a constant clock, elapsed_s * f equals the exact fractional
+        cycle count; the reported integer must round it, not truncate.
+        The budget is chosen so the final partial step contributes a
+        fractional part of ~0.78 cycles, which truncation would drop."""
+        engine = SimulationEngine(gcc, config=EngineConfig())
+        result = engine.run(2_500_000)
+        exact = result.elapsed_s * NOMINAL_F
+        assert abs(result.cycles - exact) <= 0.5
+
+    def test_cycles_are_rounded_fractional_total(self, gcc):
+        engine = SimulationEngine(gcc, config=EngineConfig())
+        result = engine.run(2_500_000)
+        assert result.cycles == round(result.elapsed_s * NOMINAL_F)
