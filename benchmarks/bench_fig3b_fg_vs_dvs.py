@@ -8,6 +8,7 @@ violations (which is why stand-alone FG needs feedback control).
 
 from _helpers import (
     bench_instructions,
+    bench_lockstep,
     bench_processes,
     reset_throughput,
     save_table,
@@ -21,7 +22,9 @@ from repro.analysis.experiments import fig3b_fg_vs_dvs
 def _run() -> str:
     reset_throughput()
     result = fig3b_fg_vs_dvs(
-        instructions=bench_instructions(), processes=bench_processes()
+        instructions=bench_instructions(),
+        processes=bench_processes(),
+        lockstep=bench_lockstep(),
     )
     rows = []
     for duty in sorted(result.fg_mean_slowdowns, reverse=True):

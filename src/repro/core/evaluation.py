@@ -81,12 +81,14 @@ class _Baselines:
         settle_time_s: float,
         seed: int,
         processes: Optional[int] = None,
+        lockstep: bool = False,
     ):
         self.suite = list(suite)
         self.instructions = instructions
         self.settle_time_s = settle_time_s
         self.seed = seed
         self.processes = processes
+        self.lockstep = lockstep
         self.initial: Dict[str, np.ndarray] = {
             workload.name: steady_state_for(workload)
             for workload in self.suite
@@ -104,6 +106,7 @@ class _Baselines:
                 for workload in self.suite
             ],
             processes=processes,
+            lockstep=lockstep,
         )
         self.baseline: Dict[str, RunResult] = {
             workload.name: run for workload, run in zip(self.suite, runs)
@@ -116,17 +119,22 @@ def run_baselines(
     settle_time_s: float = DEFAULT_SETTLE_TIME_S,
     seed: int = 0,
     processes: Optional[int] = None,
+    lockstep: bool = False,
 ) -> _Baselines:
     """Compute (and cache in the returned object) the no-DTM baselines.
 
     Reuse one baselines object across many :func:`evaluate_policy` calls:
     the baseline runs and steady-state solves dominate harness cost.
     ``processes`` fans the baseline runs out over a process pool and is
-    remembered as the default for evaluations built on this object.
+    remembered as the default for evaluations built on this object;
+    ``lockstep`` likewise selects the batched lockstep runner (see
+    :func:`repro.sim.batch.run_many`) and is remembered as the default.
     """
     if suite is None:
         suite = build_spec_suite()
-    return _Baselines(suite, instructions, settle_time_s, seed, processes)
+    return _Baselines(
+        suite, instructions, settle_time_s, seed, processes, lockstep
+    )
 
 
 def evaluate_policy(
@@ -135,6 +143,7 @@ def evaluate_policy(
     dvs_mode: str = "stall",
     engine_config: Optional[EngineConfig] = None,
     processes: Optional[int] = None,
+    lockstep: Optional[bool] = None,
 ) -> SuiteEvaluation:
     """Run one technique across the suite.
 
@@ -154,6 +163,9 @@ def evaluate_policy(
     processes:
         Worker-process count for :func:`repro.sim.batch.run_many`;
         defaults to the count the baselines were built with.
+    lockstep:
+        Run the suite through the lockstep batched runner; defaults to
+        the setting the baselines were built with.
     """
     config = (
         engine_config
@@ -162,6 +174,8 @@ def evaluate_policy(
     )
     if processes is None:
         processes = baselines.processes
+    if lockstep is None:
+        lockstep = baselines.lockstep
     runs = run_many(
         [
             RunSpec(
@@ -176,6 +190,7 @@ def evaluate_policy(
             for workload in baselines.suite
         ],
         processes=processes,
+        lockstep=lockstep,
     )
     names = {run.policy for run in runs}
     if len(names) > 1:
@@ -202,6 +217,7 @@ def evaluate_techniques(
     instructions: int = DEFAULT_INSTRUCTIONS,
     settle_time_s: float = DEFAULT_SETTLE_TIME_S,
     processes: Optional[int] = None,
+    lockstep: Optional[bool] = None,
 ) -> Dict[str, SuiteEvaluation]:
     """The Figure 4 experiment: all techniques over the full suite."""
     if baselines is None:
@@ -209,6 +225,7 @@ def evaluate_techniques(
             instructions=instructions,
             settle_time_s=settle_time_s,
             processes=processes,
+            lockstep=bool(lockstep),
         )
     return {
         name: evaluate_policy(
@@ -216,6 +233,7 @@ def evaluate_techniques(
             baselines,
             dvs_mode=dvs_mode,
             processes=processes,
+            lockstep=lockstep,
         )
         for name in names
     }

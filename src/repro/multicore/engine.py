@@ -37,7 +37,7 @@ from repro.sim.config import EngineConfig
 from repro.sim.warmup import average_activities
 from repro.thermal.hotspot import HotSpotModel
 from repro.thermal.package import ThermalPackage
-from repro.thermal.solver import TransientSolver
+from repro.thermal.solver import make_transient_solver
 from repro.uarch.interval import DtmActuation, IntervalPerformanceModel
 from repro.workloads.workload import Workload
 
@@ -201,7 +201,11 @@ class MultiCoreEngine:
         if initial is None:
             initial = self.compute_initial_temperatures()
         network = self._hotspot.network
-        solver = TransientSolver(network, np.array(initial, dtype=float))
+        solver = make_transient_solver(
+            network,
+            np.array(initial, dtype=float),
+            self._config.thermal_stepper,
+        )
         block_names = list(network.block_names)
         index = {name: network.index_of(name) for name in block_names}
 

@@ -58,6 +58,16 @@ class SensorArray:
         except KeyError:
             raise SimulationError(f"no sensor on block {block!r}") from None
 
+    @property
+    def next_due_s(self) -> float:
+        """Earliest simulation time at which the next sample is due.
+
+        The engine's constant-power fast-forward clips its jumps to this
+        boundary so the policy sees exactly the sample times (and the
+        sensors draw exactly the noise sequence) of explicit stepping.
+        """
+        return self._last_sample_s + self._period_s
+
     def due(self, time_s: float) -> bool:
         """True when a new sample may be taken at simulation time
         ``time_s`` (at least one sampling period since the last)."""

@@ -272,9 +272,25 @@ def _precompute_warmups(specs: Sequence[RunSpec]) -> List[RunSpec]:
     return filled
 
 
+def _chunk_evenly(specs: Sequence[RunSpec], parts: int) -> List[List[RunSpec]]:
+    """Split ``specs`` into at most ``parts`` contiguous, near-equal,
+    non-empty chunks (order preserved, so flattening chunk results
+    restores spec order)."""
+    parts = min(parts, len(specs))
+    base, extra = divmod(len(specs), parts)
+    chunks: List[List[RunSpec]] = []
+    start = 0
+    for i in range(parts):
+        stop = start + base + (1 if i < extra else 0)
+        chunks.append(list(specs[start:stop]))
+        start = stop
+    return chunks
+
+
 def run_many(
     specs: Sequence[RunSpec],
     processes: Optional[int] = None,
+    lockstep: bool = False,
 ) -> List[RunResult]:
     """Execute ``specs`` and return their results in spec order.
 
@@ -289,11 +305,24 @@ def run_many(
         every run is seeded from its spec, so the schedule cannot leak
         into the physics.  Specs that fail to pickle (e.g. a lambda
         policy factory) trigger a warning and a serial fallback.
+    lockstep:
+        Advance the batch's runs together, servicing their thermal
+        steps with one batched BLAS-3 operation per step group (see
+        :mod:`repro.sim.lockstep`).  Composes with ``processes``: each
+        worker receives one contiguous chunk of specs and runs it in
+        lockstep.  Results match the non-lockstep path to BLAS
+        summation order.
     """
     specs = list(specs)
     if not specs:
         return []
     started = time.perf_counter()
+    if lockstep:
+        from repro.sim.lockstep import run_lockstep
+
+        runner: Callable = run_lockstep
+    else:
+        runner = None  # type: ignore[assignment]
     if processes is not None and processes > 1:
         specs = _precompute_warmups(specs)
         unpicklable = _first_unpicklable(specs)
@@ -305,15 +334,28 @@ def run_many(
                 RuntimeWarning,
                 stacklevel=2,
             )
-            results = [run_one(spec) for spec in specs]
+            results = (
+                runner(specs) if lockstep else [run_one(s) for s in specs]
+            )
         else:
-            try:
-                results = list(_get_pool(processes).map(run_one, specs))
-            except BrokenProcessPool:
-                # A worker died (e.g. OOM-killed); rebuild the pool and
-                # retry the batch once before giving up.
-                _shutdown_pool()
-                results = list(_get_pool(processes).map(run_one, specs))
+            if lockstep:
+                chunks = _chunk_evenly(specs, processes)
+                try:
+                    chunked = list(_get_pool(processes).map(runner, chunks))
+                except BrokenProcessPool:
+                    _shutdown_pool()
+                    chunked = list(_get_pool(processes).map(runner, chunks))
+                results = [result for chunk in chunked for result in chunk]
+            else:
+                try:
+                    results = list(_get_pool(processes).map(run_one, specs))
+                except BrokenProcessPool:
+                    # A worker died (e.g. OOM-killed); rebuild the pool
+                    # and retry the batch once before giving up.
+                    _shutdown_pool()
+                    results = list(_get_pool(processes).map(run_one, specs))
+    elif lockstep:
+        results = runner(specs)
     else:
         results = [run_one(spec) for spec in specs]
     wall = time.perf_counter() - started

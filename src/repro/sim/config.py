@@ -12,6 +12,9 @@ DVS_MODE_IDEAL = "ideal"
 POWER_PATH_VECTOR = "vector"
 POWER_PATH_MAPPING = "mapping"
 
+THERMAL_STEPPER_BE = "be"
+THERMAL_STEPPER_EXPM = "expm"
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -48,6 +51,25 @@ class EngineConfig:
         (e.g. under a fully clock-gated policy) before the engine raises
         :class:`~repro.errors.SimulationError` instead of spinning
         forever.
+    thermal_stepper:
+        ``"expm"`` (default) -- the exact exponential-propagator stepper
+        (:class:`~repro.thermal.solver.ExponentialSolver`): one matvec
+        pair per step, no time-discretisation error, and eligible for
+        constant-power fast-forward.  ``"be"`` -- backward Euler, kept
+        as the time-discretised regression anchor.
+    fast_forward:
+        Allow the engine to jump spans of steps whose power vector, dt
+        and actuation are unchanged (idle phases, converged steady
+        phases) in closed form via ``A_d^K``.  Only effective with the
+        ``"expm"`` stepper; every jump is first proven safe against the
+        trigger/emergency thresholds (see docs/MODELING.md), otherwise
+        the engine falls back to explicit stepping.
+    fast_forward_power_tol_w:
+        Per-block power drift (watts) between consecutive steps below
+        which the power vector counts as unchanged for fast-forward.
+        The temperature error of freezing the power over a span is
+        bounded by this tolerance times the worst-case thermal
+        resistance (~3 K/W), i.e. microkelvins at the default.
     """
 
     thermal_step_cycles: int = 10_000
@@ -58,6 +80,9 @@ class EngineConfig:
     migration_time_s: float = 2.0e-6
     power_path: str = POWER_PATH_VECTOR
     max_no_progress_steps: int = 10_000
+    thermal_stepper: str = THERMAL_STEPPER_EXPM
+    fast_forward: bool = True
+    fast_forward_power_tol_w: float = 1.0e-3
 
     def __post_init__(self) -> None:
         if self.thermal_step_cycles < 100:
@@ -77,3 +102,10 @@ class EngineConfig:
             )
         if self.max_no_progress_steps < 1:
             raise SimulationError("no-progress step budget must be >= 1")
+        if self.thermal_stepper not in (THERMAL_STEPPER_BE, THERMAL_STEPPER_EXPM):
+            raise SimulationError(
+                f"thermal_stepper must be 'be' or 'expm', "
+                f"got {self.thermal_stepper!r}"
+            )
+        if self.fast_forward_power_tol_w < 0.0:
+            raise SimulationError("fast-forward power tolerance must be >= 0")

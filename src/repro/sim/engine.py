@@ -164,6 +164,37 @@ class SimulationEngine:
             pulled the chip from its unmanaged steady state into the
             regulated band.
         """
+        steps = self.iter_run(instructions, initial, settle_time_s)
+        reply: Optional[np.ndarray] = None
+        try:
+            while True:
+                solver, power, dt, count = steps.send(reply)
+                if count == 1:
+                    reply = solver.step(power, dt, copy=False)
+                else:
+                    reply = solver.fast_forward(power, dt, count, copy=False)
+        except StopIteration as stop:
+            return stop.value
+
+    def iter_run(
+        self,
+        instructions: int,
+        initial: Optional[np.ndarray] = None,
+        settle_time_s: float = 0.0,
+    ):
+        """Generator form of :meth:`run` for lockstep batch execution.
+
+        Yields one thermal-step request ``(solver, power, dt, count)``
+        per suspension -- ``count == 1`` for a plain step, ``count > 1``
+        for a constant-power fast-forward -- and expects the stepped
+        node-temperature vector to be sent back (the solver's own state
+        array, as returned by ``step(..., copy=False)``).  Everything
+        else (sensing, policy, power, accounting) runs inside the
+        generator, so a driver that services requests from many runs
+        with one batched operation (see :mod:`repro.sim.lockstep`)
+        produces results identical to :meth:`run`.  The :class:`RunResult`
+        is the generator's return value (``StopIteration.value``).
+        """
         if instructions <= 0:
             raise SimulationError("instruction budget must be > 0")
         if settle_time_s < 0.0:
@@ -172,9 +203,11 @@ class SimulationEngine:
             initial = self.compute_initial_temperatures()
         network = self._hotspot.network
         solver_temps = np.array(initial, dtype=float, copy=True)
-        from repro.thermal.solver import TransientSolver
+        from repro.thermal.solver import ExponentialSolver, make_transient_solver
 
-        solver = TransientSolver(network, solver_temps)
+        solver = make_transient_solver(
+            network, solver_temps, self._config.thermal_stepper
+        )
         perf = IntervalPerformanceModel(self._workload.phases, loop=True)
         self._policy.reset()
 
@@ -233,7 +266,6 @@ class SimulationEngine:
         vf_frequency = self._vf.frequency
         f_nominal = self._tech.frequency_nominal
         power_vector_fn = self._power.block_powers_vector
-        solver_step = solver.step
         perf_advance = perf.advance
 
         temps_vec = solver.temperatures
@@ -241,6 +273,22 @@ class SimulationEngine:
         act_vec = np.zeros(n_blocks)
         zero_acts = np.zeros(n_blocks)
         power_buffer = np.zeros(network.size)
+
+        # Constant-power fast-forward: when consecutive steps repeat the
+        # same actuation, dt and (within tolerance) power vector, the
+        # exponential stepper jumps the span in closed form.  The
+        # reference state below tracks the last executed step; a stall
+        # substep invalidates it (it perturbs the temperatures outside
+        # the span model).
+        ff_enabled = (
+            self._config.fast_forward
+            and isinstance(solver, ExponentialSolver)
+            and trace is None
+        )
+        ff_tol = self._config.fast_forward_power_tol_w
+        ff_prev_power = np.empty(network.size)
+        ff_prev_actuation: Optional[DtmActuation] = None
+        ff_prev_dt = -1.0
         # The interval model memoizes its activity dicts, so the same
         # dict object comes back for thousands of consecutive steps;
         # translating it to vector order once per distinct dict (keyed by
@@ -313,13 +361,16 @@ class SimulationEngine:
                     )
                 )
 
-        def stalled_substep(dt_sub: float) -> None:
+        def stalled_substep(dt_sub: float):
             """Advance the thermal state through a stall window (DVS
             switch or migration flush) at idle power, with full thermal
-            accounting and trace coverage."""
-            nonlocal temps_vec, block_temps, time_s, stall_s
+            accounting and trace coverage.  A sub-generator: callers
+            ``yield from`` it so the thermal step is serviced by the
+            outer driver like any other."""
+            nonlocal temps_vec, block_temps, time_s, stall_s, ff_prev_actuation
+            ff_prev_actuation = None
             power, power_sum = idle_step_power()
-            temps_vec = solver_step(power, dt_sub, copy=False)
+            temps_vec = yield (solver, power, dt_sub, 1)
             block_temps = temps_vec[node_idx]
             time_s += dt_sub
             if measuring:
@@ -343,7 +394,7 @@ class SimulationEngine:
                         switches += 1
                     if stall_mode:
                         if switch_time > 0.0:
-                            stalled_substep(switch_time)
+                            yield from stalled_substep(switch_time)
                         voltage = new_command.voltage
                         frequency = vf_frequency(voltage)
                         pending_voltage = None
@@ -363,7 +414,7 @@ class SimulationEngine:
                 if measuring:
                     migrations += 1
                 if self._config.migration_time_s > 0.0:
-                    stalled_substep(self._config.migration_time_s)
+                    yield from stalled_substep(self._config.migration_time_s)
 
             # --- one thermal step of execution --------------------------------
             f_rel = frequency / f_nominal
@@ -462,7 +513,7 @@ class SimulationEngine:
                 step_power = network.power_vector(powers)
                 power_sum = float(sum(powers.values()))
 
-            temps_vec = solver_step(step_power, dt, copy=False)
+            temps_vec = yield (solver, step_power, dt, 1)
             block_temps = temps_vec[node_idx]
 
             # --- accounting ----------------------------------------------------
@@ -514,9 +565,112 @@ class SimulationEngine:
                         self._workload.phases, loop=True
                     )
                     perf_advance = perf.advance
+                    # The step's sample came from the settle-phase model;
+                    # force an explicit step before any fast-forward so
+                    # jump sizing uses the fresh measurement model.
+                    ff_prev_actuation = None
 
             if trace is not None:
                 append_trace()
+
+            # --- constant-power fast-forward -------------------------------
+            if ff_enabled:
+                stable = (
+                    actuation is ff_prev_actuation
+                    and dt == ff_prev_dt
+                    and sample.instructions > 0.0
+                    and pending_voltage is None
+                    and done < instructions
+                    and float(np.max(np.abs(step_power - ff_prev_power)))
+                    <= ff_tol
+                )
+                ff_prev_power[:] = step_power
+                ff_prev_actuation = actuation
+                ff_prev_dt = dt
+                if stable:
+                    # Size the jump: stop strictly before the next sensor
+                    # sample, the current phase's boundary, the budget's
+                    # final (interpolated) step and the settle crossing,
+                    # so every event the explicit path would handle still
+                    # happens on an explicitly stepped iteration.
+                    k = int(
+                        np.ceil(
+                            (self._sensors.next_due_s - 1e-12 - time_s) / dt
+                        )
+                    )
+                    k = min(k, perf.run_length(step_cycles, actuation))
+                    if measuring:
+                        k_budget = int(
+                            (instructions - done) / sample.instructions
+                        )
+                        while (
+                            k_budget > 0
+                            and done + k_budget * sample.instructions
+                            >= instructions
+                        ):
+                            k_budget -= 1
+                        k = min(k, k_budget)
+                    else:
+                        k_settle = int((settle_time_s - time_s) / dt)
+                        while (
+                            k_settle > 0
+                            and time_s + k_settle * dt >= settle_time_s
+                        ):
+                            k_settle -= 1
+                        k = min(k, k_settle)
+                    span_violations = 0
+                    span_trigger_s = 0.0
+                    safe = k >= 2
+                    if safe and measuring:
+                        # Rigorous envelope over the jumped constant-power
+                        # span: fast-forward only when every jumped step's
+                        # threshold accounting is provably exact.
+                        span_s = k * dt
+                        lower, upper = solver.span_envelope(
+                            step_power, span_s
+                        )
+                        hot_upper = float(upper[node_idx].max())
+                        hot_lower = float(lower[node_idx].max())
+                        if hot_upper <= trigger_c:
+                            pass
+                        elif (
+                            hot_lower > emergency_c
+                            and not raise_on_violation
+                        ):
+                            span_violations = k
+                            span_trigger_s = span_s
+                        elif (
+                            hot_lower > trigger_c
+                            and hot_upper <= emergency_c
+                        ):
+                            span_trigger_s = span_s
+                        else:
+                            safe = False
+                    if safe:
+                        per_step_instr = perf.fast_forward(
+                            step_cycles, actuation, k
+                        )
+                        temps_vec = yield (solver, step_power, dt, k)
+                        block_temps = temps_vec[node_idx]
+                        span_s = k * dt
+                        time_s += span_s
+                        if measuring:
+                            done += per_step_instr * k
+                            cycles_f += step_cycles * k
+                            violations += span_violations
+                            above_trigger_s += span_trigger_s
+                            if voltage < nominal_v - 1e-12:
+                                low_time_s += span_s
+                            energy_j += power_sum * span_s
+                            gating_time_weighted += (
+                                command.gating_fraction * span_s
+                            )
+                            step_max = float(block_temps.max())
+                            if step_max > max_temp:
+                                max_temp = step_max
+                                hottest_block = block_names[
+                                    int(np.argmax(block_temps))
+                                ]
 
         elapsed_s = time_s - measure_start_s
         return RunResult(

@@ -1,0 +1,135 @@
+"""Lockstep batched execution of many simulation runs in one process.
+
+The process-pool path in :mod:`repro.sim.batch` parallelises *across*
+runs; this module instead advances many runs *together* in a single
+process.  Every run is the engine's :meth:`~repro.sim.engine.
+SimulationEngine.iter_run` generator, which suspends at each thermal
+step and asks the driver to advance its solver.  The driver collects
+the pending requests of all live runs, groups the compatible ones
+(same stepper class, same shared network, same dt) and services each
+group with one batched BLAS-3 operation via
+:func:`~repro.thermal.solver.step_lockstep`; fast-forward jumps, odd
+time steps and the last survivors of a draining batch are serviced
+individually.  Per-run physics is untouched -- sensing, policy, power
+and accounting all run inside the generators -- so lockstep results
+match :func:`~repro.sim.batch.run_one` to BLAS summation order.
+
+Because runs under DVS change their cycle time independently, grouping
+is re-derived every round from the requests actually pending: runs
+drift apart in simulated time but still batch whenever their current
+step lengths coincide (the common case -- most policies hold the
+nominal frequency for long stretches).
+
+Specs with ``raise_on_violation`` fall back to the serial runner: an
+emergency must abort only its own run, not the whole batch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.results import RunResult
+from repro.thermal.solver import step_lockstep
+
+
+def run_lockstep(specs) -> List[RunResult]:
+    """Execute ``specs`` in lockstep and return results in spec order.
+
+    Equivalent to ``[run_one(s) for s in specs]`` up to BLAS summation
+    order (see module docstring); the wins are shared per-step overhead
+    and matrix-matrix arithmetic across the batch.
+    """
+    from repro.sim.batch import (
+        _build_policy,
+        _default_substrate,
+        _resolve_workload,
+        run_one,
+        steady_state_for,
+    )
+    from repro.sim.engine import SimulationEngine
+
+    specs = list(specs)
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    generators: Dict[int, object] = {}
+    pending: Dict[int, tuple] = {}
+
+    floorplan, hotspot, power_model = _default_substrate()
+    for index, spec in enumerate(specs):
+        if spec.config.raise_on_violation:
+            results[index] = run_one(spec)
+            continue
+        workload = _resolve_workload(spec)
+        initial = spec.initial
+        if initial is None:
+            initial = steady_state_for(workload)
+        engine = SimulationEngine(
+            workload,
+            policy=_build_policy(spec),
+            floorplan=floorplan,
+            hotspot=hotspot,
+            power_model=power_model,
+            config=spec.config,
+            seed=spec.seed,
+        )
+        generator = engine.iter_run(
+            spec.instructions,
+            initial=np.array(initial, dtype=float, copy=True),
+            settle_time_s=spec.settle_time_s,
+        )
+        generators[index] = generator
+        _advance(index, None, generators, pending, results)
+
+    while pending:
+        # Group the pending single-step requests by (stepper class,
+        # network identity, dt); multi-step fast-forwards and groups of
+        # one are serviced through the solver's own methods.
+        groups: Dict[Tuple, List[int]] = {}
+        singles: List[int] = []
+        for index, (solver, _power, dt, count) in pending.items():
+            if count == 1:
+                key = (type(solver), id(solver.network), dt)
+                groups.setdefault(key, []).append(index)
+            else:
+                singles.append(index)
+
+        replies: Dict[int, np.ndarray] = {}
+        for indices in groups.values():
+            if len(indices) == 1:
+                singles.extend(indices)
+                continue
+            solvers = [pending[i][0] for i in indices]
+            powers = [pending[i][1] for i in indices]
+            dt = pending[indices[0]][2]
+            for i, temps in zip(indices, step_lockstep(solvers, powers, dt)):
+                replies[i] = temps
+        for index in singles:
+            solver, power, dt, count = pending[index]
+            if count == 1:
+                replies[index] = solver.step(power, dt, copy=False)
+            else:
+                replies[index] = solver.fast_forward(
+                    power, dt, count, copy=False
+                )
+
+        for index in sorted(replies):
+            _advance(index, replies[index], generators, pending, results)
+
+    return results
+
+
+def _advance(
+    index: int,
+    reply: Optional[np.ndarray],
+    generators: Dict[int, object],
+    pending: Dict[int, tuple],
+    results: List[Optional[RunResult]],
+) -> None:
+    """Resume one run until its next thermal-step request or completion."""
+    try:
+        pending[index] = generators[index].send(reply)
+    except StopIteration as stop:
+        results[index] = stop.value
+        pending.pop(index, None)
+        del generators[index]

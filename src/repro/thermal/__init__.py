@@ -9,8 +9,9 @@ spreader and heat sink are lumped nodes; the sink couples to ambient through
 a convection resistance (1.0 K/W for the paper's low-cost package).
 
 Heat flow is solved with a dense symmetric conductance matrix: steady state
-via a linear solve, transients via backward Euler with one cached matrix
-factorisation per distinct time step.
+via a cached linear factorisation, transients via either the exact
+exponential propagator (default) or backward Euler (regression anchor),
+each with a small LRU of per-time-step operators.
 """
 
 from repro.thermal.materials import COPPER, SILICON, Material
@@ -20,7 +21,14 @@ from repro.thermal.rc_model import (
     build_detailed_thermal_network,
     build_thermal_network,
 )
-from repro.thermal.solver import TransientSolver, steady_state
+from repro.thermal.solver import (
+    STEPPER_BACKWARD_EULER,
+    STEPPER_EXPONENTIAL,
+    ExponentialSolver,
+    TransientSolver,
+    make_transient_solver,
+    steady_state,
+)
 from repro.thermal.hotspot import HotSpotModel
 
 __all__ = [
@@ -33,6 +41,10 @@ __all__ = [
     "build_thermal_network",
     "build_detailed_thermal_network",
     "TransientSolver",
+    "ExponentialSolver",
+    "make_transient_solver",
+    "STEPPER_BACKWARD_EULER",
+    "STEPPER_EXPONENTIAL",
     "steady_state",
     "HotSpotModel",
 ]

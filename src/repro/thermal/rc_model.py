@@ -95,6 +95,42 @@ class ThermalNetwork:
             [index[name] for name in self.block_names], dtype=np.intp
         )
 
+    @cached_property
+    def _conductance_factor(self) -> tuple:
+        """LU factorisation of the conductance matrix, computed once.
+
+        Steady-state solves happen once per transient step in the
+        exponential stepper's fast-forward path and ~40 times per
+        workload in the leakage/temperature warmup fixed point, always
+        against the same matrix; factorising once turns each solve into
+        a pair of triangular substitutions.
+        """
+        from scipy.linalg import lu_factor
+
+        return lu_factor(self.conductance)
+
+    @cached_property
+    def conductance_inverse(self) -> np.ndarray:
+        """Dense inverse of the conductance matrix.
+
+        The network is small (~17 nodes) and well conditioned (Laplacian
+        plus ambient ground), so the explicit inverse is accurate and
+        lets the exponential stepper turn the steady-state solve of its
+        update into a single matvec.
+        """
+        from scipy.linalg import lu_solve
+
+        return lu_solve(self._conductance_factor, np.eye(self.size))
+
+    def solve_steady(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``L x = rhs`` against the cached factorisation."""
+        from scipy.linalg import lu_solve
+
+        solution = lu_solve(self._conductance_factor, rhs)
+        if not np.all(np.isfinite(solution)):  # pragma: no cover - defensive
+            raise ThermalModelError("steady-state solve produced non-finite values")
+        return solution
+
     def index_of(self, name: str) -> int:
         """Row/column index of a node."""
         try:

@@ -162,6 +162,60 @@ class IntervalPerformanceModel:
         self._cpi_cache = (phase, actuation, cpi)
         return cpi
 
+    def run_length(self, cycles: int, actuation: DtmActuation) -> int:
+        """How many consecutive :meth:`advance` calls of ``cycles`` under
+        ``actuation`` are guaranteed to stay inside the current phase on
+        the single-chunk fast path (identical CPI, identical activities,
+        identical per-interval instructions).
+
+        The engine's constant-power fast-forward uses this to size a
+        closed-form jump without crossing a phase boundary; the estimate
+        is strict (the boundary step itself is excluded) so the jumped
+        span is exactly equivalent to the explicit steps.
+        """
+        if cycles <= 0:
+            raise SimulationError("interval length must be > 0")
+        remaining = float(cycles) * actuation.clock_enabled_fraction
+        if remaining <= 1e-9:
+            return 0
+        cpi = self._cpi(self.current_phase, actuation)
+        per_step = remaining / cpi
+        count = int(self._instructions_left / per_step)
+        # advance() only takes the fast path while the interval's
+        # instructions fit *strictly* inside the phase remainder.
+        while count > 0 and count * per_step >= self._instructions_left:
+            count -= 1
+        return count
+
+    def fast_forward(
+        self, cycles: int, actuation: DtmActuation, repeats: int
+    ) -> float:
+        """Advance ``repeats`` identical intervals known to stay in the
+        current phase in O(1); returns the instructions committed *per
+        interval* (all intervals in the span commit the same amount).
+
+        Callers must bound ``repeats`` by :meth:`run_length` first;
+        crossing a phase boundary raises.
+        """
+        if repeats < 1:
+            raise SimulationError("fast-forward needs >= 1 interval")
+        if cycles <= 0:
+            raise SimulationError("interval length must be > 0")
+        remaining = float(cycles) * actuation.clock_enabled_fraction
+        if remaining <= 1e-9:
+            raise SimulationError("cannot fast-forward a fully gated interval")
+        cpi = self._cpi(self.current_phase, actuation)
+        per_step = remaining / cpi
+        total = per_step * repeats
+        if total >= self._instructions_left:
+            raise SimulationError(
+                "fast-forward span crosses a phase boundary; bound repeats "
+                "with run_length()"
+            )
+        self._instructions_left -= total
+        self._total_instructions += total
+        return per_step
+
     def _advance_phase(self) -> None:
         self._phase_index += 1
         if self._phase_index >= len(self._phases):

@@ -1,0 +1,133 @@
+"""Lockstep batched execution versus the serial runner.
+
+``run_many(..., lockstep=True)`` advances a batch's runs together,
+servicing compatible thermal-step requests with one batched BLAS-3
+operation per group.  Per-run physics is untouched, so every statistic
+must match the serial path to BLAS summation order; discrete statistics
+must match exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.batch import RunSpec, run_many
+from repro.sim.config import EngineConfig
+from repro.sim.lockstep import run_lockstep
+
+EXACT_FIELDS = (
+    "instructions",
+    "cycles",
+    "violations",
+    "hottest_block",
+    "dvs_switches",
+    "migrations",
+)
+CLOSE_FIELDS = (
+    "elapsed_s",
+    "time_above_trigger_s",
+    "dvs_low_time_s",
+    "stall_time_s",
+    "mean_gating_fraction",
+    "max_true_temp_c",
+    "mean_power_w",
+)
+
+
+def _specs():
+    # Three policies x two seeds on one workload: the runs share the
+    # thermal substrate and step length, so lockstep actually batches
+    # them (DVS runs drift to other step lengths and regroup on the fly).
+    return [
+        RunSpec(
+            workload="gcc",
+            policy=policy,
+            instructions=1_000_000,
+            settle_time_s=1.0e-4,
+            seed=seed,
+        )
+        for policy in ("none", "FG", "DVS")
+        for seed in (0, 1)
+    ]
+
+
+def _assert_equivalent(result, reference):
+    for field in EXACT_FIELDS:
+        assert getattr(result, field) == getattr(reference, field), field
+    for field in CLOSE_FIELDS:
+        assert getattr(result, field) == pytest.approx(
+            getattr(reference, field), rel=1e-9, abs=1e-12
+        ), field
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return run_many(_specs())
+
+
+class TestLockstepEquivalence:
+    def test_matches_serial_runner(self, serial_results):
+        lockstep = run_many(_specs(), lockstep=True)
+        assert len(lockstep) == len(serial_results)
+        for batched, serial in zip(lockstep, serial_results):
+            _assert_equivalent(batched, serial)
+
+    def test_run_lockstep_direct_entry_point(self, serial_results):
+        for batched, serial in zip(run_lockstep(_specs()), serial_results):
+            _assert_equivalent(batched, serial)
+
+    def test_single_spec_batch(self, serial_results):
+        (result,) = run_many(_specs()[:1], lockstep=True)
+        _assert_equivalent(result, serial_results[0])
+
+    def test_empty_batch(self):
+        assert run_many([], lockstep=True) == []
+
+    def test_explicit_initial_is_respected(self):
+        spec = _specs()[0]
+        (reference,) = run_many([spec])
+        from repro.sim.batch import steady_state_for
+
+        initial = steady_state_for(spec.workload)
+        pinned = RunSpec(
+            workload=spec.workload,
+            policy=spec.policy,
+            instructions=spec.instructions,
+            settle_time_s=spec.settle_time_s,
+            seed=spec.seed,
+            initial=np.asarray(initial),
+        )
+        (result,) = run_many([pinned], lockstep=True)
+        _assert_equivalent(result, reference)
+
+
+class TestRaiseOnViolationFallback:
+    def test_falls_back_to_serial_runner(self, monkeypatch):
+        # An emergency must abort only its own run, so specs with
+        # raise_on_violation are routed through run_one even inside a
+        # lockstep batch.
+        import repro.sim.batch as batch
+
+        routed = []
+        original = batch.run_one
+
+        def counting(spec):
+            routed.append(spec)
+            return original(spec)
+
+        monkeypatch.setattr(batch, "run_one", counting)
+        guarded = RunSpec(
+            workload="mesa",
+            policy="none",
+            instructions=200_000,
+            # mesa's unmanaged steady state sits below the emergency
+            # threshold, so the guarded run completes instead of raising.
+            engine_config=EngineConfig(raise_on_violation=True),
+        )
+        plain = RunSpec(
+            workload="gcc", policy="FG", instructions=200_000
+        )
+        results = run_lockstep([plain, guarded, plain])
+        assert routed == [guarded]
+        assert all(r is not None for r in results)
+        (reference,) = run_many([guarded])
+        _assert_equivalent(results[1], reference)
