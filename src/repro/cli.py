@@ -6,8 +6,14 @@ characterise the suite -- from a shell, without writing harness code::
     python -m repro run --benchmark gzip --policy Hyb
     python -m repro evaluate --dvs-mode stall
     python -m repro sweep --duty-cycles 20 10 5 3 2 1.5
+    python -m repro batch --policies Hyb FG --retries 2 --journal sweep.jsonl
     python -m repro characterise
     python -m repro list
+
+``batch`` runs a benchmark x policy grid under the sweep supervisor:
+per-run timeouts, bounded retries, partial results, and a JSONL journal
+that ``--resume`` can pick up after a crash without re-running finished
+work.
 """
 
 from __future__ import annotations
@@ -128,6 +134,56 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.sim.batch import RunSpec, run_many
+    from repro.sim.supervisor import RunFailure
+
+    specs = [
+        RunSpec(
+            benchmark,
+            policy,
+            instructions=int(args.instructions),
+            settle_time_s=args.settle_ms * 1e-3,
+            dvs_mode=args.dvs_mode,
+        )
+        for benchmark in args.benchmarks
+        for policy in args.policies
+    ]
+    outcomes = run_many(
+        specs,
+        processes=args.processes,
+        timeout_s=args.timeout_s,
+        retries=args.retries,
+        partial_results=args.partial,
+        journal=args.journal,
+        resume=args.resume,
+    )
+
+    rows = []
+    failures = 0
+    for spec, outcome in zip(specs, outcomes):
+        if isinstance(outcome, RunFailure):
+            failures += 1
+            rows.append([
+                spec.workload_name, outcome.policy, "FAILED",
+                f"{outcome.error_type} (x{outcome.attempts})", "-",
+            ])
+        else:
+            rows.append([
+                spec.workload_name, outcome.policy, "ok",
+                outcome.elapsed_s * 1e3, outcome.violations,
+            ])
+    print(render_table(
+        ["benchmark", "policy", "status", "elapsed ms / error",
+         "violations"],
+        rows,
+        title=f"supervised batch ({len(specs)} runs, DVS-{args.dvs_mode})",
+    ))
+    if failures:
+        print(f"{failures}/{len(specs)} runs failed")
+    return 0 if failures == 0 else 1
+
+
 def _cmd_characterise(args: argparse.Namespace) -> int:
     rows = [
         [
@@ -187,6 +243,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(sweep_parser)
 
+    batch_parser = sub.add_parser(
+        "batch",
+        help="run a benchmark x policy grid under the sweep supervisor",
+    )
+    batch_parser.add_argument(
+        "--benchmarks", nargs="+", default=list(SPEC_BENCHMARK_NAMES),
+        choices=SPEC_BENCHMARK_NAMES,
+    )
+    batch_parser.add_argument(
+        "--policies", nargs="+", default=["Hyb"], choices=POLICY_NAMES,
+    )
+    batch_parser.add_argument(
+        "--processes", type=int, default=None,
+        help="worker processes (default: serial in-process)",
+    )
+    batch_parser.add_argument(
+        "--timeout-s", type=float, default=None,
+        help="per-run wall-clock budget in seconds (default: none)",
+    )
+    batch_parser.add_argument(
+        "--retries", type=int, default=0,
+        help="retry attempts per failed run (default %(default)s)",
+    )
+    batch_parser.add_argument(
+        "--partial", action="store_true",
+        help="report failed runs as rows instead of aborting the sweep",
+    )
+    batch_parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="append finished runs to a JSONL journal",
+    )
+    batch_parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="skip runs already recorded in this journal (implies "
+             "appending new finishes to it)",
+    )
+    _add_common(batch_parser)
+
     char_parser = sub.add_parser(
         "characterise", help="unmanaged thermal characterisation"
     )
@@ -199,6 +293,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "evaluate": _cmd_evaluate,
     "sweep": _cmd_sweep,
+    "batch": _cmd_batch,
     "characterise": _cmd_characterise,
 }
 

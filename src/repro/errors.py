@@ -18,6 +18,28 @@ class ThermalModelError(ReproError):
     """The thermal RC network could not be built or solved."""
 
 
+class NumericalError(ThermalModelError):
+    """A transient solve produced a non-finite or divergent temperature
+    and every fallback stepper failed too.
+
+    Carries enough structure (offending block/node, simulated time,
+    stepper that failed last) for a sweep supervisor to log the failure
+    and decide whether to retry the run.
+    """
+
+    def __init__(self, block, time_s, stepper, detail=""):
+        self.block = block
+        self.time_s = time_s
+        self.stepper = stepper
+        message = (
+            f"non-finite/divergent temperature at block {block!r} "
+            f"(t={time_s * 1e3:.3f} ms, stepper={stepper!r})"
+        )
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
 class PowerModelError(ReproError):
     """The power model was configured or queried inconsistently."""
 
@@ -32,6 +54,24 @@ class DtmConfigError(ReproError):
 
 class SimulationError(ReproError):
     """The coupled simulation reached an invalid state."""
+
+
+class SensorFaultError(SimulationError):
+    """The sensor array degraded past the point of usable readings
+    (every sensor dropped out), so the DTM controller is flying blind.
+
+    Raised instead of silently reporting an empty sample: a run without
+    observability must fail loudly, never report zero violations."""
+
+
+class RunTimeoutError(SimulationError):
+    """A supervised run exceeded its per-run wall-clock budget."""
+
+
+class InjectedFaultError(SimulationError):
+    """A deterministic fault injected by a :class:`repro.sim.faults.
+    FaultPlan` fired in-process (the serial stand-in for a worker
+    crash)."""
 
 
 class ThermalViolationError(SimulationError):

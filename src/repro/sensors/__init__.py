@@ -3,9 +3,12 @@
 One sensor per architectural block (paper, Section 3): effective precision
 of 1 degree after averaging, a fixed per-sensor offset of up to 2 degrees,
 and a 10 kHz sampling rate that bounds how fast DTM can observe and react.
+:mod:`repro.sensors.faults` degrades sensors beyond that calibrated model
+(stuck-at, dropout, drifted offset) for robustness studies.
 """
 
 from repro.sensors.sensor import SensorParameters, ThermalSensor
 from repro.sensors.array import SensorArray
+from repro.sensors.faults import SensorFault
 
-__all__ = ["SensorParameters", "ThermalSensor", "SensorArray"]
+__all__ = ["SensorFault", "SensorParameters", "ThermalSensor", "SensorArray"]

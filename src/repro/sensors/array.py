@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Sequence
 
-from repro.errors import SimulationError
+from repro.errors import SensorFaultError, SimulationError
 from repro.floorplan.floorplan import Floorplan
+from repro.sensors.faults import SensorFault
 from repro.sensors.sensor import SensorParameters, ThermalSensor
 from repro.units import KHZ
 
@@ -17,6 +18,14 @@ class SensorArray:
     fresh readings (10 kHz in the paper -- "aggressive but reasonable").
     The array tracks the time of the last sample; :meth:`due` tells the
     simulation engine when the next sample may be taken.
+
+    ``faults`` attaches one :class:`~repro.sensors.faults.SensorFault`
+    per named block (stuck-at, dropout, extra offset; see
+    :mod:`repro.sensors.faults`).  Dropped-out sensors are skipped when
+    sampling -- the controller keeps operating on the survivors -- but
+    an array with *no* live sensor raises
+    :class:`~repro.errors.SensorFaultError` instead of returning an
+    empty (and silently violation-free) sample.
     """
 
     def __init__(
@@ -25,13 +34,29 @@ class SensorArray:
         parameters: Optional[SensorParameters] = None,
         sampling_rate_hz: float = 10.0 * KHZ,
         seed: int = 0,
+        faults: Optional[Sequence[SensorFault]] = None,
     ):
         if sampling_rate_hz <= 0.0:
             raise SimulationError("sampling rate must be > 0")
         self._params = parameters if parameters is not None else SensorParameters()
         self._period_s = 1.0 / sampling_rate_hz
+        by_block: Dict[str, SensorFault] = {}
+        for fault in faults or ():
+            if fault.block not in floorplan.block_names:
+                raise SimulationError(
+                    f"sensor fault names unknown block {fault.block!r}"
+                )
+            if fault.block in by_block:
+                raise SimulationError(
+                    f"block {fault.block!r} has more than one sensor fault"
+                )
+            by_block[fault.block] = fault
         self._sensors: Dict[str, ThermalSensor] = {
-            name: ThermalSensor(self._params, seed=seed * 1009 + index)
+            name: ThermalSensor(
+                self._params,
+                seed=seed * 1009 + index,
+                fault=by_block.get(name),
+            )
             for index, name in enumerate(floorplan.block_names)
         }
         self._last_sample_s = -self._period_s  # first sample due at t = 0
@@ -90,9 +115,16 @@ class SensorArray:
         self._last_sample_s = time_s
         readings: Dict[str, float] = {}
         for name, sensor in self._sensors.items():
+            if not sensor.alive:
+                continue
             if name not in true_temps_c:
                 raise SimulationError(f"no true temperature for block {name!r}")
             readings[name] = sensor.read(true_temps_c[name])
+        if not readings:
+            raise SensorFaultError(
+                "every sensor in the array has dropped out; the DTM "
+                "controller has no thermal observability"
+            )
         return readings
 
     @staticmethod

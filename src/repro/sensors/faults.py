@@ -1,0 +1,79 @@
+"""Sensor fault modes, grounded in the paper's sensor error model.
+
+The paper budgets the trigger/emergency gap for *well-behaved* sensor
+error: Gaussian noise with an effective +/-1 degree precision plus a
+fixed offset of up to 2 degrees (see :mod:`repro.sensors.sensor`).
+Real arrays misbehave beyond that budget -- Rotem et al.'s Core Duo
+characterisation reports sensors that stick, drop out, or drift past
+their calibration band -- and a DTM technique is only credible if the
+harness can reproduce those modes deterministically.  Three modes:
+
+* ``stuck``  -- the sensor reports a constant reading regardless of the
+  true temperature (a latched ADC or a dead diode pinned at a rail);
+* ``dropout`` -- the sensor returns nothing at all; the array serves the
+  remaining sensors, and raises
+  :class:`~repro.errors.SensorFaultError` if *every* sensor is gone;
+* ``offset`` -- an extra fixed offset on top of the calibrated-error
+  model, i.e. a sensor that has drifted outside the paper's +/-2 degree
+  offset bound.
+
+A fault is a frozen value object so it can ride inside a
+:class:`~repro.sim.faults.FaultPlan` through pickling into worker
+processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+SENSOR_FAULT_STUCK = "stuck"
+SENSOR_FAULT_DROPOUT = "dropout"
+SENSOR_FAULT_OFFSET = "offset"
+
+_MODES = (SENSOR_FAULT_STUCK, SENSOR_FAULT_DROPOUT, SENSOR_FAULT_OFFSET)
+
+
+@dataclass(frozen=True)
+class SensorFault:
+    """One faulty sensor: which block, which mode, and the fault value.
+
+    Parameters
+    ----------
+    block:
+        Floorplan block whose sensor misbehaves.
+    mode:
+        ``"stuck"``, ``"dropout"`` or ``"offset"``.
+    value_c:
+        The stuck reading (``stuck``) or the extra offset in degrees
+        (``offset``); ignored for ``dropout``.
+    """
+
+    block: str
+    mode: str
+    value_c: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise SimulationError(
+                f"sensor fault mode must be one of {_MODES}, "
+                f"got {self.mode!r}"
+            )
+        if not self.block:
+            raise SimulationError("sensor fault needs a block name")
+
+    @staticmethod
+    def stuck(block: str, reading_c: float) -> "SensorFault":
+        """A sensor latched at a constant reading."""
+        return SensorFault(block, SENSOR_FAULT_STUCK, reading_c)
+
+    @staticmethod
+    def dropout(block: str) -> "SensorFault":
+        """A sensor that returns no reading at all."""
+        return SensorFault(block, SENSOR_FAULT_DROPOUT)
+
+    @staticmethod
+    def drifted(block: str, extra_offset_c: float) -> "SensorFault":
+        """A sensor whose offset drifted beyond the calibration band."""
+        return SensorFault(block, SENSOR_FAULT_OFFSET, extra_offset_c)

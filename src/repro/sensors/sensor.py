@@ -4,8 +4,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import SimulationError
+from repro.sensors.faults import (
+    SENSOR_FAULT_DROPOUT,
+    SENSOR_FAULT_OFFSET,
+    SENSOR_FAULT_STUCK,
+    SensorFault,
+)
 
 
 @dataclass(frozen=True)
@@ -51,14 +58,27 @@ class ThermalSensor:
 
     The fixed offset is drawn once at construction from the sensor's own
     RNG stream, so a given ``(parameters, seed)`` pair is reproducible.
+
+    An optional :class:`~repro.sensors.faults.SensorFault` degrades the
+    sensor beyond its calibrated error model: ``stuck`` pins the reading
+    to a constant, ``offset`` adds a drift on top of the drawn offset,
+    and ``dropout`` marks the sensor dead (:attr:`alive` is false; the
+    array skips it).  Each sensor owns its RNG stream, so faulting one
+    sensor cannot perturb another sensor's noise sequence.
     """
 
-    def __init__(self, parameters: SensorParameters, seed: int):
+    def __init__(
+        self,
+        parameters: SensorParameters,
+        seed: int,
+        fault: Optional[SensorFault] = None,
+    ):
         self._params = parameters
         self._rng = random.Random(seed)
         self._offset = self._rng.uniform(
             -parameters.max_offset_c, parameters.max_offset_c
         )
+        self._fault = fault
 
     @property
     def parameters(self) -> SensorParameters:
@@ -70,9 +90,31 @@ class ThermalSensor:
         """This sensor's fixed offset in degrees Celsius."""
         return self._offset
 
+    @property
+    def fault(self) -> Optional[SensorFault]:
+        """The injected fault, if any."""
+        return self._fault
+
+    @property
+    def alive(self) -> bool:
+        """False when the sensor has dropped out entirely."""
+        return (
+            self._fault is None or self._fault.mode != SENSOR_FAULT_DROPOUT
+        )
+
     def read(self, true_temp_c: float) -> float:
         """One digitised reading of ``true_temp_c``."""
+        fault = self._fault
+        if fault is not None:
+            if fault.mode == SENSOR_FAULT_STUCK:
+                return fault.value_c
+            if fault.mode == SENSOR_FAULT_DROPOUT:
+                raise SimulationError(
+                    f"sensor on {fault.block!r} has dropped out"
+                )
         value = true_temp_c + self._offset
+        if fault is not None and fault.mode == SENSOR_FAULT_OFFSET:
+            value += fault.value_c
         if self._params.noise_sigma_c > 0.0:
             value += self._rng.gauss(0.0, self._params.noise_sigma_c)
         step = self._params.quantisation_c

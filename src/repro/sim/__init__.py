@@ -9,19 +9,25 @@ stall or delayed-effect window.
 """
 
 from repro.sim.config import EngineConfig
+from repro.sim.faults import FaultPlan
 from repro.sim.results import RunResult
 from repro.sim.warmup import average_block_powers, initial_temperatures
 from repro.sim.engine import SimulationEngine
 from repro.sim.batch import BatchStats, RunSpec, run_many, run_one
+from repro.sim.supervisor import RunFailure, load_journal, spec_digest
 
 __all__ = [
     "BatchStats",
     "EngineConfig",
+    "FaultPlan",
+    "RunFailure",
     "RunResult",
     "RunSpec",
     "SimulationEngine",
     "initial_temperatures",
     "average_block_powers",
+    "load_journal",
     "run_many",
     "run_one",
+    "spec_digest",
 ]

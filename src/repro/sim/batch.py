@@ -19,11 +19,12 @@ benchmarks report thermal steps per second for whole sweeps.
 from __future__ import annotations
 
 import atexit
+import os
 import pickle
+import threading
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -31,7 +32,17 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.sim.config import EngineConfig
+from repro.sim.faults import fire_prerun_faults
 from repro.sim.results import RunResult
+from repro.sim.supervisor import (
+    Outcome,
+    RunFailure,
+    SweepJournal,
+    SweepSupervisor,
+    _SpecState,
+    load_journal,
+    spec_digest,
+)
 from repro.workloads.workload import Workload
 
 DEFAULT_INSTRUCTIONS = 20_000_000
@@ -160,23 +171,69 @@ _POOL_SIZE = 0
 
 def _get_pool(processes: int) -> ProcessPoolExecutor:
     global _POOL, _POOL_SIZE
-    if _POOL is not None and _POOL_SIZE != processes:
-        _POOL.shutdown(wait=False)
-        _POOL = None
+    if _POOL is not None and (
+        _POOL_SIZE != processes or getattr(_POOL, "_broken", False)
+    ):
+        # Never hand out a pool observed broken: a dead worker poisons
+        # every future submitted to it.  Rebuild instead.
+        _shutdown_pool()
     if _POOL is None:
         _POOL = ProcessPoolExecutor(max_workers=processes)
         _POOL_SIZE = processes
     return _POOL
 
 
+# Fork-context workers inherit this module's exit hooks; they must
+# never run the parent's pool teardown (shutting down the forked
+# executor copy deadlocks on locks that were held at fork time and
+# wedges the child, which in turn hangs the parent's exit join).
+_OWNER_PID = os.getpid()
+
+
 def _shutdown_pool() -> None:
+    """Tear the pool down without ever waiting on a wedged worker.
+
+    The worker list is captured *before* ``shutdown()``: the executor's
+    management thread empties ``_processes`` as soon as shutdown begins,
+    so capturing afterwards would terminate nothing.  ``shutdown(
+    wait=False, cancel_futures=True)`` stops new work, and any worker
+    still alive afterwards (stuck in a run that will never finish, or
+    mid-crash) is terminated outright -- a hung child must not be able
+    to hang a rebuild or interpreter exit.
+    """
     global _POOL
-    if _POOL is not None:
-        _POOL.shutdown(wait=False)
-        _POOL = None
+    pool, _POOL = _POOL, None
+    if pool is None or os.getpid() != _OWNER_PID:
+        return
+    workers = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - defensive
+        pass
+    for worker in workers:
+        try:
+            worker.terminate()
+        except Exception:  # pragma: no cover - defensive
+            pass
 
 
-atexit.register(_shutdown_pool)
+def _register_shutdown_hooks() -> None:
+    # concurrent.futures joins its management threads from a
+    # threading-shutdown callback, which runs *before* regular atexit
+    # handlers -- so a plain atexit hook fires too late to stop a wedged
+    # worker from hanging interpreter exit.  Threading-shutdown
+    # callbacks run LIFO and concurrent.futures registered its join at
+    # import time, so registering here (after that import) runs our
+    # teardown first.  The atexit fallback keeps older interpreters
+    # covered; _shutdown_pool is idempotent, so both may fire.
+    try:
+        threading._register_atexit(_shutdown_pool)
+    except Exception:  # pragma: no cover - interpreter-dependent
+        pass
+    atexit.register(_shutdown_pool)
+
+
+_register_shutdown_hooks()
 
 
 def reset_stats() -> None:
@@ -234,6 +291,7 @@ def run_one(spec: RunSpec) -> RunResult:
     """Execute one spec in this process."""
     from repro.sim.engine import SimulationEngine
 
+    fire_prerun_faults(spec.config.fault_plan, spec.seed)
     workload = _resolve_workload(spec)
     initial = spec.initial
     if initial is None:
@@ -291,7 +349,15 @@ def run_many(
     specs: Sequence[RunSpec],
     processes: Optional[int] = None,
     lockstep: bool = False,
-) -> List[RunResult]:
+    *,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    backoff_s: float = 0.1,
+    backoff_max_s: float = 30.0,
+    partial_results: bool = False,
+    journal: Optional[str] = None,
+    resume: Optional[str] = None,
+) -> List[Outcome]:
     """Execute ``specs`` and return their results in spec order.
 
     Parameters
@@ -312,60 +378,117 @@ def run_many(
         worker receives one contiguous chunk of specs and runs it in
         lockstep.  Results match the non-lockstep path to BLAS
         summation order.
+    timeout_s:
+        Per-run wall-clock budget, enforced on the pool path (an
+        overdue run's worker may be wedged, so the pool is rebuilt and
+        unfinished specs are resubmitted).  Serial runs cannot be
+        preempted and ignore it.
+    retries:
+        Attempts allowed *beyond* the first for each failing run, with
+        exponential backoff (``backoff_s`` doubling up to
+        ``backoff_max_s``, plus deterministic jitter seeded from the
+        spec digest).  Because every run is seeded from its spec, a
+        retried run that succeeds is bit-identical to an undisturbed
+        one.  Injected transient faults (:mod:`repro.sim.faults`) are
+        stripped before a retry.
+    partial_results:
+        Instead of raising on the first failed spec, keep going and
+        return a structured :class:`~repro.sim.supervisor.RunFailure`
+        in that spec's position.
+    journal:
+        Path of a JSONL sweep journal; every completed run is appended
+        (spec digest -> result) as it finishes, so an interrupted sweep
+        can be resumed.
+    resume:
+        Path of a journal from an interrupted sweep: specs whose digest
+        already has a recorded result are *not* re-executed, and new
+        completions are appended to the same file (unless ``journal``
+        names a different one).
+
+    Returns
+    -------
+    list
+        One outcome per spec, in spec order: :class:`RunResult`, or
+        :class:`~repro.sim.supervisor.RunFailure` for specs given up on
+        when ``partial_results`` is set.
     """
     specs = list(specs)
     if not specs:
         return []
     started = time.perf_counter()
-    if lockstep:
-        from repro.sim.lockstep import run_lockstep
 
-        runner: Callable = run_lockstep
-    else:
-        runner = None  # type: ignore[assignment]
-    if processes is not None and processes > 1:
-        specs = _precompute_warmups(specs)
-        unpicklable = _first_unpicklable(specs)
-        if unpicklable is not None:
-            warnings.warn(
-                f"spec #{unpicklable} is not picklable (lambda policy "
-                f"factory? use functools.partial); running the batch "
-                f"serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            results = (
-                runner(specs) if lockstep else [run_one(s) for s in specs]
-            )
+    journal_path = journal if journal is not None else resume
+    completed = load_journal(resume) if resume is not None else {}
+
+    # Digest before warmup precomputation: serial and pooled sweeps must
+    # agree on each spec's identity.
+    outcomes: List[Optional[Outcome]] = [None] * len(specs)
+    items: List = []
+    for index, spec in enumerate(specs):
+        digest = spec_digest(spec)
+        if digest in completed:
+            outcomes[index] = completed[digest]
         else:
-            if lockstep:
-                chunks = _chunk_evenly(specs, processes)
-                try:
-                    chunked = list(_get_pool(processes).map(runner, chunks))
-                except BrokenProcessPool:
-                    _shutdown_pool()
-                    chunked = list(_get_pool(processes).map(runner, chunks))
-                results = [result for chunk in chunked for result in chunk]
+            items.append((index, _SpecState(spec=spec, digest=digest)))
+
+    supervisor = SweepSupervisor(
+        timeout_s=timeout_s,
+        retries=retries,
+        backoff_s=backoff_s,
+        backoff_max_s=backoff_max_s,
+        partial_results=partial_results,
+        journal=SweepJournal(journal_path) if journal_path else None,
+    )
+    try:
+        if items:
+            parallel = processes is not None and processes > 1
+            if parallel:
+                for _, state in items:
+                    if state.spec.initial is None:
+                        state.spec = replace(
+                            state.spec,
+                            initial=steady_state_for(state.spec.workload),
+                        )
+                unpicklable = _first_unpicklable(
+                    [state.spec for _, state in items]
+                )
+                if unpicklable is not None:
+                    warnings.warn(
+                        f"spec #{unpicklable} is not picklable (lambda "
+                        f"policy factory? use functools.partial); running "
+                        f"the batch serially",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    parallel = False
+            if parallel and lockstep:
+                supervisor.run_lockstep_pool(items, outcomes, processes)
+            elif parallel:
+                supervisor.run_pool(items, outcomes, processes)
+            elif lockstep:
+                supervisor.run_lockstep_serial(items, outcomes)
             else:
-                try:
-                    results = list(_get_pool(processes).map(run_one, specs))
-                except BrokenProcessPool:
-                    # A worker died (e.g. OOM-killed); rebuild the pool
-                    # and retry the batch once before giving up.
-                    _shutdown_pool()
-                    results = list(_get_pool(processes).map(run_one, specs))
-    elif lockstep:
-        results = runner(specs)
-    else:
-        results = [run_one(spec) for spec in specs]
-    wall = time.perf_counter() - started
-    _TOTALS.runs += len(results)
-    _TOTALS.wall_s += wall
-    for spec, result in zip(specs, results):
-        _TOTALS.thermal_steps += (
-            result.cycles / spec.config.thermal_step_cycles
+                supervisor.run_serial(items, outcomes)
+    finally:
+        if supervisor.journal is not None:
+            supervisor.journal.close()
+
+    missing = [i for i, outcome in enumerate(outcomes) if outcome is None]
+    if missing:  # pragma: no cover - supervisor invariant violation
+        raise SimulationError(
+            f"sweep supervision lost specs {missing}: every spec must "
+            f"end as a result, a failure record, or a raised error"
         )
-    return results
+
+    wall = time.perf_counter() - started
+    _TOTALS.runs += len(outcomes)
+    _TOTALS.wall_s += wall
+    for spec, outcome in zip(specs, outcomes):
+        if isinstance(outcome, RunResult):
+            _TOTALS.thermal_steps += (
+                outcome.cycles / spec.config.thermal_step_cycles
+            )
+    return outcomes
 
 
 def _first_unpicklable(specs: Sequence[RunSpec]) -> Optional[int]:

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import SimulationError
+from repro.sim.faults import FaultPlan
 
 DVS_MODE_STALL = "stall"
 DVS_MODE_IDEAL = "ideal"
@@ -70,6 +72,10 @@ class EngineConfig:
         The temperature error of freezing the power over a span is
         bounded by this tolerance times the worst-case thermal
         resistance (~3 K/W), i.e. microkelvins at the default.
+    fault_plan:
+        Deterministic faults to inject into matching runs (worker
+        crashes, delays, solver corruption, sensor degradation; see
+        :mod:`repro.sim.faults`).  ``None`` (default) runs clean.
     """
 
     thermal_step_cycles: int = 10_000
@@ -83,6 +89,7 @@ class EngineConfig:
     thermal_stepper: str = THERMAL_STEPPER_EXPM
     fast_forward: bool = True
     fast_forward_power_tol_w: float = 1.0e-3
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.thermal_step_cycles < 100:
@@ -109,3 +116,9 @@ class EngineConfig:
             )
         if self.fast_forward_power_tol_w < 0.0:
             raise SimulationError("fast-forward power tolerance must be >= 0")
+        if self.fault_plan is not None and not isinstance(
+            self.fault_plan, FaultPlan
+        ):
+            raise SimulationError(
+                f"fault_plan must be a FaultPlan, got {self.fault_plan!r}"
+            )

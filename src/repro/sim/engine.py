@@ -65,10 +65,23 @@ class SimulationEngine:
         self._power = (
             power_model if power_model is not None else PowerModel(self._floorplan)
         )
+        self._config = config if config is not None else EngineConfig()
+        self._seed = seed
+        # A fault plan's sensor degradation applies to the default array
+        # of targeted runs only; an explicitly injected array is the
+        # caller's responsibility.
+        plan = self._config.fault_plan
+        sensor_faults = (
+            plan.sensor_faults
+            if plan is not None and plan.targets(seed)
+            else ()
+        )
         self._sensors = (
             sensors
             if sensors is not None
-            else SensorArray(self._floorplan, seed=seed)
+            else SensorArray(
+                self._floorplan, seed=seed, faults=sensor_faults or None
+            )
         )
         self._policy = policy if policy is not None else NoDtmPolicy(
             self._power.technology.vdd_nominal
@@ -76,7 +89,6 @@ class SimulationEngine:
         self._thresholds = (
             thresholds if thresholds is not None else ThermalThresholds()
         )
-        self._config = config if config is not None else EngineConfig()
         self._tech = self._power.technology
         self._vf = self._power.vf_curve
         network = self._hotspot.network
@@ -285,6 +297,22 @@ class SimulationEngine:
             and isinstance(solver, ExponentialSolver)
             and trace is None
         )
+        # Deterministic solver-corruption fault: poison the power vector
+        # at one configured execution step so the solver's numerical
+        # guards (and the sweep supervisor above) are exercised end to
+        # end.  Counts execution steps only, like the plan documents.
+        plan = self._config.fault_plan
+        if (
+            plan is not None
+            and plan.targets(self._seed)
+            and plan.corrupt_power_at_step is not None
+        ):
+            fault_corrupt_step: Optional[int] = plan.corrupt_power_at_step
+            fault_poison = plan.poison
+        else:
+            fault_corrupt_step = None
+            fault_poison = 0.0
+        exec_steps = 0
         ff_tol = self._config.fast_forward_power_tol_w
         ff_prev_power = np.empty(network.size)
         ff_prev_actuation: Optional[DtmActuation] = None
@@ -513,6 +541,13 @@ class SimulationEngine:
                 step_power = network.power_vector(powers)
                 power_sum = float(sum(powers.values()))
 
+            if fault_corrupt_step is not None and exec_steps == fault_corrupt_step:
+                # Poison a copy: the shared power buffer must stay clean
+                # for any later (post-recovery) steps.
+                step_power = np.array(step_power, dtype=float, copy=True)
+                step_power[0] = fault_poison
+            exec_steps += 1
+
             temps_vec = yield (solver, step_power, dt, 1)
             block_temps = temps_vec[node_idx]
 
@@ -574,7 +609,10 @@ class SimulationEngine:
                 append_trace()
 
             # --- constant-power fast-forward -------------------------------
-            if ff_enabled:
+            # A solver that has fallen back to backward Euler after a
+            # numerical-health trip loses fast-forward eligibility for
+            # the rest of the run (the expm operators are suspect).
+            if ff_enabled and not solver.fallback_active:
                 stable = (
                     actuation is ff_prev_actuation
                     and dt == ff_prev_dt

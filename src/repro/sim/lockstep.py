@@ -49,6 +49,7 @@ def run_lockstep(specs) -> List[RunResult]:
         steady_state_for,
     )
     from repro.sim.engine import SimulationEngine
+    from repro.sim.faults import fire_prerun_faults
 
     specs = list(specs)
     results: List[Optional[RunResult]] = [None] * len(specs)
@@ -56,65 +57,81 @@ def run_lockstep(specs) -> List[RunResult]:
     pending: Dict[int, tuple] = {}
 
     floorplan, hotspot, power_model = _default_substrate()
-    for index, spec in enumerate(specs):
-        if spec.config.raise_on_violation:
-            results[index] = run_one(spec)
-            continue
-        workload = _resolve_workload(spec)
-        initial = spec.initial
-        if initial is None:
-            initial = steady_state_for(workload)
-        engine = SimulationEngine(
-            workload,
-            policy=_build_policy(spec),
-            floorplan=floorplan,
-            hotspot=hotspot,
-            power_model=power_model,
-            config=spec.config,
-            seed=spec.seed,
-        )
-        generator = engine.iter_run(
-            spec.instructions,
-            initial=np.array(initial, dtype=float, copy=True),
-            settle_time_s=spec.settle_time_s,
-        )
-        generators[index] = generator
-        _advance(index, None, generators, pending, results)
-
-    while pending:
-        # Group the pending single-step requests by (stepper class,
-        # network identity, dt); multi-step fast-forwards and groups of
-        # one are serviced through the solver's own methods.
-        groups: Dict[Tuple, List[int]] = {}
-        singles: List[int] = []
-        for index, (solver, _power, dt, count) in pending.items():
-            if count == 1:
-                key = (type(solver), id(solver.network), dt)
-                groups.setdefault(key, []).append(index)
-            else:
-                singles.append(index)
-
-        replies: Dict[int, np.ndarray] = {}
-        for indices in groups.values():
-            if len(indices) == 1:
-                singles.extend(indices)
+    try:
+        for index, spec in enumerate(specs):
+            if spec.config.raise_on_violation:
+                results[index] = run_one(spec)
                 continue
-            solvers = [pending[i][0] for i in indices]
-            powers = [pending[i][1] for i in indices]
-            dt = pending[indices[0]][2]
-            for i, temps in zip(indices, step_lockstep(solvers, powers, dt)):
-                replies[i] = temps
-        for index in singles:
-            solver, power, dt, count = pending[index]
-            if count == 1:
-                replies[index] = solver.step(power, dt, copy=False)
-            else:
-                replies[index] = solver.fast_forward(
-                    power, dt, count, copy=False
-                )
+            fire_prerun_faults(spec.config.fault_plan, spec.seed)
+            workload = _resolve_workload(spec)
+            initial = spec.initial
+            if initial is None:
+                initial = steady_state_for(workload)
+            engine = SimulationEngine(
+                workload,
+                policy=_build_policy(spec),
+                floorplan=floorplan,
+                hotspot=hotspot,
+                power_model=power_model,
+                config=spec.config,
+                seed=spec.seed,
+            )
+            generator = engine.iter_run(
+                spec.instructions,
+                initial=np.array(initial, dtype=float, copy=True),
+                settle_time_s=spec.settle_time_s,
+            )
+            generators[index] = generator
+            _advance(index, None, generators, pending, results)
 
-        for index in sorted(replies):
-            _advance(index, replies[index], generators, pending, results)
+        while pending:
+            # Group the pending single-step requests by (stepper class,
+            # network identity, dt); multi-step fast-forwards and groups of
+            # one are serviced through the solver's own methods.
+            groups: Dict[Tuple, List[int]] = {}
+            singles: List[int] = []
+            for index, (solver, _power, dt, count) in pending.items():
+                if count == 1:
+                    key = (type(solver), id(solver.network), dt)
+                    groups.setdefault(key, []).append(index)
+                else:
+                    singles.append(index)
+
+            replies: Dict[int, np.ndarray] = {}
+            for indices in groups.values():
+                if len(indices) == 1:
+                    singles.extend(indices)
+                    continue
+                solvers = [pending[i][0] for i in indices]
+                powers = [pending[i][1] for i in indices]
+                dt = pending[indices[0]][2]
+                for i, temps in zip(
+                    indices, step_lockstep(solvers, powers, dt)
+                ):
+                    replies[i] = temps
+            for index in singles:
+                solver, power, dt, count = pending[index]
+                if count == 1:
+                    replies[index] = solver.step(power, dt, copy=False)
+                else:
+                    replies[index] = solver.fast_forward(
+                        power, dt, count, copy=False
+                    )
+
+            for index in sorted(replies):
+                _advance(index, replies[index], generators, pending, results)
+    finally:
+        # One run failing (or the driver itself raising) must not leak
+        # the other runs' suspended generators: close them all so their
+        # engines unwind now, not at a garbage collection of unknowable
+        # timing.  On clean completion the dict is already empty.
+        for generator in generators.values():
+            try:
+                generator.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        generators.clear()
+        pending.clear()
 
     return results
 

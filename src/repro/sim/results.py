@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
 from repro.errors import SimulationError
@@ -66,6 +66,29 @@ class RunResult:
     def violation_free(self) -> bool:
         """True when the emergency threshold was never exceeded."""
         return self.violations == 0
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """All scalar fields as a JSON-serialisable mapping.
+
+        The trace (if any) is dropped: the sweep journal stores run
+        outcomes, not per-step time series.
+        """
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "trace"
+        }
+
+    @staticmethod
+    def from_json_dict(data: Dict[str, object]) -> "RunResult":
+        """Rebuild a (traceless) result from :meth:`to_json_dict` output.
+
+        Unknown keys are ignored so a journal written by a newer version
+        with extra fields still loads; missing keys raise ``TypeError``
+        as a corrupt-journal signal.
+        """
+        known = {f.name for f in fields(RunResult) if f.name != "trace"}
+        return RunResult(**{k: v for k, v in data.items() if k in known})
 
     def summary(self) -> Dict[str, float]:
         """Compact numeric summary for tables."""

@@ -34,11 +34,33 @@ import numpy as np
 from scipy.linalg import expm, lu_factor
 from scipy.linalg.lapack import get_lapack_funcs
 
-from repro.errors import ThermalModelError
+from repro.errors import NumericalError, ThermalModelError
 from repro.thermal.rc_model import ThermalNetwork
 
 STEPPER_BACKWARD_EULER = "be"
 STEPPER_EXPONENTIAL = "expm"
+
+DIVERGENCE_LIMIT_C = 1.0e4
+"""Any node magnitude beyond this (in Celsius) counts as divergence: no
+physical trajectory of the package leaves [-100, 500] C, so 10^4 flags
+blow-ups early while never tripping on a legitimate transient.  NaN and
+Inf fail the same comparison, so one vector predicate covers all three
+health hazards."""
+
+
+def _healthy(values: np.ndarray) -> bool:
+    """True when every entry is finite and within the divergence limit."""
+    return bool(np.all(np.abs(values) < DIVERGENCE_LIMIT_C))
+
+
+def _bad_node_name(network: ThermalNetwork, values: np.ndarray) -> str:
+    """Name of the first unhealthy node (a block name where possible)."""
+    bad = np.where(~(np.abs(values) < DIVERGENCE_LIMIT_C))[0]
+    index = int(bad[0]) if bad.size else 0
+    for name, node in zip(network.block_names, network.block_node_indices):
+        if int(node) == index:
+            return name
+    return f"node{index}"
 
 FACTOR_CACHE_SIZE = 64
 """Per-dt operator cache bound (LU factors / propagators): multi-step or
@@ -112,7 +134,16 @@ class TransientSolver:
     :meth:`step` once per power sample.  Factorisations of ``C/dt + L`` are
     cached per dt (rounded to femtosecond granularity) since a DTM run uses
     only a handful of distinct frequencies.
+
+    Every step is health-checked (finite and within
+    :data:`DIVERGENCE_LIMIT_C`); backward Euler is the last-resort
+    stepper, so an unhealthy result raises
+    :class:`~repro.errors.NumericalError` directly.
     """
+
+    #: Interface parity with :class:`ExponentialSolver`: backward Euler
+    #: has no further fallback, so this never becomes true.
+    fallback_active = False
 
     def __init__(self, network: ThermalNetwork, initial: np.ndarray):
         if initial.shape != (network.size,):
@@ -186,6 +217,12 @@ class TransientSolver:
         solution, info = getrs(lu, piv, rhs, overwrite_b=1)
         if info != 0:  # pragma: no cover - defensive
             raise ThermalModelError(f"transient solve failed (info={info})")
+        if not _healthy(solution):
+            raise NumericalError(
+                _bad_node_name(self._network, solution),
+                self._time_s,
+                STEPPER_BACKWARD_EULER,
+            )
         self._temps = solution
         self._rhs = solution
         self._time_s += dt
@@ -251,6 +288,10 @@ class ExponentialSolver:
         self._inv_c_sqrt = 1.0 / self._c_sqrt
         self._modes: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._time_s = 0.0
+        #: Set when a numerical-health trip forced a backward-Euler
+        #: recovery; the engine then disables fast-forward for the rest
+        #: of the run (the exponential operators are suspect).
+        self.fallback_active = False
 
     @property
     def network(self) -> ThermalNetwork:
@@ -340,10 +381,18 @@ class ExponentialSolver:
         Returns the new temperature vector -- a copy by default; with
         ``copy=False`` the solver's own state array is returned (it is
         overwritten two steps later, so read what you need before
-        advancing)."""
+        advancing).
+
+        An unhealthy result (NaN/Inf or past
+        :data:`DIVERGENCE_LIMIT_C`) triggers a backward-Euler recovery
+        from the pre-step state (:attr:`fallback_active` is then set);
+        :class:`~repro.errors.NumericalError` is raised only when the
+        fallback fails too."""
         self._check_step(power, dt)
         a_d, b_d = self._propagator(dt)
         self._apply(a_d, b_d, power)
+        if not _healthy(self._temps):
+            self._recover(power, dt, 1)
         self._time_s += dt
         return self._temps.copy() if copy else self._temps
 
@@ -353,14 +402,54 @@ class ExponentialSolver:
         """Jump ``steps`` consecutive ``dt`` steps of constant ``power``
         in closed form: exactly equivalent to calling :meth:`step`
         ``steps`` times with the same arguments (up to last-ulp matrix
-        association order)."""
+        association order).  Health-guarded like :meth:`step` (recovery
+        re-integrates the span with backward Euler)."""
         self._check_step(power, dt)
         if steps < 1:
             raise ThermalModelError(f"fast-forward needs >= 1 step, got {steps}")
         a_k, b_k = self._propagator_power(dt, steps)
         self._apply(a_k, b_k, power)
+        if not _healthy(self._temps):
+            self._recover(power, dt, steps)
         self._time_s += steps * dt
         return self._temps.copy() if copy else self._temps
+
+    def _recover(self, power: np.ndarray, dt: float, steps: int) -> None:
+        """Re-integrate the failed span with backward Euler.
+
+        After :meth:`_apply`'s buffer swap, ``self._out`` still holds
+        the pre-step state; recovery restarts from it.  Raises
+        :class:`~repro.errors.NumericalError` when the pre-step state or
+        the power vector is already corrupt, or when backward Euler
+        also produces an unhealthy result -- i.e. only when *both*
+        steppers have failed."""
+        previous = self._out
+        if not _healthy(previous):
+            raise NumericalError(
+                _bad_node_name(self._network, previous),
+                self._time_s,
+                STEPPER_EXPONENTIAL,
+                detail="pre-step state already corrupt",
+            )
+        if not np.all(np.isfinite(power)):
+            raise NumericalError(
+                _bad_node_name(self._network, power),
+                self._time_s,
+                f"{STEPPER_EXPONENTIAL}->{STEPPER_BACKWARD_EULER}",
+                detail="power vector is non-finite",
+            )
+        fallback = TransientSolver(self._network, previous)
+        try:
+            for _ in range(steps):
+                recovered = fallback.step(power, dt, copy=False)
+        except NumericalError as exc:
+            raise NumericalError(
+                exc.block,
+                self._time_s + exc.time_s,
+                f"{STEPPER_EXPONENTIAL}->{STEPPER_BACKWARD_EULER}",
+            ) from exc
+        self._temps[:] = recovered
+        self.fallback_active = True
 
     def _mode_basis(self) -> Tuple[np.ndarray, np.ndarray]:
         """Eigendecomposition of the whitened operator
@@ -419,6 +508,7 @@ class ExponentialSolver:
             )
         self._temps = np.array(temperatures, dtype=float, copy=True)
         self._time_s = 0.0
+        self.fallback_active = False
 
 
 def step_lockstep(solvers, powers, dt: float):
@@ -460,9 +550,23 @@ def step_lockstep(solvers, powers, dt: float):
             np.add(power, solver._ambient_source, out=u_rows[i])
         out = t_rows @ a_d.T
         out += u_rows @ b_d.T
-        for i, solver in enumerate(solvers):
-            solver._temps[:] = out[i]
-            solver._time_s += dt
+        if _healthy(out):
+            for i, solver in enumerate(solvers):
+                solver._temps[:] = out[i]
+                solver._time_s += dt
+        else:
+            # One or more runs went unhealthy: adopt the healthy rows,
+            # and push each unhealthy run through its own solver's
+            # guarded step (backward-Euler recovery, or NumericalError
+            # when that fails too).  The solvers' states are untouched
+            # so far, so the individual re-step sees the pre-step state.
+            row_ok = np.all(np.abs(out) < DIVERGENCE_LIMIT_C, axis=1)
+            for i, solver in enumerate(solvers):
+                if row_ok[i]:
+                    solver._temps[:] = out[i]
+                    solver._time_s += dt
+                else:
+                    solver.step(powers[i], dt, copy=False)
     else:
         lu, piv, c_over_dt, getrs = first._factorisation(dt)
         rhs = np.empty((size, count), order="F")
@@ -475,7 +579,15 @@ def step_lockstep(solvers, powers, dt: float):
         if info != 0:  # pragma: no cover - defensive
             raise ThermalModelError(f"lockstep solve failed (info={info})")
         for i, solver in enumerate(solvers):
-            solver._temps[:] = solution[:, i]
+            column = solution[:, i]
+            if not _healthy(column):
+                # Backward Euler is the last resort: no recovery path.
+                raise NumericalError(
+                    _bad_node_name(network, column),
+                    solver._time_s,
+                    STEPPER_BACKWARD_EULER,
+                )
+            solver._temps[:] = column
             solver._time_s += dt
     return [solver._temps for solver in solvers]
 

@@ -1,0 +1,175 @@
+"""Sensor fault modes: stuck-at, dropout, extra offset."""
+
+import pytest
+
+from repro.errors import SensorFaultError, SimulationError
+from repro.floorplan.alpha21364 import build_alpha21364_floorplan
+from repro.sensors import SensorArray, SensorParameters, ThermalSensor
+from repro.sensors.faults import SensorFault
+from repro.sim import EngineConfig, FaultPlan, RunSpec, run_one
+
+FAST_N = 1_500_000
+
+
+class TestSensorFault:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(SimulationError):
+            SensorFault(block="IntReg", mode="melted")
+
+    def test_constructors(self):
+        assert SensorFault.stuck("a", 40.0).mode == "stuck"
+        assert SensorFault.dropout("a").mode == "dropout"
+        assert SensorFault.drifted("a", 3.0).mode == "offset"
+
+
+class TestFaultedSensor:
+    def test_stuck_pins_reading(self):
+        sensor = ThermalSensor(
+            SensorParameters(), seed=0, fault=SensorFault.stuck("a", 42.5)
+        )
+        assert sensor.read(95.0) == 42.5
+        assert sensor.read(20.0) == 42.5
+        assert sensor.alive
+
+    def test_dropout_is_dead(self):
+        sensor = ThermalSensor(
+            SensorParameters(), seed=0, fault=SensorFault.dropout("a")
+        )
+        assert not sensor.alive
+        with pytest.raises(SimulationError):
+            sensor.read(80.0)
+
+    def test_extra_offset_shifts_reading(self):
+        params = SensorParameters.ideal()
+        clean = ThermalSensor(params, seed=0)
+        drifted = ThermalSensor(
+            params, seed=0, fault=SensorFault.drifted("a", 3.0)
+        )
+        assert drifted.read(80.0) == pytest.approx(clean.read(80.0) + 3.0)
+
+    def test_fault_does_not_perturb_noise_stream(self):
+        # The drawn offset comes from the sensor's own RNG; attaching a
+        # fault must not shift the stream.
+        clean = ThermalSensor(SensorParameters(), seed=7)
+        faulted = ThermalSensor(
+            SensorParameters(), seed=7, fault=SensorFault.drifted("a", 0.0)
+        )
+        assert clean.offset_c == faulted.offset_c
+        assert clean.read(80.0) == pytest.approx(faulted.read(80.0))
+
+
+class TestFaultedArray:
+    def _floorplan(self):
+        return build_alpha21364_floorplan()
+
+    def test_rejects_unknown_block(self):
+        with pytest.raises(SimulationError):
+            SensorArray(
+                self._floorplan(),
+                faults=[SensorFault.stuck("NoSuchBlock", 40.0)],
+            )
+
+    def test_rejects_duplicate_block(self):
+        with pytest.raises(SimulationError):
+            SensorArray(
+                self._floorplan(),
+                faults=[
+                    SensorFault.stuck("IntReg", 40.0),
+                    SensorFault.dropout("IntReg"),
+                ],
+            )
+
+    def test_dropped_sensor_is_skipped(self):
+        floorplan = self._floorplan()
+        array = SensorArray(
+            floorplan, faults=[SensorFault.dropout("IntReg")]
+        )
+        temps = {name: 70.0 for name in floorplan.block_names}
+        readings = array.sample(temps, time_s=0.0)
+        assert "IntReg" not in readings
+        assert len(readings) == len(floorplan.block_names) - 1
+
+    def test_all_dropped_raises_typed_error(self):
+        floorplan = self._floorplan()
+        array = SensorArray(
+            floorplan,
+            faults=[
+                SensorFault.dropout(name) for name in floorplan.block_names
+            ],
+        )
+        temps = {name: 95.0 for name in floorplan.block_names}
+        with pytest.raises(SensorFaultError):
+            array.sample(temps, time_s=0.0)
+
+
+class TestEngineUnderSensorFaults:
+    """The paper's DTM loop driven through a degraded sensor array."""
+
+    # The per-sensor offsets are drawn from the spec seed; this seed
+    # gives a neighbouring sensor (IntQ, ~81.7 C true) a positive
+    # offset, so the trigger is observable through the survivors when
+    # the hottest block's own sensor is lost.
+    SEED = 11
+
+    def _spec(self, faults, policy="FG", seed=SEED):
+        return RunSpec(
+            workload="gcc",
+            policy=policy,
+            instructions=FAST_N,
+            settle_time_s=1.0e-4,
+            seed=seed,
+            engine_config=EngineConfig(
+                fault_plan=FaultPlan(sensor_faults=tuple(faults))
+            ),
+        )
+
+    def test_stuck_hottest_sensor_still_trips_trigger(self):
+        # gcc's hottest block is IntReg.  Stick its sensor far below the
+        # 81.8 C trigger: the neighbouring sensors still read hot, so
+        # fetch gating must engage anyway -- the array's redundancy is
+        # the whole point of per-block sensing.
+        result = run_one(
+            self._spec([SensorFault.stuck("IntReg", 40.0)])
+        )
+        assert result.mean_gating_fraction > 0.0
+        assert result.time_above_trigger_s > 0.0
+
+    def test_stuck_sensor_weakens_but_does_not_blind_control(self):
+        clean = run_one(self._spec([]))
+        stuck = run_one(
+            self._spec([SensorFault.stuck("IntReg", 40.0)])
+        )
+        # Control still responds, but observing the hottest block only
+        # through its neighbours cannot gate more than direct sight.
+        assert 0.0 < stuck.mean_gating_fraction <= clean.mean_gating_fraction
+
+    def test_fully_dropped_array_raises_not_zero_violations(self):
+        floorplan = build_alpha21364_floorplan()
+        faults = [
+            SensorFault.dropout(name) for name in floorplan.block_names
+        ]
+        with pytest.raises(SensorFaultError):
+            run_one(self._spec(faults))
+
+    def test_sensor_faults_only_hit_targeted_seeds(self):
+        fault = SensorFault.stuck("IntReg", 40.0)
+        plan = FaultPlan(seeds=(99,), sensor_faults=(fault,))
+        spec = RunSpec(
+            workload="gcc",
+            policy="FG",
+            instructions=FAST_N,
+            settle_time_s=1.0e-4,
+            seed=0,
+            engine_config=EngineConfig(fault_plan=plan),
+        )
+        clean_spec = RunSpec(
+            workload="gcc",
+            policy="FG",
+            instructions=FAST_N,
+            settle_time_s=1.0e-4,
+            seed=0,
+        )
+        targeted = run_one(spec)
+        clean = run_one(clean_spec)
+        assert targeted.elapsed_s == clean.elapsed_s
+        assert targeted.max_true_temp_c == clean.max_true_temp_c

@@ -1,0 +1,93 @@
+"""Deterministic fault-injection plans."""
+
+import time
+
+import pytest
+
+from repro.errors import InjectedFaultError, SimulationError
+from repro.sensors.faults import SensorFault
+from repro.sim.faults import (
+    CORRUPT_INF,
+    CORRUPT_NAN,
+    FaultPlan,
+    fire_prerun_faults,
+    in_worker_process,
+)
+
+
+class TestFaultPlan:
+    def test_defaults_are_harmless(self):
+        plan = FaultPlan()
+        assert not plan.has_transient_faults
+        assert plan.targets(0) and plan.targets(123)
+
+    def test_empty_seeds_target_every_run(self):
+        plan = FaultPlan(crash_worker=True)
+        assert plan.targets(0) and plan.targets(7)
+
+    def test_seed_targeting(self):
+        plan = FaultPlan(seeds=(2, 5), crash_worker=True)
+        assert plan.targets(2) and plan.targets(5)
+        assert not plan.targets(0) and not plan.targets(3)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(delay_s=-0.1)
+
+    def test_rejects_unknown_corruption(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(corruption="zero")
+
+    def test_rejects_negative_corruption_step(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(corrupt_power_at_step=-1)
+
+    def test_poison_values(self):
+        import math
+
+        assert math.isnan(FaultPlan(corruption=CORRUPT_NAN).poison)
+        assert math.isinf(FaultPlan(corruption=CORRUPT_INF).poison)
+
+    def test_transient_detection(self):
+        assert FaultPlan(crash_worker=True).has_transient_faults
+        assert FaultPlan(delay_s=0.5).has_transient_faults
+        assert FaultPlan(corrupt_power_at_step=3).has_transient_faults
+        sensor_only = FaultPlan(
+            sensor_faults=(SensorFault.dropout("IntReg"),)
+        )
+        assert not sensor_only.has_transient_faults
+
+    def test_transient_cleared_drops_pure_harness_plans(self):
+        plan = FaultPlan(crash_worker=True, corrupt_power_at_step=1)
+        assert plan.transient_cleared() is None
+
+    def test_transient_cleared_keeps_sensor_faults(self):
+        fault = SensorFault.stuck("IntReg", 40.0)
+        plan = FaultPlan(
+            seeds=(3,), crash_worker=True, sensor_faults=(fault,)
+        )
+        cleared = plan.transient_cleared()
+        assert cleared is not None
+        assert not cleared.has_transient_faults
+        assert cleared.sensor_faults == (fault,)
+        assert cleared.seeds == (3,)  # targeting survives
+
+
+class TestFirePrerunFaults:
+    def test_none_plan_is_noop(self):
+        fire_prerun_faults(None, 0)
+
+    def test_untargeted_seed_is_noop(self):
+        fire_prerun_faults(FaultPlan(seeds=(9,), crash_worker=True), 0)
+
+    def test_crash_raises_serially(self):
+        # The test process is not a pool worker, so the crash fault must
+        # raise instead of killing the interpreter.
+        assert not in_worker_process()
+        with pytest.raises(InjectedFaultError):
+            fire_prerun_faults(FaultPlan(crash_worker=True), 0)
+
+    def test_delay_sleeps(self):
+        start = time.monotonic()
+        fire_prerun_faults(FaultPlan(delay_s=0.05), 0)
+        assert time.monotonic() - start >= 0.04

@@ -100,6 +100,49 @@ class TestLockstepEquivalence:
         _assert_equivalent(result, reference)
 
 
+class TestGeneratorCleanup:
+    def test_failure_closes_all_live_generators(self, monkeypatch):
+        # One run failing mid-sweep must close every other run's
+        # suspended iter_run generator, not leave it to be finalised at
+        # some arbitrary garbage collection.
+        from repro.errors import NumericalError
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.faults import FaultPlan
+
+        captured = []
+        original = SimulationEngine.iter_run
+
+        def capturing(self, *args, **kwargs):
+            generator = original(self, *args, **kwargs)
+            captured.append(generator)
+            return generator
+
+        monkeypatch.setattr(SimulationEngine, "iter_run", capturing)
+
+        poisoned = RunSpec(
+            workload="gcc",
+            policy="none",
+            instructions=1_000_000,
+            seed=1,
+            engine_config=EngineConfig(
+                fault_plan=FaultPlan(corrupt_power_at_step=3)
+            ),
+        )
+        healthy = [
+            RunSpec(
+                workload="gcc",
+                policy="none",
+                instructions=1_000_000,
+                seed=seed,
+            )
+            for seed in (0, 2)
+        ]
+        with pytest.raises(NumericalError):
+            run_lockstep([healthy[0], poisoned, healthy[1]])
+        assert len(captured) == 3
+        assert all(gen.gi_frame is None for gen in captured)
+
+
 class TestRaiseOnViolationFallback:
     def test_falls_back_to_serial_runner(self, monkeypatch):
         # An emergency must abort only its own run, so specs with
