@@ -18,6 +18,9 @@ usual harness knobs (``REPRO_BENCH_INSTRUCTIONS``,
 repository root: per-bench wall time, simulated thermal steps,
 steps/second and the rendered result table, plus the harness
 configuration -- the CI artifact consumed by performance tracking.
+Every ``--json`` run additionally appends a one-line record (config +
+overall steps/s) to ``BENCH_trajectory.jsonl`` at the repository root,
+building a cumulative throughput history across commits.
 """
 
 from __future__ import annotations
@@ -42,6 +45,7 @@ from _helpers import (
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_JSON_PATH = REPO_ROOT / "BENCH_results.json"
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_trajectory.jsonl"
 
 # name -> (module, _run positional args, saved-table name)
 BENCHES: Dict[str, Tuple[str, tuple, str]] = {
@@ -137,6 +141,17 @@ def main(argv: List[str] = None) -> int:
         path = Path(options.json)
         path.write_text(json.dumps(summary, indent=2) + "\n")
         print(f"[summary written to {path}]")
+        entry = {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+            "config": config,
+            "benches": names,
+            "total_wall_s": summary["total_wall_s"],
+            "total_thermal_steps": total_steps,
+            "overall_steps_per_second": summary["overall_steps_per_second"],
+        }
+        with TRAJECTORY_PATH.open("a") as handle:
+            handle.write(json.dumps(entry) + "\n")
+        print(f"[trajectory appended to {TRAJECTORY_PATH}]")
     return 0
 
 

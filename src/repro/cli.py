@@ -19,7 +19,12 @@ work.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import importlib
+import os
+import pstats
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.experiments import t4_benchmark_characterisation
@@ -34,7 +39,12 @@ from repro.core.evaluation import (
 from repro.core.metrics import slowdown_factor
 from repro.core.policies import POLICY_NAMES, make_policy
 from repro.sim.config import EngineConfig
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import (
+    STEP_TIMING_ENV,
+    SimulationEngine,
+    reset_step_timers,
+    step_timers,
+)
 from repro.workloads.spec import SPEC_BENCHMARK_NAMES, build_benchmark
 
 
@@ -207,6 +217,67 @@ def _cmd_characterise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    if not (bench_dir / "run_all.py").is_file():
+        print(
+            f"error: benchmark harness not found at {bench_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    if str(bench_dir) not in sys.path:
+        sys.path.insert(0, str(bench_dir))
+    run_all = importlib.import_module("run_all")
+
+    # Per-section timers are cheap enough to leave on for the whole
+    # harness; they power the breakdown table printed below.
+    os.environ[STEP_TIMING_ENV] = "1"
+    reset_step_timers()
+
+    harness_argv: List[str] = []
+    if args.only:
+        harness_argv.extend(["--only", *args.only])
+
+    profiler = cProfile.Profile() if args.profile else None
+    if profiler is not None:
+        profiler.enable()
+    try:
+        code = run_all.main(harness_argv)
+    finally:
+        if profiler is not None:
+            profiler.disable()
+
+    timers = step_timers()
+    if timers:
+        total = sum(seconds for seconds, _ in timers.values())
+        rows = [
+            [
+                section,
+                round(seconds, 3),
+                calls,
+                round(1e6 * seconds / calls, 1) if calls else 0.0,
+                round(100.0 * seconds / total, 1) if total else 0.0,
+            ]
+            for section, (seconds, calls) in sorted(
+                timers.items(), key=lambda item: -item[1][0]
+            )
+        ]
+        print()
+        print(render_table(
+            ["section", "seconds", "calls", "us/call", "% timed"],
+            rows,
+            title="per-phase step timing",
+        ))
+
+    if profiler is not None:
+        print("\n[cProfile: top functions by total time]")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.strip_dirs().sort_stats("tottime").print_stats(
+            args.profile_limit
+        )
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -285,6 +356,25 @@ def build_parser() -> argparse.ArgumentParser:
         "characterise", help="unmanaged thermal characterisation"
     )
     _add_common(char_parser)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="run the benchmark harness with a per-phase step-timing "
+             "breakdown (and optionally cProfile)",
+    )
+    bench_parser.add_argument(
+        "--only", nargs="+", default=None, metavar="BENCH",
+        help="run only these benches (names from benchmarks/run_all.py)",
+    )
+    bench_parser.add_argument(
+        "--profile", action="store_true",
+        help="run the harness under cProfile and print the hottest "
+             "functions afterwards",
+    )
+    bench_parser.add_argument(
+        "--profile-limit", type=int, default=25, metavar="N",
+        help="number of cProfile rows to print (default %(default)s)",
+    )
     return parser
 
 
@@ -295,6 +385,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "batch": _cmd_batch,
     "characterise": _cmd_characterise,
+    "bench": _cmd_bench,
 }
 
 

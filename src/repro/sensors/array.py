@@ -4,11 +4,22 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Sequence
 
+import numpy as np
+
 from repro.errors import SensorFaultError, SimulationError
 from repro.floorplan.floorplan import Floorplan
 from repro.sensors.faults import SensorFault
 from repro.sensors.sensor import SensorParameters, ThermalSensor
 from repro.units import KHZ
+
+NOISE_CHUNK = 64
+"""Gaussian noise values pre-drawn per sensor on the *first* refill of
+the vectorized sampling path (see :meth:`SensorArray.sample_vector`).
+Each refill doubles the chunk up to :data:`NOISE_CHUNK_MAX`, so short
+runs do not over-draw while long runs amortise the refill overhead."""
+
+NOISE_CHUNK_MAX = 1024
+"""Upper bound on the geometric noise-chunk growth."""
 
 
 class SensorArray:
@@ -60,6 +71,17 @@ class SensorArray:
             for index, name in enumerate(floorplan.block_names)
         }
         self._last_sample_s = -self._period_s  # first sample due at t = 0
+        self._names = tuple(self._sensors)
+        self._has_faults = bool(by_block)
+        # Vectorized-path state, built lazily on first sample_vector():
+        # per-sensor fixed offsets and a (n, NOISE_CHUNK) buffer of
+        # pre-drawn Gaussian noise.  Each column refill draws from the
+        # sensors' own RNG streams in block order, so the per-sensor
+        # noise sequence is bit-identical to on-demand scalar reads.
+        self._offsets: Optional[np.ndarray] = None
+        self._noise_buf: Optional[np.ndarray] = None
+        self._noise_cursor = 0
+        self._noise_chunk = NOISE_CHUNK
 
     @property
     def parameters(self) -> SensorParameters:
@@ -74,7 +96,14 @@ class SensorArray:
     @property
     def block_names(self) -> tuple:
         """Blocks covered by the array."""
-        return tuple(self._sensors)
+        return self._names
+
+    @property
+    def vector_eligible(self) -> bool:
+        """True when :meth:`sample_vector` reproduces :meth:`sample`
+        exactly: no injected sensor faults (stuck/offset/dropout
+        handling stays on the scalar path)."""
+        return not self._has_faults
 
     def offset_of(self, block: str) -> float:
         """Fixed offset of one block's sensor."""
@@ -112,6 +141,14 @@ class SensorArray:
                 f"sensor sample at t={time_s * 1e6:.1f} us violates the "
                 f"{self._period_s * 1e6:.0f} us sampling period"
             )
+        if self._noise_buf is not None:
+            # sample_vector() pre-draws noise, so a scalar read here
+            # would consume values out of order and silently diverge
+            # from the pure-scalar noise sequence.
+            raise SimulationError(
+                "cannot mix sample() and sample_vector() on one array: "
+                "the vectorized path has pre-drawn noise in flight"
+            )
         self._last_sample_s = time_s
         readings: Dict[str, float] = {}
         for name, sensor in self._sensors.items():
@@ -126,6 +163,70 @@ class SensorArray:
                 "controller has no thermal observability"
             )
         return readings
+
+    def _refill_noise(self) -> np.ndarray:
+        """Draw the next chunk of Gaussians from every sensor's RNG.
+
+        Pre-drawing in chunks amortises the per-call Python overhead of
+        the scalar path while consuming exactly the same values from
+        exactly the same per-sensor streams: column ``j`` of the buffer
+        holds each sensor's ``j``-th future draw.  The chunk doubles on
+        every refill (64 up to 1024) so the draws wasted at the end of a
+        run stay bounded relative to the draws consumed.
+        """
+        chunk = self._noise_chunk
+        self._noise_buf = buf = np.empty((len(self._names), chunk))
+        self._noise_chunk = min(chunk * 2, NOISE_CHUNK_MAX)
+        sigma = self._params.noise_sigma_c
+        for i, sensor in enumerate(self._sensors.values()):
+            gauss = sensor._rng.gauss
+            buf[i, :] = [gauss(0.0, sigma) for _ in range(chunk)]
+        self._noise_cursor = 0
+        return buf
+
+    def sample_vector(
+        self, true_temps_c: np.ndarray, time_s: float
+    ) -> Dict[str, float]:
+        """Read every sensor once from a temperature *vector*.
+
+        The fast-path form of :meth:`sample` for the simulation engine:
+        ``true_temps_c`` holds the block temperatures in
+        :attr:`block_names` order, and the whole array is read with a
+        handful of NumPy operations.  Readings are bit-identical to the
+        scalar path -- same offsets, same per-sensor noise streams
+        (pre-drawn in chunks), same round-half-even quantisation --
+        which the equivalence tests assert.  Only valid on a fault-free
+        array (:attr:`vector_eligible`); faulted arrays keep the scalar
+        path's per-sensor handling.
+        """
+        if self._has_faults:
+            raise SimulationError(
+                "sample_vector is only valid on a fault-free array; "
+                "use sample() so per-sensor faults apply"
+            )
+        if not self.due(time_s):
+            raise SimulationError(
+                f"sensor sample at t={time_s * 1e6:.1f} us violates the "
+                f"{self._period_s * 1e6:.0f} us sampling period"
+            )
+        self._last_sample_s = time_s
+        if self._offsets is None:
+            self._offsets = np.array(
+                [sensor._offset for sensor in self._sensors.values()]
+            )
+        values = true_temps_c + self._offsets
+        if self._params.noise_sigma_c > 0.0:
+            buf = self._noise_buf
+            if buf is None or self._noise_cursor >= buf.shape[1]:
+                buf = self._refill_noise()
+            values += buf[:, self._noise_cursor]
+            self._noise_cursor += 1
+        step = self._params.quantisation_c
+        if step > 0.0:
+            values /= step
+            np.round(values, out=values)
+            values *= step
+        return dict(zip(self._names, values.tolist()))
 
     @staticmethod
     def max_reading(readings: Mapping[str, float]) -> float:

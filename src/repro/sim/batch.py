@@ -236,6 +236,27 @@ def _register_shutdown_hooks() -> None:
 _register_shutdown_hooks()
 
 
+# The sweep context of the run_many call currently driving the pool
+# (None -> classic per-spec pickle dispatch).  run_many is not
+# reentrant across threads, matching the rest of this module's globals.
+_ACTIVE_CONTEXT = None
+
+
+def _pool_submit(pool, index: int, spec):
+    """Submit one spec to the pool via the active shared-memory context
+    when there is one, else the classic pickle path."""
+    if _ACTIVE_CONTEXT is not None:
+        return _ACTIVE_CONTEXT.submit(pool, index, spec)
+    return pool.submit(run_one, spec)
+
+
+def _pool_resolve(raw):
+    """Translate a worker reply (shm result stub or full result)."""
+    if _ACTIVE_CONTEXT is not None:
+        return _ACTIVE_CONTEXT.resolve(raw)
+    return raw
+
+
 def reset_stats() -> None:
     """Zero the batch throughput counters."""
     global _TOTALS
@@ -464,7 +485,24 @@ def run_many(
             if parallel and lockstep:
                 supervisor.run_lockstep_pool(items, outcomes, processes)
             elif parallel:
-                supervisor.run_pool(items, outcomes, processes)
+                # Zero-copy dispatch: the sweep's immutable context goes
+                # into one shared-memory segment, workers attach once and
+                # receive integer indices, numeric results come back in a
+                # preallocated shared table.  create_context returns None
+                # (pickle fallback) when disabled or unavailable.
+                from repro.sim.shm import create_context
+
+                slots: List[Optional[RunSpec]] = [None] * len(specs)
+                for index, state in items:
+                    slots[index] = state.spec
+                global _ACTIVE_CONTEXT
+                context = _ACTIVE_CONTEXT = create_context(slots)
+                try:
+                    supervisor.run_pool(items, outcomes, processes)
+                finally:
+                    _ACTIVE_CONTEXT = None
+                    if context is not None:
+                        context.close()
             elif lockstep:
                 supervisor.run_lockstep_serial(items, outcomes)
             else:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
@@ -16,6 +17,24 @@ POWER_PATH_MAPPING = "mapping"
 
 THERMAL_STEPPER_BE = "be"
 THERMAL_STEPPER_EXPM = "expm"
+
+COMPILED_TRACE_ON = "on"
+COMPILED_TRACE_OFF = "off"
+COMPILED_TRACE_VERIFY = "verify"
+
+COMPILED_TRACE_ENV = "REPRO_COMPILED_TRACE"
+"""Environment default for :attr:`EngineConfig.compiled_trace`:
+``1``/``on`` (default), ``0``/``off``, or ``verify``."""
+
+_COMPILED_ALIASES = {
+    "1": COMPILED_TRACE_ON,
+    "on": COMPILED_TRACE_ON,
+    "true": COMPILED_TRACE_ON,
+    "0": COMPILED_TRACE_OFF,
+    "off": COMPILED_TRACE_OFF,
+    "false": COMPILED_TRACE_OFF,
+    "verify": COMPILED_TRACE_VERIFY,
+}
 
 
 @dataclass(frozen=True)
@@ -76,6 +95,17 @@ class EngineConfig:
         Deterministic faults to inject into matching runs (worker
         crashes, delays, solver corruption, sensor degradation; see
         :mod:`repro.sim.faults`).  ``None`` (default) runs clean.
+    compiled_trace:
+        ``"on"`` -- lower the workload's phase schedule to contiguous
+        arrays once per run and drive the hot loop from them
+        (:mod:`repro.workloads.compiler`); ``"off"`` -- the interpreted
+        per-step path, kept as the numerical reference; ``"verify"`` --
+        compiled, but every fast-path activity vector is re-derived
+        through the interpreted model and compared bit for bit.
+        ``None`` (default) defers to the ``REPRO_COMPILED_TRACE``
+        environment variable (default ``on``).  The compiled path is
+        bit-identical to the interpreted one by construction; see
+        docs/MODELING.md section 7.
     """
 
     thermal_step_cycles: int = 10_000
@@ -90,6 +120,22 @@ class EngineConfig:
     fast_forward: bool = True
     fast_forward_power_tol_w: float = 1.0e-3
     fault_plan: Optional[FaultPlan] = None
+    compiled_trace: Optional[str] = None
+
+    def resolved_compiled_trace(self) -> str:
+        """The effective compiled-trace mode: the explicit field if set,
+        else the ``REPRO_COMPILED_TRACE`` environment variable, else
+        ``"on"``."""
+        if self.compiled_trace is not None:
+            return self.compiled_trace
+        raw = os.environ.get(COMPILED_TRACE_ENV, COMPILED_TRACE_ON)
+        mode = _COMPILED_ALIASES.get(raw.strip().lower())
+        if mode is None:
+            raise SimulationError(
+                f"{COMPILED_TRACE_ENV} must be one of "
+                f"on/off/verify (or 1/0), got {raw!r}"
+            )
+        return mode
 
     def __post_init__(self) -> None:
         if self.thermal_step_cycles < 100:
@@ -121,4 +167,13 @@ class EngineConfig:
         ):
             raise SimulationError(
                 f"fault_plan must be a FaultPlan, got {self.fault_plan!r}"
+            )
+        if self.compiled_trace is not None and self.compiled_trace not in (
+            COMPILED_TRACE_ON,
+            COMPILED_TRACE_OFF,
+            COMPILED_TRACE_VERIFY,
+        ):
+            raise SimulationError(
+                f"compiled_trace must be 'on', 'off', 'verify' or None, "
+                f"got {self.compiled_trace!r}"
             )

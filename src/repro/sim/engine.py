@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import os
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -14,13 +16,149 @@ from repro.floorplan.alpha21364 import build_alpha21364_floorplan
 from repro.floorplan.floorplan import Floorplan
 from repro.power.model import PowerModel
 from repro.sensors.array import SensorArray
-from repro.sim.config import DVS_MODE_STALL, POWER_PATH_VECTOR, EngineConfig
+from repro.sim.config import (
+    COMPILED_TRACE_OFF,
+    COMPILED_TRACE_VERIFY,
+    DVS_MODE_STALL,
+    POWER_PATH_VECTOR,
+    EngineConfig,
+)
 from repro.sim.results import RunResult, TracePoint
 from repro.sim.warmup import initial_temperatures
 from repro.thermal.hotspot import HotSpotModel
 from repro.thermal.package import ThermalPackage
 from repro.uarch.interval import DtmActuation, IntervalPerformanceModel
+from repro.workloads.compiler import CompiledIntervalModel, compile_workload
 from repro.workloads.workload import Workload
+
+STEP_TIMING_ENV = "REPRO_STEP_TIMING"
+"""Set to ``1`` to accumulate a coarse per-section step-timing
+breakdown (sense / policy / perf / power / thermal) into module-level
+counters, read back with :func:`step_timers`.  Used by
+``python -m repro bench --profile``; off by default because the
+wrappers add a few microseconds per call."""
+
+_STEP_TIMERS: Dict[str, float] = {}
+_STEP_COUNTS: Dict[str, int] = {}
+
+
+def step_timing_enabled() -> bool:
+    """True when the ``REPRO_STEP_TIMING`` breakdown is switched on."""
+    return os.environ.get(STEP_TIMING_ENV, "") not in ("", "0")
+
+
+def _note_time(section: str, seconds: float) -> None:
+    _STEP_TIMERS[section] = _STEP_TIMERS.get(section, 0.0) + seconds
+    _STEP_COUNTS[section] = _STEP_COUNTS.get(section, 0) + 1
+
+
+def _timed(section: str, fn):
+    """Wrap a hot-loop callable so its cumulative time and call count
+    land in the step timers.  Only installed when timing is enabled, so
+    the normal hot loop carries no instrumentation branches at all."""
+
+    def wrapper(*args, **kwargs):
+        t0 = perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            _note_time(section, perf_counter() - t0)
+
+    return wrapper
+
+
+def step_timers() -> Dict[str, Tuple[float, int]]:
+    """Accumulated ``{section: (seconds, calls)}`` since the last reset."""
+    return {
+        name: (_STEP_TIMERS[name], _STEP_COUNTS.get(name, 0))
+        for name in _STEP_TIMERS
+    }
+
+
+def reset_step_timers() -> None:
+    """Zero the step-timing accumulators."""
+    _STEP_TIMERS.clear()
+    _STEP_COUNTS.clear()
+
+
+class TraceBuffer:
+    """Growable chunked column store for the per-step trace.
+
+    ``record_trace`` runs used to append one :class:`TracePoint`
+    dataclass per thermal step -- hundreds of thousands of small Python
+    objects per run.  This buffer stores the numeric columns in
+    preallocated array chunks (the hottest block as its index into the
+    engine's block order) and materialises the ``TracePoint`` list once
+    at the end of the run.
+
+    The class-level ``created`` counter exists for the regression test
+    asserting that runs with tracing *disabled* never construct a
+    buffer (zero trace-buffer growth on the default path).
+    """
+
+    CHUNK = 4096
+    COLUMNS = 7  # time, hot index, hot temp, gating, voltage, enabled, instr
+
+    created = 0
+
+    def __init__(self, block_names: Tuple[str, ...]):
+        type(self).created += 1
+        self._block_names = block_names
+        self._chunks: List[np.ndarray] = []
+        self._fill = TraceBuffer.CHUNK  # force a chunk on first append
+
+    def append(
+        self,
+        time_s: float,
+        hot_index: int,
+        hot_temp_c: float,
+        gating_fraction: float,
+        voltage: float,
+        clock_enabled_fraction: float,
+        instructions: float,
+    ) -> None:
+        fill = self._fill
+        if fill == TraceBuffer.CHUNK:
+            self._chunks.append(
+                np.empty((TraceBuffer.CHUNK, TraceBuffer.COLUMNS))
+            )
+            fill = 0
+        row = self._chunks[-1][fill]
+        row[0] = time_s
+        row[1] = hot_index
+        row[2] = hot_temp_c
+        row[3] = gating_fraction
+        row[4] = voltage
+        row[5] = clock_enabled_fraction
+        row[6] = instructions
+        self._fill = fill + 1
+
+    def __len__(self) -> int:
+        if not self._chunks:
+            return 0
+        return (len(self._chunks) - 1) * TraceBuffer.CHUNK + self._fill
+
+    def points(self) -> List[TracePoint]:
+        """Materialise the stored rows as :class:`TracePoint` objects."""
+        names = self._block_names
+        out: List[TracePoint] = []
+        last = len(self._chunks) - 1
+        for index, chunk in enumerate(self._chunks):
+            rows = self._fill if index == last else TraceBuffer.CHUNK
+            for r in range(rows):
+                row = chunk[r]
+                out.append(
+                    TracePoint(
+                        time_s=float(row[0]),
+                        hottest_block=names[int(row[1])],
+                        hottest_temp_c=float(row[2]),
+                        gating_fraction=float(row[3]),
+                        voltage=float(row[4]),
+                        clock_enabled_fraction=float(row[5]),
+                        instructions=float(row[6]),
+                    )
+                )
+        return out
 
 
 class SimulationEngine:
@@ -178,6 +316,20 @@ class SimulationEngine:
         """
         steps = self.iter_run(instructions, initial, settle_time_s)
         reply: Optional[np.ndarray] = None
+        if step_timing_enabled():
+            try:
+                while True:
+                    solver, power, dt, count = steps.send(reply)
+                    t0 = perf_counter()
+                    if count == 1:
+                        reply = solver.step(power, dt, copy=False)
+                    else:
+                        reply = solver.fast_forward(
+                            power, dt, count, copy=False
+                        )
+                    _note_time("thermal", perf_counter() - t0)
+            except StopIteration as stop:
+                return stop.value
         try:
             while True:
                 solver, power, dt, count = steps.send(reply)
@@ -220,7 +372,6 @@ class SimulationEngine:
         solver = make_transient_solver(
             network, solver_temps, self._config.thermal_stepper
         )
-        perf = IntervalPerformanceModel(self._workload.phases, loop=True)
         self._policy.reset()
 
         block_names = self._block_names
@@ -228,6 +379,23 @@ class SimulationEngine:
         pos = self._block_pos
         node_idx = self._node_idx
         use_vector = self._config.power_path == POWER_PATH_VECTOR
+        # Compiled step pipeline: lower the workload's phase schedule to
+        # contiguous arrays once per run and drive the loop from reused
+        # CompiledSample activity vectors (bit-identical to the
+        # interpreted path; see repro/workloads/compiler.py).  The
+        # mapping power path keeps the interpreted model -- it consumes
+        # per-block dicts by design.
+        trace_mode = self._config.resolved_compiled_trace()
+        compiled = use_vector and trace_mode != COMPILED_TRACE_OFF
+        verify_compiled = trace_mode == COMPILED_TRACE_VERIFY
+        if compiled:
+            schedule = compile_workload(self._workload, block_names)
+            perf: IntervalPerformanceModel = CompiledIntervalModel(
+                schedule, loop=True, verify=verify_compiled
+            )
+        else:
+            schedule = None
+            perf = IntervalPerformanceModel(self._workload.phases, loop=True)
 
         nominal_v = self._tech.vdd_nominal
         command = DtmCommand(gating_fraction=0.0, voltage=nominal_v)
@@ -253,7 +421,7 @@ class SimulationEngine:
         gating_time_weighted = 0.0
         energy_j = 0.0
         no_progress_steps = 0
-        trace = [] if self._config.record_trace else None
+        trace = TraceBuffer(block_names) if self._config.record_trace else None
         actuation: Optional[DtmActuation] = None
         actuation_cmd: Optional[DtmCommand] = None
         actuation_f_rel = -1.0
@@ -279,9 +447,34 @@ class SimulationEngine:
         f_nominal = self._tech.frequency_nominal
         power_vector_fn = self._power.block_powers_vector
         perf_advance = perf.advance
+        # Vectorized sensor sampling: the whole array is read with a few
+        # NumPy ops straight from the block-temperature buffer, bit-
+        # identical to per-sensor scalar reads.  Faulted arrays (and
+        # injected arrays in a different block order) keep the scalar
+        # path with its per-sensor fault handling.
+        vector_sensors = (
+            use_vector
+            and self._sensors.vector_eligible
+            and tuple(self._sensors.block_names) == tuple(block_names)
+        )
+        sensors_sample_vector = (
+            self._sensors.sample_vector if vector_sensors else None
+        )
+        timing = step_timing_enabled()
+        if timing:
+            sensors_sample = _timed("sense", sensors_sample)
+            if sensors_sample_vector is not None:
+                sensors_sample_vector = _timed("sense", sensors_sample_vector)
+            policy_update = _timed("policy", policy_update)
+            power_vector_fn = _timed("power", power_vector_fn)
+            perf_advance = _timed("perf", perf_advance)
 
         temps_vec = solver.temperatures
-        block_temps = temps_vec[node_idx]
+        # Preallocated buffers reused every step: block temperatures are
+        # gathered with np.take(..., out=) instead of fancy indexing, so
+        # the steady-state loop allocates no per-step arrays at all.
+        block_temps = np.empty(n_blocks)
+        temps_vec.take(node_idx, out=block_temps)
         act_vec = np.zeros(n_blocks)
         zero_acts = np.zeros(n_blocks)
         power_buffer = np.zeros(network.size)
@@ -315,6 +508,7 @@ class SimulationEngine:
         exec_steps = 0
         ff_tol = self._config.fast_forward_power_tol_w
         ff_prev_power = np.empty(network.size)
+        ff_scratch = np.empty(network.size)
         ff_prev_actuation: Optional[DtmActuation] = None
         ff_prev_dt = -1.0
         # The interval model memoizes its activity dicts, so the same
@@ -374,20 +568,18 @@ class SimulationEngine:
 
         def append_trace() -> None:
             # Callers guard on ``trace is not None`` so the common
-            # no-trace run pays no call at all.
-            if trace is not None:
-                k = int(np.argmax(block_temps))
-                trace.append(
-                    TracePoint(
-                        time_s=time_s,
-                        hottest_block=block_names[k],
-                        hottest_temp_c=float(block_temps[k]),
-                        gating_fraction=command.gating_fraction,
-                        voltage=voltage,
-                        clock_enabled_fraction=command.clock_enabled_fraction,
-                        instructions=done,
-                    )
-                )
+            # no-trace run pays no call at all; rows land in the chunked
+            # TraceBuffer, not per-step Python objects.
+            k = int(np.argmax(block_temps))
+            trace.append(
+                time_s,
+                k,
+                float(block_temps[k]),
+                command.gating_fraction,
+                voltage,
+                command.clock_enabled_fraction,
+                done,
+            )
 
         def stalled_substep(dt_sub: float):
             """Advance the thermal state through a stall window (DVS
@@ -395,11 +587,11 @@ class SimulationEngine:
             accounting and trace coverage.  A sub-generator: callers
             ``yield from`` it so the thermal step is serviced by the
             outer driver like any other."""
-            nonlocal temps_vec, block_temps, time_s, stall_s, ff_prev_actuation
+            nonlocal time_s, stall_s, ff_prev_actuation
             ff_prev_actuation = None
             power, power_sum = idle_step_power()
-            temps_vec = yield (solver, power, dt_sub, 1)
-            block_temps = temps_vec[node_idx]
+            stepped = yield (solver, power, dt_sub, 1)
+            stepped.take(node_idx, out=block_temps)
             time_s += dt_sub
             if measuring:
                 stall_s += dt_sub
@@ -410,7 +602,10 @@ class SimulationEngine:
         while done < instructions:
             # --- sensing and policy -------------------------------------------
             if sensors_due(time_s):
-                readings = sensors_sample(block_temps_mapping(), time_s)
+                if sensors_sample_vector is not None:
+                    readings = sensors_sample_vector(block_temps, time_s)
+                else:
+                    readings = sensors_sample(block_temps_mapping(), time_s)
                 new_command = policy_update(
                     readings, time_s, sampling_period_s
                 )
@@ -475,19 +670,24 @@ class SimulationEngine:
                         clock_gate = gate_vec
                 else:
                     clock_gate = command.clock_enabled_fraction
-                acts_map = sample.activities
-                entry = act_cache.get(id(acts_map))
-                if entry is not None and entry[0] is acts_map:
-                    step_acts = entry[1]
+                if compiled:
+                    # The compiled model already produced the activity
+                    # vector in block order (cached and read-only).
+                    step_acts = sample.acts
                 else:
-                    step_acts = np.zeros(n_blocks)
-                    for name, value in acts_map.items():
-                        p = pos.get(name)
-                        if p is not None:
-                            step_acts[p] = value
-                    if len(act_cache) >= 2048:
-                        act_cache.clear()
-                    act_cache[id(acts_map)] = (acts_map, step_acts)
+                    acts_map = sample.activities
+                    entry = act_cache.get(id(acts_map))
+                    if entry is not None and entry[0] is acts_map:
+                        step_acts = entry[1]
+                    else:
+                        step_acts = np.zeros(n_blocks)
+                        for name, value in acts_map.items():
+                            p = pos.get(name)
+                            if p is not None:
+                                step_acts[p] = value
+                        if len(act_cache) >= 2048:
+                            act_cache.clear()
+                        act_cache[id(acts_map)] = (acts_map, step_acts)
                 if command.migration is not None:
                     source, target, fraction = command.migration
                     try:
@@ -549,7 +749,7 @@ class SimulationEngine:
             exec_steps += 1
 
             temps_vec = yield (solver, step_power, dt, 1)
-            block_temps = temps_vec[node_idx]
+            temps_vec.take(node_idx, out=block_temps)
 
             # --- accounting ----------------------------------------------------
             if sample.instructions <= 0.0:
@@ -596,10 +796,18 @@ class SimulationEngine:
                     # Measure the same instruction window for every
                     # technique (the paper's fixed SimPoint sample): the
                     # settle lead-in warms the *thermal* state only.
-                    perf = IntervalPerformanceModel(
-                        self._workload.phases, loop=True
+                    if compiled:
+                        perf = CompiledIntervalModel(
+                            schedule, loop=True, verify=verify_compiled
+                        )
+                    else:
+                        perf = IntervalPerformanceModel(
+                            self._workload.phases, loop=True
+                        )
+                    perf_advance = (
+                        _timed("perf", perf.advance) if timing
+                        else perf.advance
                     )
-                    perf_advance = perf.advance
                     # The step's sample came from the settle-phase model;
                     # force an explicit step before any fast-forward so
                     # jump sizing uses the fresh measurement model.
@@ -619,9 +827,13 @@ class SimulationEngine:
                     and sample.instructions > 0.0
                     and pending_voltage is None
                     and done < instructions
-                    and float(np.max(np.abs(step_power - ff_prev_power)))
-                    <= ff_tol
                 )
+                if stable:
+                    # Allocation-free |step - prev| max via a reused
+                    # scratch vector (same doubles, same comparison).
+                    np.subtract(step_power, ff_prev_power, out=ff_scratch)
+                    np.abs(ff_scratch, out=ff_scratch)
+                    stable = float(ff_scratch.max()) <= ff_tol
                 ff_prev_power[:] = step_power
                 ff_prev_actuation = actuation
                 ff_prev_dt = dt
@@ -689,7 +901,7 @@ class SimulationEngine:
                             step_cycles, actuation, k
                         )
                         temps_vec = yield (solver, step_power, dt, k)
-                        block_temps = temps_vec[node_idx]
+                        temps_vec.take(node_idx, out=block_temps)
                         span_s = k * dt
                         time_s += span_s
                         if measuring:
@@ -730,5 +942,5 @@ class SimulationEngine:
             mean_gating_fraction=gating_time_weighted / max(elapsed_s, 1e-12),
             mean_power_w=energy_j / max(elapsed_s, 1e-12),
             migrations=migrations,
-            trace=trace,
+            trace=trace.points() if trace is not None else None,
         )

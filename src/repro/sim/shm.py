@@ -1,0 +1,409 @@
+"""Zero-copy sweep dispatch over POSIX shared memory.
+
+The pool path of :func:`repro.sim.batch.run_many` used to pickle one
+full :class:`~repro.sim.batch.RunSpec` per submitted run -- workload,
+policy factory, engine configuration and the warmup temperature vector
+-- and pickle one full :class:`~repro.sim.results.RunResult` back.  For
+sweep-heavy reproductions (every figure is a grid of runs over a shared
+substrate) almost all of that traffic is identical between specs.
+
+This module moves the shared part out of the per-task pickle stream:
+
+* :class:`SweepContext` packs the sweep's *immutable context* -- the
+  deduplicated engine configurations, workloads, policy factories,
+  per-spec scalar deltas and the deduplicated warmup temperature
+  vectors -- into a single :class:`multiprocessing.shared_memory`
+  segment, written once by the parent;
+* workers attach the segment read-only (cached per process, so a
+  worker maps it once per sweep, not once per run) and rebuild each
+  spec from an integer index -- the per-task payload is just
+  ``(descriptor, index)``;
+* numeric results return through a preallocated float64 result table
+  in the same segment: the worker writes its spec's row and returns a
+  tiny string stub, and the parent reassembles the
+  :class:`~repro.sim.results.RunResult` from the row.  Float64 slots
+  hold every numeric field exactly, so the round trip is bit-identical
+  to the pickle path (the equivalence tests assert it).
+
+The path is governed by the ``REPRO_SHM_SWEEPS`` environment variable
+(default on) and degrades transparently: if the segment cannot be
+created (no /dev/shm, permissions), or an individual spec stops
+matching its registered context entry (e.g. a chaos retry stripped its
+fault plan), the affected submission falls back to the classic pickle
+path with identical results.
+
+A note on the resource tracker (bpo-39959): CPython < 3.13 registers
+*attached* segments too.  The pool here uses forked workers, which
+share the parent's tracker process, so a worker's attach-time
+registration is an idempotent set-add of a name the parent already
+registered -- the parent's single ``unlink`` on close retires it
+cleanly.  Do not "fix" this by unregistering in the worker: with a
+shared tracker that removes the *parent's* registration and the final
+unlink trips a KeyError in the tracker loop.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.results import RunResult
+
+SHM_SWEEPS_ENV = "REPRO_SHM_SWEEPS"
+"""Set to ``0`` to disable shared-memory dispatch and force the classic
+per-spec pickle path (``1``/unset: shared memory when available)."""
+
+RESULT_FIELDS = (
+    "instructions",
+    "elapsed_s",
+    "cycles",
+    "violations",
+    "max_true_temp_c",
+    "time_above_trigger_s",
+    "dvs_switches",
+    "dvs_low_time_s",
+    "stall_time_s",
+    "mean_gating_fraction",
+    "mean_power_w",
+    "migrations",
+)
+"""Numeric :class:`RunResult` fields carried in the shared result
+table, in slot order.  Every one is either a double already or an
+integer far below 2**53, so a float64 slot stores it exactly."""
+
+_INT_FIELDS = frozenset(
+    ("cycles", "violations", "dvs_switches", "migrations")
+)
+
+_ALIGN = 8
+
+
+def shm_sweeps_enabled() -> bool:
+    """True unless ``REPRO_SHM_SWEEPS`` disables the shared path."""
+    return os.environ.get(SHM_SWEEPS_ENV, "1").strip().lower() not in (
+        "0",
+        "off",
+        "false",
+    )
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class ShmDescriptor:
+    """Everything a worker needs to map one sweep context segment."""
+
+    name: str
+    payload_size: int
+    n_initials: int
+    n_nodes: int
+    n_specs: int
+
+    @property
+    def initials_offset(self) -> int:
+        return _aligned(self.payload_size)
+
+    @property
+    def results_offset(self) -> int:
+        return self.initials_offset + self.n_initials * self.n_nodes * 8
+
+    @property
+    def total_size(self) -> int:
+        return self.results_offset + self.n_specs * len(RESULT_FIELDS) * 8
+
+
+@dataclass(frozen=True)
+class ShmResultStub:
+    """Tiny worker -> parent reply: the string fields of a result plus
+    the slot holding its numbers.  ``trace`` never travels this way --
+    traced runs return the full :class:`RunResult`."""
+
+    slot: int
+    benchmark: str
+    policy: str
+    dvs_mode: str
+    hottest_block: str
+
+
+def _views(
+    descriptor: ShmDescriptor, shm: shared_memory.SharedMemory
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(initials, results) array views over one mapped segment."""
+    initials = np.ndarray(
+        (descriptor.n_initials, descriptor.n_nodes),
+        dtype=np.float64,
+        buffer=shm.buf,
+        offset=descriptor.initials_offset,
+    )
+    results = np.ndarray(
+        (descriptor.n_specs, len(RESULT_FIELDS)),
+        dtype=np.float64,
+        buffer=shm.buf,
+        offset=descriptor.results_offset,
+    )
+    return initials, results
+
+
+class SweepContext:
+    """Parent-side owner of one sweep's shared-memory segment.
+
+    Built from the sweep's spec list (after warmup precomputation, so
+    every spec carries its initial temperature vector).  Deduplicates
+    configurations, workloads, policies and initial vectors, writes the
+    segment, and serves per-spec submissions.
+    """
+
+    def __init__(self, specs: Sequence):
+        """``specs`` is indexed by sweep position; ``None`` entries mark
+        positions that will never be submitted (e.g. runs already
+        satisfied from a resume journal)."""
+        specs = list(specs)
+        if not any(spec is not None for spec in specs):
+            raise SimulationError("cannot build a sweep context for no specs")
+        self._specs = specs
+
+        configs: List = []
+        config_index: Dict[int, int] = {}
+        workloads: List = []
+        workload_index: Dict[object, int] = {}
+        policies: List = []
+        policy_index: Dict[object, int] = {}
+        initial_blobs: List[bytes] = []
+        initial_index: Dict[bytes, int] = {}
+        deltas: List[tuple] = []
+        n_nodes: Optional[int] = None
+
+        for spec in specs:
+            if spec is None:
+                deltas.append(None)
+                continue
+            if spec.initial is None:
+                raise SimulationError(
+                    "sweep context requires precomputed initial vectors"
+                )
+            initial = np.ascontiguousarray(spec.initial, dtype=np.float64)
+            if initial.ndim != 1:
+                raise SimulationError("initial vector must be 1-D")
+            if n_nodes is None:
+                n_nodes = initial.size
+            elif initial.size != n_nodes:
+                raise SimulationError(
+                    "sweep context requires one thermal network: initial "
+                    "vectors differ in length"
+                )
+            blob = initial.tobytes()
+            i_idx = initial_index.get(blob)
+            if i_idx is None:
+                i_idx = len(initial_blobs)
+                initial_index[blob] = i_idx
+                initial_blobs.append(blob)
+
+            c_key = id(spec.engine_config)
+            c_idx = config_index.get(c_key)
+            if c_idx is None or configs[c_idx] is not spec.engine_config:
+                c_idx = len(configs)
+                config_index[c_key] = c_idx
+                configs.append(spec.engine_config)
+
+            w_key = (
+                spec.workload
+                if isinstance(spec.workload, str)
+                else id(spec.workload)
+            )
+            w_idx = workload_index.get(w_key)
+            if w_idx is None:
+                w_idx = len(workloads)
+                workload_index[w_key] = w_idx
+                workloads.append(spec.workload)
+
+            p_key = (
+                spec.policy
+                if isinstance(spec.policy, str)
+                else id(spec.policy)
+            )
+            p_idx = policy_index.get(p_key)
+            if p_idx is None:
+                p_idx = len(policies)
+                policy_index[p_key] = p_idx
+                policies.append(spec.policy)
+
+            deltas.append(
+                (
+                    w_idx,
+                    p_idx,
+                    c_idx,
+                    spec.instructions,
+                    spec.settle_time_s,
+                    spec.dvs_mode,
+                    spec.seed,
+                    i_idx,
+                )
+            )
+
+        payload = pickle.dumps(
+            {
+                "configs": configs,
+                "workloads": workloads,
+                "policies": policies,
+                "deltas": deltas,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        probe = ShmDescriptor(
+            name="probe",
+            payload_size=len(payload),
+            n_initials=len(initial_blobs),
+            n_nodes=int(n_nodes),
+            n_specs=len(specs),
+        )
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(probe.total_size, 1)
+        )
+        self.descriptor = ShmDescriptor(
+            name=self._shm.name,
+            payload_size=probe.payload_size,
+            n_initials=probe.n_initials,
+            n_nodes=probe.n_nodes,
+            n_specs=probe.n_specs,
+        )
+        self._shm.buf[: len(payload)] = payload
+        initials, self._results = _views(self.descriptor, self._shm)
+        for i, blob in enumerate(initial_blobs):
+            initials[i, :] = np.frombuffer(blob, dtype=np.float64)
+
+    def submit(self, pool, index: int, spec):
+        """Submit spec ``index`` to ``pool``.
+
+        When ``spec`` is still the object registered at context build
+        the task ships as ``(descriptor, index)``; a spec mutated since
+        (e.g. a retry with its transient faults stripped) silently takes
+        the classic pickle path instead -- the context is immutable.
+        """
+        from repro.sim.batch import run_one
+
+        if 0 <= index < len(self._specs) and spec is self._specs[index]:
+            return pool.submit(run_one_shm, self.descriptor, index)
+        return pool.submit(run_one, spec)
+
+    def resolve(self, raw):
+        """Translate one worker reply into a :class:`RunResult`."""
+        if isinstance(raw, ShmResultStub):
+            row = self._results[raw.slot]
+            values = {}
+            for column, field in enumerate(RESULT_FIELDS):
+                value = float(row[column])
+                values[field] = (
+                    int(value) if field in _INT_FIELDS else value
+                )
+            return RunResult(
+                benchmark=raw.benchmark,
+                policy=raw.policy,
+                dvs_mode=raw.dvs_mode,
+                hottest_block=raw.hottest_block,
+                trace=None,
+                **values,
+            )
+        return raw
+
+    def close(self) -> None:
+        """Release and unlink the segment (idempotent)."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        self._results = None
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+        try:
+            shm.unlink()
+        except Exception:  # pragma: no cover - already gone
+            pass
+
+
+def create_context(specs: Sequence) -> Optional[SweepContext]:
+    """A :class:`SweepContext` for ``specs``, or ``None`` when disabled
+    or unavailable -- no /dev/shm, unpicklable context, missing warmup
+    vectors -- in which case the caller keeps the pickle path."""
+    if not shm_sweeps_enabled():
+        return None
+    try:
+        return SweepContext(specs)
+    except Exception:
+        return None
+
+
+# --- worker side ------------------------------------------------------------
+
+# One cached attachment per worker process.  A worker services one
+# sweep generation at a time, so when a task arrives for a different
+# segment the stale mapping is dropped first (its buffers must not be
+# referenced once closed).
+_ATTACHED: Dict[str, tuple] = {}
+
+
+def _attach(descriptor: ShmDescriptor) -> tuple:
+    entry = _ATTACHED.get(descriptor.name)
+    if entry is None:
+        for stale in list(_ATTACHED):
+            old = _ATTACHED.pop(stale)
+            try:
+                old[0].close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        shm = shared_memory.SharedMemory(name=descriptor.name)
+        context = pickle.loads(bytes(shm.buf[: descriptor.payload_size]))
+        initials, results = _views(descriptor, shm)
+        entry = (shm, context, initials, results)
+        _ATTACHED[descriptor.name] = entry
+    return entry
+
+
+def run_one_shm(descriptor: ShmDescriptor, index: int):
+    """Worker entry point: rebuild spec ``index`` from the shared
+    context, run it, write its numbers to the shared result table, and
+    return a stub (or the full result when it carries a trace)."""
+    from repro.sim.batch import RunSpec, run_one
+
+    _, context, initials, results = _attach(descriptor)
+    (
+        w_idx,
+        p_idx,
+        c_idx,
+        instructions,
+        settle_time_s,
+        dvs_mode,
+        seed,
+        i_idx,
+    ) = context["deltas"][index]
+    spec = RunSpec(
+        workload=context["workloads"][w_idx],
+        policy=context["policies"][p_idx],
+        instructions=instructions,
+        settle_time_s=settle_time_s,
+        dvs_mode=dvs_mode,
+        engine_config=context["configs"][c_idx],
+        seed=seed,
+        initial=np.array(initials[i_idx], dtype=float, copy=True),
+    )
+    result = run_one(spec)
+    row = results[index]
+    for column, field in enumerate(RESULT_FIELDS):
+        row[column] = getattr(result, field)
+    if result.trace is not None:
+        return result
+    return ShmResultStub(
+        slot=index,
+        benchmark=result.benchmark,
+        policy=result.policy,
+        dvs_mode=result.dvs_mode,
+        hottest_block=result.hottest_block,
+    )

@@ -392,7 +392,10 @@ class SweepSupervisor:
         delayed: List[Tuple[float, int, int, _SpecState]] = []  # heap
 
         def submit(index: int, state: _SpecState) -> None:
-            future = pool.submit(batch.run_one, state.spec)
+            # batch._pool_submit routes through the active shared-memory
+            # sweep context when one exists (tiny per-task payload), and
+            # falls back to pickling the full spec otherwise.
+            future = batch._pool_submit(pool, index, state.spec)
             inflight[future] = (index, state)
             if self.timeout_s is not None:
                 deadlines[future] = time.monotonic() + self.timeout_s
@@ -455,7 +458,7 @@ class SweepSupervisor:
                 index, state = inflight.pop(future)
                 deadlines.pop(future, None)
                 try:
-                    result = future.result()
+                    result = batch._pool_resolve(future.result())
                 except BrokenProcessPool:
                     # The pool is poisoned; this future's spec is not
                     # necessarily the one whose worker died, so nobody

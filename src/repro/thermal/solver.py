@@ -49,8 +49,15 @@ health hazards."""
 
 
 def _healthy(values: np.ndarray) -> bool:
-    """True when every entry is finite and within the divergence limit."""
-    return bool(np.all(np.abs(values) < DIVERGENCE_LIMIT_C))
+    """True when every entry is finite and within the divergence limit.
+
+    Written as two ufunc-method reductions (no ``np.all`` wrapper, no
+    ``np.abs`` temporary): a NaN anywhere poisons both reductions, so
+    the comparisons come back False exactly as the predicate form did.
+    """
+    lo = values.min()
+    hi = values.max()
+    return bool(-DIVERGENCE_LIMIT_C < lo <= hi < DIVERGENCE_LIMIT_C)
 
 
 def _bad_node_name(network: ThermalNetwork, values: np.ndarray) -> str:

@@ -1,9 +1,12 @@
 """Per-block sensor array and sampling-rate enforcement."""
 
+import numpy as np
 import pytest
 
 from repro.errors import SimulationError
 from repro.sensors import SensorArray, SensorParameters
+from repro.sensors.array import NOISE_CHUNK, NOISE_CHUNK_MAX
+from repro.sensors.faults import SensorFault
 
 
 @pytest.fixture()
@@ -78,3 +81,72 @@ class TestErrors:
         assert SensorArray.max_reading(readings) == 3.0
         with pytest.raises(SimulationError):
             SensorArray.max_reading({})
+
+
+class TestVectorPath:
+    """The engine's vectorized sensing fast path.
+
+    ``sample_vector`` must be *bit-identical* to ``sample``: same fixed
+    offsets, same per-sensor noise streams (pre-drawn in growing
+    chunks), same round-half-even quantisation.
+    """
+
+    def _vector_temps(self, array, temps):
+        return np.array([temps[name] for name in array.block_names])
+
+    def test_bit_identical_to_scalar_across_chunk_refills(self, floorplan):
+        scalar = SensorArray(floorplan, seed=7)
+        vector = SensorArray(floorplan, seed=7)
+        temps = flat_temps(floorplan)
+        vec = self._vector_temps(vector, temps)
+        period = scalar.sampling_period_s
+        # Enough samples to cross the first noise-chunk refill and the
+        # doubled second chunk, so buffer turnover is exercised too.
+        count = NOISE_CHUNK + NOISE_CHUNK * 2 + 10
+        for i in range(count):
+            time_s = i * period
+            assert scalar.sample(temps, time_s) == vector.sample_vector(
+                vec, time_s
+            )
+
+    def test_noise_chunk_growth_is_bounded(self, floorplan):
+        array = SensorArray(floorplan, seed=3)
+        vec = self._vector_temps(array, flat_temps(floorplan))
+        period = array.sampling_period_s
+        for i in range(NOISE_CHUNK * 40):
+            array.sample_vector(vec, i * period)
+        assert array._noise_chunk <= NOISE_CHUNK_MAX
+
+    def test_fault_free_array_is_vector_eligible(self, array):
+        assert array.vector_eligible
+
+    def test_faulted_array_is_not_vector_eligible(self, floorplan):
+        faulted = SensorArray(
+            floorplan, seed=0, faults=(SensorFault.dropout("FPMul"),)
+        )
+        assert not faulted.vector_eligible
+        vec = self._vector_temps(faulted, flat_temps(floorplan))
+        with pytest.raises(SimulationError, match="fault-free"):
+            faulted.sample_vector(vec, 0.0)
+
+    def test_mixing_scalar_reads_into_vector_stream_raises(self, floorplan):
+        array = SensorArray(floorplan, seed=0)
+        vec = self._vector_temps(array, flat_temps(floorplan))
+        array.sample_vector(vec, 0.0)
+        with pytest.raises(SimulationError, match="mix"):
+            array.sample(flat_temps(floorplan), array.sampling_period_s)
+
+    def test_vector_respects_sampling_period(self, floorplan):
+        array = SensorArray(floorplan, seed=0)
+        vec = self._vector_temps(array, flat_temps(floorplan))
+        array.sample_vector(vec, 0.0)
+        with pytest.raises(SimulationError, match="sampling period"):
+            array.sample_vector(vec, array.sampling_period_s / 10.0)
+
+    def test_ideal_vector_reads_exactly(self, floorplan):
+        array = SensorArray(
+            floorplan, parameters=SensorParameters.ideal(), seed=0
+        )
+        vec = self._vector_temps(array, flat_temps(floorplan, 83.4))
+        readings = array.sample_vector(vec, 0.0)
+        assert all(v == pytest.approx(83.4) for v in readings.values())

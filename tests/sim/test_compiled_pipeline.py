@@ -1,0 +1,110 @@
+"""Compiled step pipeline versus the interpreted reference path.
+
+``EngineConfig.compiled_trace`` selects the precompiled workload-trace
+fast path (``"on"``, the default), the interpreted phase walker
+(``"off"``), or the self-checking ``"verify"`` mode that re-derives
+every fast-path activity vector through the interpreted model.  The
+compiled path is bit-identical by construction -- same IEEE doubles in
+the same order -- so these tests assert *exact* equality of every run
+statistic: across the whole SPEC suite, under both thermal steppers,
+composed with fault plans, and for the recorded trace itself.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.core.policies import make_policy
+from repro.sensors.faults import SensorFault
+from repro.sim import EngineConfig, SimulationEngine
+from repro.sim.engine import TraceBuffer
+from repro.sim.faults import FaultPlan
+from repro.workloads import build_benchmark
+from repro.workloads.spec import SPEC_BENCHMARK_NAMES
+
+FAST_N = 1_000_000
+
+
+def _result(workload, *, policy="Hyb", seed=5, **config_kwargs):
+    engine = SimulationEngine(
+        workload,
+        policy=make_policy(policy),
+        config=EngineConfig(**config_kwargs),
+        seed=seed,
+    )
+    init = engine.compute_initial_temperatures()
+    return engine.run(FAST_N, initial=init, settle_time_s=2.0e-4)
+
+
+def _pair(workload, **kwargs):
+    on = _result(workload, compiled_trace="on", **kwargs)
+    off = _result(workload, compiled_trace="off", **kwargs)
+    return on, off
+
+
+def _assert_identical(compiled, interpreted):
+    assert asdict(compiled) == asdict(interpreted)
+
+
+class TestSuiteEquivalence:
+    @pytest.mark.parametrize("name", SPEC_BENCHMARK_NAMES)
+    def test_bit_identical_across_suite(self, name):
+        _assert_identical(*_pair(build_benchmark(name)))
+
+
+class TestStepperEquivalence:
+    @pytest.mark.parametrize("stepper", ["be", "expm"])
+    def test_bit_identical_per_stepper(self, gzip_workload, stepper):
+        _assert_identical(
+            *_pair(gzip_workload, policy="DVS", thermal_stepper=stepper)
+        )
+
+
+class TestVerifyMode:
+    def test_verify_matches_on(self, mesa_workload):
+        on = _result(mesa_workload, compiled_trace="on")
+        verified = _result(mesa_workload, compiled_trace="verify")
+        _assert_identical(on, verified)
+
+
+class TestFaultComposition:
+    def test_sensor_fault_plan_is_path_invariant(self, gzip_workload):
+        plan = FaultPlan(sensor_faults=(SensorFault.dropout("FPMul"),))
+        on, off = _pair(gzip_workload, fault_plan=plan)
+        _assert_identical(on, off)
+
+    def test_fault_plan_differs_from_clean_run(self, gzip_workload):
+        # Guard against the composition test passing vacuously: the
+        # injected dropout must actually reach the sensor array.
+        plan = FaultPlan(
+            sensor_faults=(SensorFault.stuck("IntReg", 40.0),)
+        )
+        clean = _result(gzip_workload)
+        faulted = _result(gzip_workload, fault_plan=plan)
+        assert asdict(clean) != asdict(faulted)
+
+
+class TestTrace:
+    def test_recorded_trace_is_path_invariant(self, gzip_workload):
+        on, off = _pair(gzip_workload, record_trace=True)
+        assert on.trace and off.trace
+        assert [asdict(p) for p in on.trace] == [
+            asdict(p) for p in off.trace
+        ]
+
+    def test_no_trace_buffers_allocated_when_tracing_off(
+        self, gzip_workload
+    ):
+        created_before = TraceBuffer.created
+        result = _result(gzip_workload, record_trace=False)
+        assert result.trace is None
+        assert TraceBuffer.created == created_before
+
+    def test_trace_buffer_grows_past_one_chunk(self):
+        buffer = TraceBuffer(("IntReg",))
+        for i in range(TraceBuffer.CHUNK + 10):
+            buffer.append(i * 1e-5, 0, 80.0, 0.0, 1.0, 1.0, 1000.0)
+        assert len(buffer) == TraceBuffer.CHUNK + 10
+        points = buffer.points()
+        assert len(points) == TraceBuffer.CHUNK + 10
+        assert points[-1].time_s == (TraceBuffer.CHUNK + 9) * 1e-5

@@ -30,3 +30,50 @@ def test_rejects_tiny_thermal_step():
 def test_rejects_negative_switch_time():
     with pytest.raises(SimulationError):
         EngineConfig(dvs_switch_time_s=-1e-6)
+
+
+class TestCompiledTrace:
+    """Resolution of the compiled-trace mode (field, env, default)."""
+
+    def test_defaults_to_on(self, monkeypatch):
+        from repro.sim.config import COMPILED_TRACE_ENV
+
+        monkeypatch.delenv(COMPILED_TRACE_ENV, raising=False)
+        assert EngineConfig().resolved_compiled_trace() == "on"
+
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("1", "on"),
+            ("on", "on"),
+            ("true", "on"),
+            ("0", "off"),
+            ("off", "off"),
+            ("false", "off"),
+            ("verify", "verify"),
+            (" VERIFY ", "verify"),
+        ],
+    )
+    def test_env_aliases(self, monkeypatch, raw, expected):
+        from repro.sim.config import COMPILED_TRACE_ENV
+
+        monkeypatch.setenv(COMPILED_TRACE_ENV, raw)
+        assert EngineConfig().resolved_compiled_trace() == expected
+
+    def test_explicit_field_beats_env(self, monkeypatch):
+        from repro.sim.config import COMPILED_TRACE_ENV
+
+        monkeypatch.setenv(COMPILED_TRACE_ENV, "off")
+        config = EngineConfig(compiled_trace="verify")
+        assert config.resolved_compiled_trace() == "verify"
+
+    def test_bad_env_value_raises(self, monkeypatch):
+        from repro.sim.config import COMPILED_TRACE_ENV
+
+        monkeypatch.setenv(COMPILED_TRACE_ENV, "sometimes")
+        with pytest.raises(SimulationError):
+            EngineConfig().resolved_compiled_trace()
+
+    def test_bad_field_rejected_at_construction(self):
+        with pytest.raises(SimulationError):
+            EngineConfig(compiled_trace="fast")

@@ -1,0 +1,187 @@
+"""Zero-copy shared-memory sweep dispatch.
+
+The pool path of :func:`repro.sim.batch.run_many` ships each run as a
+``(descriptor, index)`` pair against one shared-memory segment built
+once per generation (workloads, policies, configs and warmup vectors
+deduplicated), and workers write their numeric results into a shared
+table, returning tiny stubs.  Every test here asserts the invariant the
+design rests on: results are *identical* to the classic pickle path and
+to serial execution.
+"""
+
+from dataclasses import asdict, replace
+
+import numpy as np
+import pytest
+
+from repro.sim import EngineConfig, RunSpec, run_many
+from repro.sim import shm
+from repro.sim.batch import run_one, steady_state_for
+from repro.sim.results import RunResult
+from repro.sim.shm import (
+    RESULT_FIELDS,
+    SHM_SWEEPS_ENV,
+    ShmDescriptor,
+    ShmResultStub,
+    create_context,
+    run_one_shm,
+    shm_sweeps_enabled,
+)
+
+FAST_N = 1_000_000
+
+
+def _spec(name="gzip", policy="FG", seed=0, *, with_initial=True, **cfg):
+    return RunSpec(
+        workload=name,
+        policy=policy,
+        instructions=FAST_N,
+        settle_time_s=1.0e-4,
+        seed=seed,
+        engine_config=EngineConfig(**cfg) if cfg else None,
+        initial=steady_state_for(name) if with_initial else None,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _drop_worker_attachments():
+    """In-process calls to :func:`run_one_shm` populate the worker-side
+    attachment cache; drop it so later tests never touch a mapping whose
+    segment has been unlinked."""
+    yield
+    for entry in list(shm._ATTACHED.values()):
+        try:
+            entry[0].close()
+        except Exception:
+            pass
+    shm._ATTACHED.clear()
+
+
+class TestEnabledSwitch:
+    def test_default_is_on(self, monkeypatch):
+        monkeypatch.delenv(SHM_SWEEPS_ENV, raising=False)
+        assert shm_sweeps_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "off", "false", "OFF", " 0 "])
+    def test_disabling_values(self, monkeypatch, value):
+        monkeypatch.setenv(SHM_SWEEPS_ENV, value)
+        assert not shm_sweeps_enabled()
+
+    def test_create_context_respects_disable(self, monkeypatch):
+        monkeypatch.setenv(SHM_SWEEPS_ENV, "0")
+        assert create_context([_spec()]) is None
+
+    def test_create_context_requires_warmup_vectors(self):
+        # Specs without an initial vector cannot be rebuilt in a worker
+        # from the shared segment; the caller keeps the pickle path.
+        assert create_context([_spec(with_initial=False)]) is None
+
+
+class TestDescriptorLayout:
+    def test_offsets_aligned_and_sized(self):
+        d = ShmDescriptor(
+            name="x", payload_size=13, n_initials=2, n_nodes=7, n_specs=3
+        )
+        assert d.initials_offset % 8 == 0
+        assert d.initials_offset >= d.payload_size
+        assert d.results_offset == d.initials_offset + 2 * 7 * 8
+        assert d.total_size == d.results_offset + 3 * len(RESULT_FIELDS) * 8
+
+
+class TestInProcessRoundTrip:
+    def test_stub_resolves_to_the_serial_result(self):
+        specs = [_spec(seed=1), _spec("mesa", "DVS", seed=2)]
+        context = create_context(specs)
+        assert context is not None
+        try:
+            for index, spec in enumerate(specs):
+                raw = run_one_shm(context.descriptor, index)
+                assert isinstance(raw, ShmResultStub)
+                resolved = context.resolve(raw)
+                assert asdict(resolved) == asdict(run_one(spec))
+        finally:
+            context.close()
+
+    def test_traced_run_returns_the_full_result(self):
+        spec = _spec(record_trace=True)
+        context = create_context([spec])
+        assert context is not None
+        try:
+            raw = run_one_shm(context.descriptor, 0)
+            assert isinstance(raw, RunResult)
+            assert raw.trace
+            assert context.resolve(raw) is raw
+            reference = run_one(spec)
+            assert asdict(raw) == asdict(reference)
+        finally:
+            context.close()
+
+    def test_close_is_idempotent(self):
+        context = create_context([_spec()])
+        assert context is not None
+        context.close()
+        context.close()
+
+
+class _RecordingPool:
+    def __init__(self):
+        self.calls = []
+
+    def submit(self, fn, *args):
+        self.calls.append((fn, args))
+        return None
+
+
+class TestSubmitIdentityGate:
+    def test_registered_spec_ships_as_descriptor_index(self):
+        specs = [_spec()]
+        context = create_context(specs)
+        assert context is not None
+        try:
+            pool = _RecordingPool()
+            context.submit(pool, 0, specs[0])
+            fn, args = pool.calls[0]
+            assert fn is run_one_shm
+            assert args == (context.descriptor, 0)
+        finally:
+            context.close()
+
+    def test_mutated_spec_falls_back_to_pickle(self):
+        specs = [_spec()]
+        context = create_context(specs)
+        assert context is not None
+        try:
+            pool = _RecordingPool()
+            retry = replace(specs[0])  # equal by value, different object
+            context.submit(pool, 0, retry)
+            fn, args = pool.calls[0]
+            assert fn is run_one
+            assert args == (retry,)
+        finally:
+            context.close()
+
+
+class TestRunManyIntegration:
+    def _specs(self):
+        return [
+            RunSpec(
+                workload=name,
+                policy=policy,
+                instructions=FAST_N,
+                settle_time_s=1.0e-4,
+                seed=seed,
+            )
+            for seed, (name, policy) in enumerate(
+                [("gzip", "FG"), ("gcc", "Hyb"), ("mesa", "DVS")]
+            )
+        ]
+
+    def test_pool_matches_serial_with_and_without_shm(self, monkeypatch):
+        serial = run_many(self._specs())
+        monkeypatch.setenv(SHM_SWEEPS_ENV, "1")
+        pooled_shm = run_many(self._specs(), processes=2)
+        monkeypatch.setenv(SHM_SWEEPS_ENV, "0")
+        pooled_pickle = run_many(self._specs(), processes=2)
+        reference = [asdict(r) for r in serial]
+        assert [asdict(r) for r in pooled_shm] == reference
+        assert [asdict(r) for r in pooled_pickle] == reference

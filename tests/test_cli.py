@@ -1,8 +1,15 @@
 """Command-line interface."""
 
+import importlib
+from pathlib import Path
+
 import pytest
 
+import repro
 from repro.cli import build_parser, main
+from repro.sim.engine import STEP_TIMING_ENV, reset_step_timers
+
+BENCH_DIR = Path(repro.__file__).resolve().parents[2] / "benchmarks"
 
 
 class TestParser:
@@ -80,3 +87,65 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "DVS" in out
+
+
+class TestBench:
+    """The ``bench`` subcommand (harness + step-timing + cProfile)."""
+
+    def test_parses_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "--profile", "--only", "fig3b", "--profile-limit", "5"]
+        )
+        assert args.command == "bench"
+        assert args.profile
+        assert args.only == ["fig3b"]
+        assert args.profile_limit == 5
+
+    @pytest.fixture()
+    def _sandboxed_harness(self, monkeypatch, tmp_path):
+        """Run the real harness at a tiny budget without clobbering the
+        committed result tables, JSON baseline or trajectory log."""
+        monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", "120000")
+        monkeypatch.setenv(STEP_TIMING_ENV, "0")  # restored on teardown
+        monkeypatch.syspath_prepend(str(BENCH_DIR))
+        helpers = importlib.import_module("_helpers")
+        run_all = importlib.import_module("run_all")
+        monkeypatch.setattr(helpers, "RESULTS_DIR", tmp_path / "results")
+        monkeypatch.setattr(
+            run_all, "DEFAULT_JSON_PATH", tmp_path / "results.json"
+        )
+        monkeypatch.setattr(
+            run_all, "TRAJECTORY_PATH", tmp_path / "trajectory.jsonl"
+        )
+        yield run_all
+        reset_step_timers()
+
+    def test_bench_prints_timing_breakdown(
+        self, capsys, _sandboxed_harness
+    ):
+        code = main([
+            "bench", "--only", "fig3b", "--profile", "--profile-limit", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-phase step timing" in out
+        for section in ("thermal", "power", "perf", "sense", "policy"):
+            assert section in out
+        assert "cProfile" in out
+
+    def test_run_all_json_appends_to_trajectory(
+        self, capsys, _sandboxed_harness
+    ):
+        import json
+
+        run_all = _sandboxed_harness
+        code = run_all.main(["--only", "fig3b", "--json"])
+        capsys.readouterr()
+        assert code == 0
+        lines = run_all.TRAJECTORY_PATH.read_text().splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["overall_steps_per_second"] > 0
+        assert entry["benches"] == ["fig3b"]
+        assert entry["config"]["instructions"] == 120000
+        assert run_all.DEFAULT_JSON_PATH.exists()
