@@ -9,11 +9,15 @@ characterise the suite -- from a shell, without writing harness code::
     python -m repro batch --policies Hyb FG --retries 2 --journal sweep.jsonl
     python -m repro characterise
     python -m repro list
+    python -m repro report sweep-report.jsonl
 
 ``batch`` runs a benchmark x policy grid under the sweep supervisor:
 per-run timeouts, bounded retries, partial results, and a JSONL journal
 that ``--resume`` can pick up after a crash without re-running finished
-work.
+work.  With ``REPRO_OBS=1`` and ``--report PATH`` it also saves the
+merged observability report, which ``report`` renders (or exports as
+Prometheus text) and whose event files ``report --events`` validates
+against the schema.
 """
 
 from __future__ import annotations
@@ -145,8 +149,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from repro.sim.batch import RunSpec, run_many
+    from repro import obs
+    from repro.sim.batch import RunSpec, last_sweep_report, run_many
     from repro.sim.supervisor import RunFailure
+
+    if args.report and not obs.enabled():
+        print(
+            "error: --report needs observability enabled (set REPRO_OBS=1)",
+            file=sys.stderr,
+        )
+        return 2
 
     specs = [
         RunSpec(
@@ -191,7 +203,46 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     ))
     if failures:
         print(f"{failures}/{len(specs)} runs failed")
+    if args.report:
+        report = last_sweep_report()
+        if report is None:
+            print("error: no sweep report was produced", file=sys.stderr)
+            return 2
+        print(f"sweep report saved to {report.save(args.report)}")
     return 0 if failures == 0 else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import SweepReport, validate_events_file
+
+    code = 0
+    if args.events:
+        total = 0
+        for path in args.events:
+            count, errors = validate_events_file(path)
+            total += count
+            if errors:
+                code = 1
+                print(f"{path}: {count} events, {len(errors)} invalid")
+                for error in errors[:10]:
+                    print(f"  {error}")
+            else:
+                print(f"{path}: {count} events, all valid")
+        print(f"validated {total} events across {len(args.events)} file(s)")
+
+    if args.path:
+        report = SweepReport.load(args.path)
+        if args.prometheus:
+            print(report.prometheus_text(), end="")
+        else:
+            print(report.render())
+    elif not args.events:
+        print(
+            "error: give a sweep-report path and/or --events files",
+            file=sys.stderr,
+        )
+        return 2
+    return code
 
 
 def _cmd_characterise(args: argparse.Namespace) -> int:
@@ -350,12 +401,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip runs already recorded in this journal (implies "
              "appending new finishes to it)",
     )
+    batch_parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="save the merged observability report (JSONL; needs "
+             "REPRO_OBS=1)",
+    )
     _add_common(batch_parser)
 
     char_parser = sub.add_parser(
         "characterise", help="unmanaged thermal characterisation"
     )
     _add_common(char_parser)
+
+    report_parser = sub.add_parser(
+        "report",
+        help="render a saved sweep report and/or validate event logs",
+    )
+    report_parser.add_argument(
+        "path", nargs="?", default=None,
+        help="sweep-report JSONL written by `batch --report`",
+    )
+    report_parser.add_argument(
+        "--prometheus", action="store_true",
+        help="emit the report's aggregates in Prometheus text format",
+    )
+    report_parser.add_argument(
+        "--events", nargs="+", default=None, metavar="PATH",
+        help="validate these events-*.jsonl files against the event "
+             "schema",
+    )
 
     bench_parser = sub.add_parser(
         "bench",
@@ -386,6 +460,7 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "characterise": _cmd_characterise,
     "bench": _cmd_bench,
+    "report": _cmd_report,
 }
 
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional, Tuple
 
 from repro.errors import DtmConfigError
+from repro.obs import metrics as obs_metrics
 
 
 @dataclass(frozen=True)
@@ -92,3 +93,19 @@ class DtmPolicy(abc.ABC):
         if not readings:
             raise DtmConfigError("policy update needs at least one reading")
         return max(readings.values())
+
+    def note_transition(self, previous, new) -> None:
+        """Publish one controller state transition to the metrics
+        registry (``dtm.state_transitions`` plus a per-edge counter).
+
+        Call sites guard with ``previous is not new`` so steady-state
+        updates pay only that identity comparison; when observability is
+        off this returns before allocating the per-edge name.
+        """
+        if not obs_metrics.enabled():
+            return
+        obs_metrics.inc("dtm.state_transitions")
+        obs_metrics.inc(
+            f"dtm.transition.{self.name.lower().replace('-', '_')}"
+            f".{previous.value}_to_{new.value}"
+        )

@@ -139,6 +139,7 @@ class HybPolicy(DtmPolicy):
         second = trigger + self._config.second_threshold_offset_c
         margin = self._config.release_margin_c
 
+        previous = self._state
         # Compulsory escalation on the raw reading.
         if hottest > second:
             self._state = HybridState.DVS
@@ -149,6 +150,8 @@ class HybPolicy(DtmPolicy):
             self._state = HybridState.ILP
         elif self._state is HybridState.ILP and filtered < trigger - margin:
             self._state = HybridState.NOMINAL
+        if self._state is not previous:
+            self.note_transition(previous, self._state)
         return self._command()
 
     def reset(self) -> None:
@@ -245,12 +248,15 @@ class PIHybPolicy(DtmPolicy):
         trigger = self._thresholds.trigger_c
 
         saturated = fraction >= config.max_gating_fraction - 1e-9
+        previous = self._state
         if self._state is HybridState.ILP:
             if saturated and hottest > trigger + config.engage_margin_c:
                 self._state = HybridState.DVS
         else:
             if filtered < trigger - config.release_margin_c:
                 self._state = HybridState.ILP
+        if self._state is not previous:
+            self.note_transition(previous, self._state)
 
         if self._state is HybridState.DVS:
             return DtmCommand(

@@ -1,0 +1,137 @@
+"""Observability: metrics, structured events, span tracing, reports.
+
+The paper's argument is carried entirely by time-series evidence --
+sensor temperatures crossing the trigger, controller duty cycles, DVS
+switches, fallback events -- and a reproduction that cannot *see* those
+signals cannot be tuned or trusted.  This package is the cross-cutting
+telemetry layer the rest of :mod:`repro` publishes into:
+
+* :mod:`repro.obs.metrics` -- a low-overhead registry of counters,
+  gauges and fixed-bucket histograms (:data:`~repro.obs.metrics.REGISTRY`);
+* :mod:`repro.obs.events` -- structured JSONL event logging with
+  run/sweep context (run id, worker pid) and a validating schema;
+* :mod:`repro.obs.trace` -- ``with span("thermal.step"):`` timing with
+  process-lifetime totals and per-run aggregation (the engine's
+  per-section step timers record through it);
+* :mod:`repro.obs.runctx` / :mod:`repro.obs.spill` -- per-run telemetry
+  records that survive process-pool workers via per-worker spill files,
+  merged by :func:`repro.sim.batch.run_many`;
+* :mod:`repro.obs.report` -- the merged :class:`~repro.obs.report.
+  SweepReport` (JSONL + Prometheus export, rendered by
+  ``python -m repro report``);
+* :mod:`repro.obs.export` -- registry snapshots as JSON and Prometheus
+  text format.
+
+Everything is gated on one module-level flag (``REPRO_OBS=1`` or
+:func:`set_enabled`).  When disabled, the hot paths pay one boolean
+check per run (not per step), ``span()`` returns a shared no-op
+singleton, and ``emit()``/``inc()`` return immediately without
+allocating -- the disabled-overhead tests assert both properties, and
+results are bit-identical with observability on or off.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+from repro.obs.events import (
+    emit,
+    event_context,
+    validate_events_file,
+    validate_record,
+)
+from repro.obs.export import prometheus_text, registry_snapshot
+from repro.obs.metrics import (
+    OBS_DIR_ENV,
+    OBS_ENV,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    enabled,
+    inc,
+    obs_dir,
+    set_enabled,
+)
+from repro.obs.report import SweepReport
+from repro.obs.trace import span
+
+__all__ = [
+    "OBS_DIR_ENV",
+    "OBS_ENV",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SweepReport",
+    "emit",
+    "enabled",
+    "event_context",
+    "inc",
+    "logging_setup",
+    "obs_dir",
+    "prometheus_text",
+    "registry_snapshot",
+    "reset_for_testing",
+    "set_enabled",
+    "span",
+    "validate_events_file",
+    "validate_record",
+]
+
+_LOG_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+_HANDLER: Optional[logging.Handler] = None
+
+
+def logging_setup(
+    level: int = logging.INFO,
+    stream: Optional[TextIO] = None,
+    capture_warnings: bool = True,
+) -> logging.Logger:
+    """Route the library's diagnostics through standard ``logging``.
+
+    The numerical-health guards, the fault layer and the sweep
+    supervisor all log to child loggers of ``"repro"``; without a
+    configured handler those records fall through to logging's
+    last-resort stderr handler (WARNING and up) and everything below
+    is swallowed.  This attaches one stream handler to the ``"repro"``
+    logger (idempotent -- calling again reconfigures the same handler)
+    and optionally routes ``warnings.warn`` through logging too, so the
+    supervisor's degradation warnings land in the same stream.
+
+    Returns the configured ``"repro"`` logger.
+    """
+    global _HANDLER
+    logger = logging.getLogger("repro")
+    if _HANDLER is not None:
+        logger.removeHandler(_HANDLER)
+    _HANDLER = logging.StreamHandler(
+        stream if stream is not None else sys.stderr
+    )
+    _HANDLER.setFormatter(logging.Formatter(_LOG_FORMAT))
+    logger.addHandler(_HANDLER)
+    logger.setLevel(level)
+    if capture_warnings:
+        logging.captureWarnings(True)
+    return logger
+
+
+def reset_for_testing() -> None:
+    """Reset every piece of module-level observability state.
+
+    For test isolation only: zeroes the registry, the span totals, any
+    active run context, the event-log handle and the in-process spill
+    records.  Does *not* touch the enabled flag.
+    """
+    from repro.obs import events, runctx, spill, trace
+
+    REGISTRY.reset()
+    trace.reset_totals()
+    trace.reset_run_stack()
+    runctx.reset()
+    events.reset()
+    spill.reset()

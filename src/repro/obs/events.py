@@ -1,0 +1,208 @@
+"""Structured JSONL event logging with run/sweep context.
+
+Every event is one JSON object on one line of a per-process file
+(``<obs_dir>/events-<pid>.jsonl``), so pool workers never interleave
+partial lines and a crashed process loses at most the line it was
+writing.  Each record carries:
+
+* ``event`` -- dotted lowercase event name (``"sweep.pool_rebuild"``);
+* ``ts`` -- wall-clock UNIX timestamp;
+* ``pid`` -- the emitting process;
+* any ambient context pushed with :func:`event_context` (e.g. the
+  ``run_id`` of the run currently executing);
+* the caller's keyword fields.
+
+The emitting side is fork-aware: a worker inheriting the parent's open
+handle re-opens its own file on first emit (handles are keyed by pid
+and target path).  :func:`validate_record` /
+:func:`validate_events_file` implement the event schema the CI smoke
+job checks emitted logs against.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import metrics
+
+REQUIRED_FIELDS = ("event", "ts", "pid")
+"""Fields present on every event record."""
+
+_NAME_CHARS = set("abcdefghijklmnopqrstuvwxyz0123456789_.")
+
+_CONTEXT: Dict[str, object] = {}
+
+_HANDLE = None
+_HANDLE_KEY: Optional[Tuple[int, str]] = None
+
+
+def events_path() -> Path:
+    """This process's event-log file path."""
+    return metrics.obs_dir() / f"events-{os.getpid()}.jsonl"
+
+
+def _sink():
+    """The (lazily opened, fork-aware) event-log handle."""
+    global _HANDLE, _HANDLE_KEY
+    path = events_path()
+    key = (os.getpid(), str(path))
+    if _HANDLE is None or _HANDLE_KEY != key:
+        if _HANDLE is not None and _HANDLE_KEY is not None and (
+            _HANDLE_KEY[0] == os.getpid()
+        ):
+            try:
+                _HANDLE.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _HANDLE = open(path, "a", encoding="utf-8")
+        _HANDLE_KEY = key
+    return _HANDLE
+
+
+def emit(event: str, **fields) -> Optional[Dict[str, object]]:
+    """Write one structured event; returns the record, or ``None`` when
+    observability is disabled (in which case nothing is allocated)."""
+    if not metrics.enabled():
+        return None
+    record: Dict[str, object] = {
+        "event": event,
+        "ts": time.time(),
+        "pid": os.getpid(),
+    }
+    if _CONTEXT:
+        record.update(_CONTEXT)
+    if fields:
+        record.update(fields)
+    handle = _sink()
+    handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+    handle.flush()
+    return record
+
+
+@contextmanager
+def event_context(**fields):
+    """Attach ``fields`` to every event emitted inside the block."""
+    saved = {key: _CONTEXT.get(key, _MISSING) for key in fields}
+    _CONTEXT.update(fields)
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is _MISSING:
+                _CONTEXT.pop(key, None)
+            else:
+                _CONTEXT[key] = value
+
+
+_MISSING = object()
+
+
+def push_context(**fields) -> Dict[str, object]:
+    """Set ambient context fields; returns the saved previous values
+    for :func:`pop_context`."""
+    saved = {key: _CONTEXT.get(key, _MISSING) for key in fields}
+    _CONTEXT.update(fields)
+    return saved
+
+
+def pop_context(saved: Dict[str, object]) -> None:
+    """Restore context saved by :func:`push_context`."""
+    for key, value in saved.items():
+        if value is _MISSING:
+            _CONTEXT.pop(key, None)
+        else:
+            _CONTEXT[key] = value
+
+
+def reset() -> None:
+    """Close the handle and clear ambient context (test isolation)."""
+    global _HANDLE, _HANDLE_KEY
+    if _HANDLE is not None:
+        try:
+            _HANDLE.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+    _HANDLE = None
+    _HANDLE_KEY = None
+    _CONTEXT.clear()
+
+
+# --- schema -----------------------------------------------------------------
+
+
+def _valid_name(name: object) -> bool:
+    return (
+        isinstance(name, str)
+        and bool(name)
+        and name[0].isalpha()
+        and set(name) <= _NAME_CHARS
+        and not name.startswith(".")
+        and not name.endswith(".")
+    )
+
+
+def validate_record(record: object) -> List[str]:
+    """Schema errors of one event record (empty list = valid).
+
+    The schema is structural, not a name whitelist -- new subsystems
+    may add event types freely:
+
+    * the record is a JSON object with every required field;
+    * ``event`` is a dotted lowercase identifier;
+    * ``ts`` is a number, ``pid`` a positive integer;
+    * keys are identifiers and values are JSON scalars (events are flat
+      -- aggregates belong in spill records and reports, not events).
+    """
+    if not isinstance(record, dict):
+        return ["record is not a JSON object"]
+    errors: List[str] = []
+    for field in REQUIRED_FIELDS:
+        if field not in record:
+            errors.append(f"missing required field {field!r}")
+    name = record.get("event")
+    if "event" in record and not _valid_name(name):
+        errors.append(f"bad event name {name!r}")
+    ts = record.get("ts")
+    if "ts" in record and not isinstance(ts, numbers.Real):
+        errors.append(f"ts is not a number: {ts!r}")
+    pid = record.get("pid")
+    if "pid" in record and not (isinstance(pid, int) and pid > 0):
+        errors.append(f"pid is not a positive integer: {pid!r}")
+    for key, value in record.items():
+        if not isinstance(key, str) or not key.replace("_", "").isalnum():
+            errors.append(f"bad field name {key!r}")
+        if not isinstance(value, (str, int, float, bool, type(None))):
+            errors.append(f"field {key!r} is not a JSON scalar: {value!r}")
+    return errors
+
+
+def validate_events_file(path) -> Tuple[int, List[str]]:
+    """Validate one JSONL event log.
+
+    Returns ``(record_count, errors)`` where each error names its line.
+    An unparsable line is an error (event logs are flushed per record,
+    so torn lines indicate a crashed writer, which is worth surfacing).
+    """
+    count = 0
+    errors: List[str] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"{path}:{lineno}: unparsable line ({exc})")
+                continue
+            count += 1
+            for problem in validate_record(record):
+                errors.append(f"{path}:{lineno}: {problem}")
+    return count, errors

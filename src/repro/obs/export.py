@@ -1,0 +1,123 @@
+"""Exporters: registry snapshots as JSON and Prometheus text format.
+
+The Prometheus exposition follows the text format conventions: metric
+names are the registry's dotted names with dots mangled to underscores
+under a ``repro_`` prefix; histograms expose cumulative ``le`` bucket
+series plus ``_sum`` / ``_count``; span totals are exported alongside
+the registry as ``repro_span_seconds_total`` / ``repro_span_calls_total``
+with a ``name`` label.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs import metrics, trace
+
+
+def registry_snapshot(
+    registry: Optional[metrics.MetricsRegistry] = None,
+) -> Dict[str, object]:
+    """Registry contents plus span totals as one JSON-serialisable
+    mapping (``counters`` / ``gauges`` / ``histograms`` / ``spans``)."""
+    registry = registry if registry is not None else metrics.REGISTRY
+    snapshot = registry.snapshot()
+    snapshot["spans"] = {
+        name: {"seconds": seconds, "calls": calls}
+        for name, (seconds, calls) in trace.totals().items()
+    }
+    return snapshot
+
+
+def _mangle(name: str) -> str:
+    return "repro_" + name.replace(".", "_")
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def prometheus_text(
+    registry: Optional[metrics.MetricsRegistry] = None,
+    counters: Optional[Dict[str, float]] = None,
+    spans: Optional[Dict[str, object]] = None,
+) -> str:
+    """The registry (or explicit ``counters`` / ``spans`` tables, as a
+    :class:`~repro.obs.report.SweepReport` holds) in Prometheus text
+    exposition format.
+
+    ``spans`` values may be ``(seconds, calls)`` tuples/lists or
+    ``{"seconds": ..., "calls": ...}`` mappings.
+    """
+    registry = registry if registry is not None else metrics.REGISTRY
+    lines: List[str] = []
+
+    if counters is None:
+        counter_table = registry.counter_values()
+        counter_help = {
+            name: c.help for name, c in registry._counters.items() if c.help
+        }
+    else:
+        counter_table = counters
+        counter_help = {}
+    for name in sorted(counter_table):
+        mangled = _mangle(name)
+        if name in counter_help:
+            lines.append(f"# HELP {mangled} {counter_help[name]}")
+        lines.append(f"# TYPE {mangled} counter")
+        lines.append(f"{mangled} {_fmt(counter_table[name])}")
+
+    if counters is None:
+        for name in sorted(registry._gauges):
+            gauge = registry._gauges[name]
+            mangled = _mangle(name)
+            if gauge.help:
+                lines.append(f"# HELP {mangled} {gauge.help}")
+            lines.append(f"# TYPE {mangled} gauge")
+            lines.append(f"{mangled} {_fmt(gauge.value)}")
+
+        for name in sorted(registry._histograms):
+            hist = registry._histograms[name]
+            mangled = _mangle(name)
+            if hist.help:
+                lines.append(f"# HELP {mangled} {hist.help}")
+            lines.append(f"# TYPE {mangled} histogram")
+            cumulative = 0
+            for bound, count in zip(hist.bounds, hist.counts):
+                cumulative += count
+                lines.append(
+                    f'{mangled}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{mangled}_bucket{{le="+Inf"}} {hist.count}')
+            lines.append(f"{mangled}_sum {repr(hist.sum)}")
+            lines.append(f"{mangled}_count {hist.count}")
+
+    span_table: Dict[str, object] = (
+        spans
+        if spans is not None
+        else {name: pair for name, pair in trace.totals().items()}
+    )
+    if span_table:
+        lines.append("# TYPE repro_span_seconds_total counter")
+        lines.append("# TYPE repro_span_calls_total counter")
+        for name in sorted(span_table):
+            value = span_table[name]
+            if isinstance(value, dict):
+                seconds, calls = value["seconds"], value["calls"]
+            else:
+                seconds, calls = value[0], value[1]
+            label = _escape_label(name)
+            lines.append(
+                f'repro_span_seconds_total{{name="{label}"}} {repr(float(seconds))}'
+            )
+            lines.append(
+                f'repro_span_calls_total{{name="{label}"}} {_fmt(float(calls))}'
+            )
+
+    return "\n".join(lines) + "\n" if lines else ""

@@ -2,15 +2,20 @@
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import SensorFaultError, SimulationError
 from repro.floorplan.floorplan import Floorplan
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
 from repro.sensors.faults import SensorFault
 from repro.sensors.sensor import SensorParameters, ThermalSensor
 from repro.units import KHZ
+
+_LOGGER = logging.getLogger("repro.sensors")
 
 NOISE_CHUNK = 64
 """Gaussian noise values pre-drawn per sensor on the *first* refill of
@@ -62,6 +67,20 @@ class SensorArray:
                     f"block {fault.block!r} has more than one sensor fault"
                 )
             by_block[fault.block] = fault
+        if by_block:
+            # Fault-plan application used to be silent; a degraded array
+            # changes every downstream statistic, so say so.
+            _LOGGER.warning(
+                "sensor array built with %d faulted sensor(s): %s",
+                len(by_block),
+                ", ".join(sorted(by_block)),
+            )
+            obs_metrics.inc("sensors.faults_attached", len(by_block))
+            obs_events.emit(
+                "sensors.faults_attached",
+                count=len(by_block),
+                blocks=",".join(sorted(by_block)),
+            )
         self._sensors: Dict[str, ThermalSensor] = {
             name: ThermalSensor(
                 self._params,
@@ -158,6 +177,11 @@ class SensorArray:
                 raise SimulationError(f"no true temperature for block {name!r}")
             readings[name] = sensor.read(true_temps_c[name])
         if not readings:
+            _LOGGER.error(
+                "every sensor in the array has dropped out at t=%.6gs",
+                time_s,
+            )
+            obs_events.emit("sensors.all_dropped_out", time_s=time_s)
             raise SensorFaultError(
                 "every sensor in the array has dropped out; the DTM "
                 "controller has no thermal observability"

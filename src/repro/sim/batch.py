@@ -26,11 +26,17 @@ import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs import runctx as obs_runctx
+from repro.obs import spill as obs_spill
+from repro.obs import trace as obs_trace
+from repro.obs.report import SweepReport
 from repro.sim.config import EngineConfig
 from repro.sim.faults import fire_prerun_faults
 from repro.sim.results import RunResult
@@ -167,19 +173,33 @@ def _default_substrate() -> tuple:
 # would dominate short sweeps.
 _POOL: Optional[ProcessPoolExecutor] = None
 _POOL_SIZE = 0
+_POOL_OBS: Tuple[bool, str] = (False, "")
+
+
+def _obs_pool_key() -> Tuple[bool, str]:
+    # Workers fork with the parent's observability state frozen at fork
+    # time; a pool created with obs off (or spilling into a different
+    # directory) would silently drop every worker's run records.
+    return (obs_metrics.enabled(), str(obs_metrics.obs_dir()))
 
 
 def _get_pool(processes: int) -> ProcessPoolExecutor:
-    global _POOL, _POOL_SIZE
+    global _POOL, _POOL_SIZE, _POOL_OBS
+    obs_key = _obs_pool_key()
     if _POOL is not None and (
-        _POOL_SIZE != processes or getattr(_POOL, "_broken", False)
+        _POOL_SIZE != processes
+        or _POOL_OBS != obs_key
+        or getattr(_POOL, "_broken", False)
     ):
         # Never hand out a pool observed broken: a dead worker poisons
-        # every future submitted to it.  Rebuild instead.
+        # every future submitted to it.  Rebuild instead.  A pool whose
+        # workers forked under a different observability state is
+        # rebuilt for the same reason: it would lose telemetry.
         _shutdown_pool()
     if _POOL is None:
         _POOL = ProcessPoolExecutor(max_workers=processes)
         _POOL_SIZE = processes
+        _POOL_OBS = obs_key
     return _POOL
 
 
@@ -318,20 +338,51 @@ def run_one(spec: RunSpec) -> RunResult:
     if initial is None:
         initial = steady_state_for(workload)
     floorplan, hotspot, power_model = _default_substrate()
+    policy = _build_policy(spec)
     engine = SimulationEngine(
         workload,
-        policy=_build_policy(spec),
+        policy=policy,
         floorplan=floorplan,
         hotspot=hotspot,
         power_model=power_model,
         config=spec.config,
         seed=spec.seed,
     )
-    return engine.run(
-        spec.instructions,
-        initial=np.array(initial, dtype=float, copy=True),
-        settle_time_s=spec.settle_time_s,
+    initial_vec = np.array(initial, dtype=float, copy=True)
+    if not obs_metrics.enabled():
+        return engine.run(
+            spec.instructions,
+            initial=initial_vec,
+            settle_time_s=spec.settle_time_s,
+        )
+    # Digest of the spec as the sweep parent saw it (warmup vectors are
+    # filled in before dispatch, so strip ours to match the identity the
+    # supervisor journals under).
+    digest = spec_digest(replace(spec, initial=None))
+    run_id = f"{workload.name}.{policy.name}.s{spec.seed}.{digest[:8]}"
+    obs_runctx.begin(
+        run_id,
+        benchmark=workload.name,
+        policy=policy.name,
+        seed=spec.seed,
+        digest=digest,
     )
+    error: Optional[str] = None
+    try:
+        with obs_trace.span("run.total"):
+            return engine.run(
+                spec.instructions,
+                initial=initial_vec,
+                settle_time_s=spec.settle_time_s,
+            )
+    except BaseException as exc:
+        error = f"{type(exc).__name__}: {exc}"
+        raise
+    finally:
+        # The record reaches the sweep parent even from a pool worker:
+        # spill.record appends to this process's spill file there, or to
+        # the parent's in-memory list on the serial path.
+        obs_spill.record(obs_runctx.end(error=error))
 
 
 def _precompute_warmups(specs: Sequence[RunSpec]) -> List[RunSpec]:
@@ -437,6 +488,20 @@ def run_many(
     if not specs:
         return []
     started = time.perf_counter()
+    obs_on = obs_metrics.enabled()
+    # The last report always describes the *latest* sweep: a sweep run
+    # with observability off must not leave a predecessor's report
+    # behind masquerading as its own.
+    global _LAST_REPORT
+    _LAST_REPORT = None
+    spill_token = obs_spill.begin_collection() if obs_on else None
+    if obs_on:
+        obs_events.emit(
+            "sweep.start",
+            n_specs=len(specs),
+            processes=processes if processes else 1,
+            lockstep=bool(lockstep),
+        )
 
     journal_path = journal if journal is not None else resume
     completed = load_journal(resume) if resume is not None else {}
@@ -526,7 +591,49 @@ def run_many(
             _TOTALS.thermal_steps += (
                 outcome.cycles / spec.config.thermal_step_cycles
             )
+
+    if obs_on:
+        # Merge the per-run records every executing process spilled
+        # (workers via their spill files, this process in memory) with
+        # the supervisor's sweep-level telemetry.  Report counters come
+        # only from those two sources -- never from merging worker
+        # registries -- so serial and pooled sweeps count identically.
+        failures = [
+            outcome.to_json_dict()
+            for outcome in outcomes
+            if isinstance(outcome, RunFailure)
+        ]
+        meta: Dict[str, object] = {
+            "processes": processes if processes else 1,
+            "lockstep": bool(lockstep),
+            "n_specs": len(specs),
+            "wall_seconds": wall,
+        }
+        if supervisor.degradation_reason:
+            meta["degradation_reason"] = supervisor.degradation_reason
+        _LAST_REPORT = SweepReport.build(
+            obs_spill.collect(spill_token),
+            failures=failures,
+            meta=meta,
+            sweep_counters=supervisor.telemetry,
+        )
+        obs_events.emit(
+            "sweep.complete",
+            n_specs=len(specs),
+            n_failures=len(failures),
+            wall_seconds=wall,
+        )
     return outcomes
+
+
+_LAST_REPORT: Optional[SweepReport] = None
+
+
+def last_sweep_report() -> Optional[SweepReport]:
+    """The :class:`~repro.obs.report.SweepReport` of the most recent
+    :func:`run_many` call executed with observability enabled, or
+    ``None``."""
+    return _LAST_REPORT
 
 
 def _first_unpicklable(specs: Sequence[RunSpec]) -> Optional[int]:

@@ -12,6 +12,10 @@ from repro.dtm.base import DtmCommand, DtmPolicy
 from repro.dtm.none import NoDtmPolicy
 from repro.dtm.thresholds import ThermalThresholds
 from repro.errors import SimulationError, ThermalViolationError
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs import runctx as obs_runctx
+from repro.obs import trace as obs_trace
 from repro.floorplan.alpha21364 import build_alpha21364_floorplan
 from repro.floorplan.floorplan import Floorplan
 from repro.power.model import PowerModel
@@ -32,53 +36,61 @@ from repro.workloads.compiler import CompiledIntervalModel, compile_workload
 from repro.workloads.workload import Workload
 
 STEP_TIMING_ENV = "REPRO_STEP_TIMING"
-"""Set to ``1`` to accumulate a coarse per-section step-timing
-breakdown (sense / policy / perf / power / thermal) into module-level
-counters, read back with :func:`step_timers`.  Used by
-``python -m repro bench --profile``; off by default because the
-wrappers add a few microseconds per call."""
+"""Back-compat alias: forces the per-section step-timing breakdown
+(sense / policy / perf / power / thermal) on even when the wider
+observability layer is off.  The timings now record through
+:mod:`repro.obs.trace` as ``step.<section>`` spans; :func:`step_timers`
+reads the same table.  Enabling ``REPRO_OBS`` switches the breakdown on
+too; the env var remains for ``python -m repro bench --profile``
+workflows that want timings without the rest of the telemetry."""
 
-_STEP_TIMERS: Dict[str, float] = {}
-_STEP_COUNTS: Dict[str, int] = {}
+STEP_SECTIONS = ("sense", "policy", "perf", "power", "thermal")
+"""The per-section names :func:`step_timers` reports."""
 
 
 def step_timing_enabled() -> bool:
-    """True when the ``REPRO_STEP_TIMING`` breakdown is switched on."""
-    return os.environ.get(STEP_TIMING_ENV, "") not in ("", "0")
-
-
-def _note_time(section: str, seconds: float) -> None:
-    _STEP_TIMERS[section] = _STEP_TIMERS.get(section, 0.0) + seconds
-    _STEP_COUNTS[section] = _STEP_COUNTS.get(section, 0) + 1
+    """True when the per-section step-timing breakdown is switched on
+    (``REPRO_STEP_TIMING=1`` or the observability layer is enabled)."""
+    if os.environ.get(STEP_TIMING_ENV, "") not in ("", "0"):
+        return True
+    return obs_metrics.enabled()
 
 
 def _timed(section: str, fn):
     """Wrap a hot-loop callable so its cumulative time and call count
-    land in the step timers.  Only installed when timing is enabled, so
-    the normal hot loop carries no instrumentation branches at all."""
+    land in the ``step.<section>`` span totals.  Only installed when
+    timing is enabled, so the normal hot loop carries no
+    instrumentation branches at all."""
+    name = "step." + section
+    record = obs_trace.record
 
     def wrapper(*args, **kwargs):
         t0 = perf_counter()
         try:
             return fn(*args, **kwargs)
         finally:
-            _note_time(section, perf_counter() - t0)
+            record(name, perf_counter() - t0)
 
     return wrapper
 
 
 def step_timers() -> Dict[str, Tuple[float, int]]:
-    """Accumulated ``{section: (seconds, calls)}`` since the last reset."""
+    """Accumulated ``{section: (seconds, calls)}`` since the last reset.
+
+    A back-compat view over :func:`repro.obs.trace.totals` restricted
+    to the ``step.*`` spans, with the prefix stripped.
+    """
+    totals = obs_trace.totals()
     return {
-        name: (_STEP_TIMERS[name], _STEP_COUNTS.get(name, 0))
-        for name in _STEP_TIMERS
+        section: totals["step." + section]
+        for section in STEP_SECTIONS
+        if "step." + section in totals
     }
 
 
 def reset_step_timers() -> None:
-    """Zero the step-timing accumulators."""
-    _STEP_TIMERS.clear()
-    _STEP_COUNTS.clear()
+    """Zero the step-timing accumulators (all span totals)."""
+    obs_trace.reset_totals()
 
 
 class TraceBuffer:
@@ -317,6 +329,7 @@ class SimulationEngine:
         steps = self.iter_run(instructions, initial, settle_time_s)
         reply: Optional[np.ndarray] = None
         if step_timing_enabled():
+            record = obs_trace.record
             try:
                 while True:
                     solver, power, dt, count = steps.send(reply)
@@ -327,7 +340,7 @@ class SimulationEngine:
                         reply = solver.fast_forward(
                             power, dt, count, copy=False
                         )
-                    _note_time("thermal", perf_counter() - t0)
+                    record("step.thermal", perf_counter() - t0)
             except StopIteration as stop:
                 return stop.value
         try:
@@ -413,6 +426,18 @@ class SimulationEngine:
         max_temp = -1e9
         hottest_block = block_names[0]
         above_trigger_s = 0.0
+        # Always-on local telemetry: plain int/bool/float updates on
+        # quantities the loop already computes, so the disabled path
+        # stays bit-identical and allocation-free.  Published into the
+        # obs registry in one batch after the loop.
+        above_trigger = False
+        trigger_crossings = 0
+        cmd_active = False
+        dtm_engagements = 0
+        engaged_s = 0.0
+        ff_spans_taken = 0
+        ff_spans_rejected = 0
+        sensor_samples = 0
         switches = 0
         migrations = 0
         previous_migration = None
@@ -545,6 +570,7 @@ class SimulationEngine:
             was silently missed)."""
             nonlocal max_temp, hottest_block, violations
             nonlocal above_trigger_s, low_time_s, energy_j
+            nonlocal above_trigger, trigger_crossings
             step_max = float(block_temps.max())
             if step_max > max_temp:
                 # argmax only when the maximum moved: the hottest block's
@@ -562,6 +588,11 @@ class SimulationEngine:
                     )
             if step_max > trigger_c:
                 above_trigger_s += dt_acct
+                if not above_trigger:
+                    above_trigger = True
+                    trigger_crossings += 1
+            else:
+                above_trigger = False
             if voltage < nominal_v - 1e-12:
                 low_time_s += dt_acct
             energy_j += power_sum_w * dt_acct
@@ -602,6 +633,7 @@ class SimulationEngine:
         while done < instructions:
             # --- sensing and policy -------------------------------------------
             if sensors_due(time_s):
+                sensor_samples += 1
                 if sensors_sample_vector is not None:
                     readings = sensors_sample_vector(block_temps, time_s)
                 else:
@@ -609,6 +641,16 @@ class SimulationEngine:
                 new_command = policy_update(
                     readings, time_s, sampling_period_s
                 )
+                new_active = (
+                    new_command.gating_fraction > 0.0
+                    or new_command.clock_enabled_fraction < 1.0
+                    or bool(new_command.domain_gating)
+                    or new_command.migration is not None
+                    or abs(new_command.voltage - nominal_v) > 1e-12
+                )
+                if new_active and not cmd_active:
+                    dtm_engagements += 1
+                cmd_active = new_active
                 if abs(new_command.voltage - voltage) > 1e-12 and (
                     pending_voltage is None
                     or abs(new_command.voltage - pending_voltage) > 1e-12
@@ -788,6 +830,8 @@ class SimulationEngine:
 
                 account_thermal(dt_measured, power_sum)
                 gating_time_weighted += command.gating_fraction * dt_measured
+                if cmd_active:
+                    engaged_s += dt_measured
             else:
                 time_s += dt
                 if time_s >= settle_time_s:
@@ -897,6 +941,10 @@ class SimulationEngine:
                         else:
                             safe = False
                     if safe:
+                        ff_spans_taken += 1
+                    else:
+                        ff_spans_rejected += 1
+                    if safe:
                         per_step_instr = perf.fast_forward(
                             step_cycles, actuation, k
                         )
@@ -908,13 +956,25 @@ class SimulationEngine:
                             done += per_step_instr * k
                             cycles_f += step_cycles * k
                             violations += span_violations
-                            above_trigger_s += span_trigger_s
+                            # The envelope proved the jumped span either
+                            # uniformly above the trigger
+                            # (span_trigger_s == span_s) or uniformly
+                            # at-or-below it, so crossing state is exact.
+                            if span_trigger_s > 0.0:
+                                above_trigger_s += span_trigger_s
+                                if not above_trigger:
+                                    above_trigger = True
+                                    trigger_crossings += 1
+                            else:
+                                above_trigger = False
                             if voltage < nominal_v - 1e-12:
                                 low_time_s += span_s
                             energy_j += power_sum * span_s
                             gating_time_weighted += (
                                 command.gating_fraction * span_s
                             )
+                            if cmd_active:
+                                engaged_s += span_s
                             step_max = float(block_temps.max())
                             if step_max > max_temp:
                                 max_temp = step_max
@@ -923,6 +983,43 @@ class SimulationEngine:
                                 ]
 
         elapsed_s = time_s - measure_start_s
+        if obs_metrics.enabled():
+            # One batch publish per run: registry counters for the
+            # process view, run-context metrics for the spill record the
+            # sweep report aggregates, and one completion event.
+            duty_cycle = engaged_s / max(elapsed_s, 1e-12)
+            counters = {
+                "engine.runs": 1.0,
+                "engine.exec_steps": float(exec_steps),
+                "engine.trigger_crossings": float(trigger_crossings),
+                "engine.sensor_samples": float(sensor_samples),
+                "engine.violations": float(violations),
+                "engine.ff_spans_taken": float(ff_spans_taken),
+                "engine.ff_spans_rejected": float(ff_spans_rejected),
+                "dtm.engagements": float(dtm_engagements),
+                "dtm.dvs_switches": float(switches),
+                "dtm.migrations": float(migrations),
+            }
+            if solver.fallback_active:
+                counters["thermal.fallback_runs"] = 1.0
+            registry = obs_metrics.REGISTRY
+            for name, value in counters.items():
+                registry.counter(name).inc(value)
+            obs_runctx.add_metrics(counters)
+            obs_runctx.add_metric("dtm.duty_cycle", duty_cycle)
+            obs_runctx.add_metric("dtm.engaged_s", engaged_s)
+            obs_runctx.add_metric("engine.above_trigger_s", above_trigger_s)
+            obs_events.emit(
+                "engine.run_complete",
+                benchmark=self._workload.name,
+                policy=self._policy.name,
+                instructions=float(done),
+                elapsed_s=elapsed_s,
+                trigger_crossings=trigger_crossings,
+                violations=violations,
+                dtm_duty_cycle=duty_cycle,
+                fallback_active=bool(solver.fallback_active),
+            )
         return RunResult(
             benchmark=self._workload.name,
             policy=self._policy.name,
@@ -942,5 +1039,6 @@ class SimulationEngine:
             mean_gating_fraction=gating_time_weighted / max(elapsed_s, 1e-12),
             mean_power_w=energy_j / max(elapsed_s, 1e-12),
             migrations=migrations,
+            trigger_crossings=trigger_crossings,
             trace=trace.points() if trace is not None else None,
         )

@@ -24,6 +24,7 @@ reproducible as the sweep it perturbs:
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import time
@@ -31,7 +32,11 @@ from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from repro.errors import InjectedFaultError, SimulationError
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
 from repro.sensors.faults import SensorFault
+
+_LOGGER = logging.getLogger("repro.faults")
 
 CORRUPT_NAN = "nan"
 CORRUPT_INF = "inf"
@@ -143,10 +148,28 @@ def fire_prerun_faults(plan: Optional[FaultPlan], seed: int) -> None:
     """
     if plan is None or not plan.targets(seed):
         return
+    if plan.has_transient_faults:
+        _LOGGER.warning(
+            "fault plan armed for run seed %d (crash=%s, delay=%.3gs, "
+            "corrupt_at_step=%s)",
+            seed,
+            plan.crash_worker,
+            plan.delay_s,
+            plan.corrupt_power_at_step,
+        )
+        obs_metrics.inc("faults.prerun_armed")
+        obs_events.emit(
+            "faults.prerun_armed",
+            seed=seed,
+            crash_worker=plan.crash_worker,
+            delay_s=plan.delay_s,
+            corrupt_power_at_step=plan.corrupt_power_at_step,
+        )
     if plan.delay_s > 0.0:
         time.sleep(plan.delay_s)
     if plan.crash_worker:
         if in_worker_process():
+            obs_events.emit("faults.worker_crash", seed=seed)
             os._exit(17)
         raise InjectedFaultError(
             f"injected worker crash for run seed {seed}"

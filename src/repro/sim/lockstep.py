@@ -26,12 +26,19 @@ emergency must abort only its own run, not the whole batch.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import runctx as obs_runctx
+from repro.obs import spill as obs_spill
 from repro.sim.results import RunResult
 from repro.thermal.solver import step_lockstep
+
+# Sequence number for chunk record ids within one process.
+_CHUNK_SEQ = 0
 
 
 def run_lockstep(specs) -> List[RunResult]:
@@ -55,6 +62,25 @@ def run_lockstep(specs) -> List[RunResult]:
     results: List[Optional[RunResult]] = [None] * len(specs)
     generators: Dict[int, object] = {}
     pending: Dict[int, tuple] = {}
+
+    # One telemetry record per chunk: the interleaved generators share
+    # one process, so per-run attribution is impossible here -- instead
+    # the engines' end-of-run publishes land in this chunk-level run
+    # context (runs delegated to run_one below open their own nested
+    # context, so their metrics stay per-run and are not double
+    # counted).
+    obs_on = obs_metrics.enabled()
+    if obs_on:
+        global _CHUNK_SEQ
+        _CHUNK_SEQ += 1
+        obs_runctx.begin(
+            f"lockstep.p{os.getpid()}.c{_CHUNK_SEQ}",
+            benchmark=f"lockstep[{len(specs)}]",
+            policy="chunk",
+            chunk=True,
+            runs=len(specs),
+        )
+    error: Optional[str] = None
 
     floorplan, hotspot, power_model = _default_substrate()
     try:
@@ -120,6 +146,9 @@ def run_lockstep(specs) -> List[RunResult]:
 
             for index in sorted(replies):
                 _advance(index, replies[index], generators, pending, results)
+    except BaseException as exc:
+        error = f"{type(exc).__name__}: {exc}"
+        raise
     finally:
         # One run failing (or the driver itself raising) must not leak
         # the other runs' suspended generators: close them all so their
@@ -132,6 +161,8 @@ def run_lockstep(specs) -> List[RunResult]:
                 pass
         generators.clear()
         pending.clear()
+        if obs_on:
+            obs_spill.record(obs_runctx.end(error=error))
 
     return results
 

@@ -46,6 +46,9 @@ class RunResult:
     mean_gating_fraction: float
     mean_power_w: float
     migrations: int = 0
+    # Distinct excursions above the trigger temperature (defaulted so
+    # journals written before this field existed still load).
+    trigger_crossings: int = 0
     trace: Optional[List[TracePoint]] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -98,6 +101,7 @@ class RunResult:
             "violations": float(self.violations),
             "max_temp_c": self.max_true_temp_c,
             "above_trigger_frac": self.fraction_above_trigger,
+            "trigger_crossings": float(self.trigger_crossings),
             "dvs_switches": float(self.dvs_switches),
             "dvs_low_frac": self.dvs_low_time_s / self.elapsed_s,
             "stall_ms": self.stall_time_s * 1e3,

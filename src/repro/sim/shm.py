@@ -72,13 +72,15 @@ RESULT_FIELDS = (
     "mean_gating_fraction",
     "mean_power_w",
     "migrations",
+    "trigger_crossings",
 )
 """Numeric :class:`RunResult` fields carried in the shared result
 table, in slot order.  Every one is either a double already or an
 integer far below 2**53, so a float64 slot stores it exactly."""
 
 _INT_FIELDS = frozenset(
-    ("cycles", "violations", "dvs_switches", "migrations")
+    ("cycles", "violations", "dvs_switches", "migrations",
+     "trigger_crossings")
 )
 
 _ALIGN = 8

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import heapq
 import json
+import logging
 import random
 import time
 import warnings
@@ -50,7 +51,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.errors import RunTimeoutError, SimulationError
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
 from repro.sim.results import RunResult
+
+_LOGGER = logging.getLogger("repro.sweep")
 
 MAX_POOL_FAILURES = 3
 """Pool rebuilds tolerated in one sweep before degrading to serial."""
@@ -147,11 +152,27 @@ class RunFailure:
     error_type: str
     message: str
     attempts: int
+    # Supervision context the failure happened under -- e.g. why the
+    # pool had been abandoned when this spec was given up on serially.
+    notes: Tuple[str, ...] = ()
 
     @property
     def failed(self) -> bool:
         """Always true; lets callers filter mixed result lists."""
         return True
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Scalar fields for report/journal serialisation."""
+        return {
+            "index": self.index,
+            "digest": self.digest,
+            "benchmark": self.benchmark,
+            "policy": self.policy,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "notes": "; ".join(self.notes),
+        }
 
 
 Outcome = Union[RunResult, RunFailure]
@@ -238,11 +259,16 @@ def load_journal(path) -> Dict[str, RunResult]:
 
 class _PoolRebuild(Exception):
     """Internal signal: the pool must be rebuilt; carries the specs that
-    still need execution."""
+    still need execution and the reason the pool was condemned."""
 
-    def __init__(self, unfinished: List[Tuple[int, _SpecState]]):
-        super().__init__(f"{len(unfinished)} specs unfinished")
+    def __init__(
+        self,
+        unfinished: List[Tuple[int, _SpecState]],
+        reason: str = "unknown",
+    ):
+        super().__init__(f"{len(unfinished)} specs unfinished ({reason})")
         self.unfinished = unfinished
+        self.reason = reason
 
 
 class SweepSupervisor:
@@ -279,6 +305,18 @@ class SweepSupervisor:
         self.partial_results = partial_results
         self.journal = journal
         self._backoff_seq = 0
+        # Sweep-level telemetry the caller folds into its SweepReport.
+        # Maintained unconditionally (plain dict increments); the
+        # structured events alongside are obs-gated.
+        self.telemetry: Dict[str, float] = {}
+        # Why the pool was abandoned, once it has been ("" until then).
+        # Carried into serial-fallback RunFailure notes and the sweep
+        # report's metadata.
+        self.degradation_reason: str = ""
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        self.telemetry[name] = self.telemetry.get(name, 0.0) + amount
+        obs_metrics.inc(name, amount)
 
     @property
     def inert(self) -> bool:
@@ -307,9 +345,21 @@ class SweepSupervisor:
             self.journal.record(state.digest, index, result)
 
     def _fail(self, outcomes, index: int, state: _SpecState, exc) -> None:
+        self._count("sweep.run_failures")
+        obs_events.emit(
+            "sweep.run_failed",
+            index=index,
+            digest=state.digest,
+            benchmark=state.spec.workload_name,
+            error_type=type(exc).__name__,
+            attempts=state.attempts,
+        )
         if not self.partial_results:
             raise exc
         spec = state.spec
+        notes: Tuple[str, ...] = ()
+        if self.degradation_reason:
+            notes = (f"pool degraded to serial: {self.degradation_reason}",)
         outcomes[index] = RunFailure(
             index=index,
             digest=state.digest,
@@ -318,6 +368,7 @@ class SweepSupervisor:
             error_type=type(exc).__name__,
             message=str(exc),
             attempts=state.attempts,
+            notes=notes,
         )
 
     def _charge_attempt(self, state: _SpecState) -> bool:
@@ -326,6 +377,13 @@ class SweepSupervisor:
         if state.attempts > self.retries:
             return False
         state.spec = strip_transient_faults(state.spec)
+        self._count("sweep.retries")
+        obs_events.emit(
+            "sweep.retry",
+            digest=state.digest,
+            benchmark=state.spec.workload_name,
+            attempt=state.attempts,
+        )
         return True
 
     # --- serial path -------------------------------------------------------
@@ -364,11 +422,33 @@ class SweepSupervisor:
 
         queue: List[Tuple[int, _SpecState]] = list(items)
         pool_failures = 0
+        failure_reasons: List[str] = []
         while queue:
             if pool_failures >= MAX_POOL_FAILURES:
+                # The reason the pool was abandoned used to be dropped
+                # here; record it so partial results and the sweep
+                # report can explain the degradation.
+                reason = (
+                    f"{pool_failures} pool failures: "
+                    + "; ".join(failure_reasons)
+                )
+                self.degradation_reason = reason
+                self._count("sweep.serial_degradations")
+                obs_events.emit(
+                    "sweep.serial_degradation",
+                    pool_failures=pool_failures,
+                    remaining_runs=len(queue),
+                    reason=reason,
+                )
+                _LOGGER.warning(
+                    "degrading %d remaining runs to serial execution (%s)",
+                    len(queue),
+                    reason,
+                )
                 warnings.warn(
-                    f"process pool failed {pool_failures} times; degrading "
-                    f"the remaining {len(queue)} runs to serial execution",
+                    f"process pool failed {pool_failures} times "
+                    f"({'; '.join(failure_reasons)}); degrading the "
+                    f"remaining {len(queue)} runs to serial execution",
                     RuntimeWarning,
                     stacklevel=3,
                 )
@@ -379,6 +459,19 @@ class SweepSupervisor:
                 return
             except _PoolRebuild as signal:
                 pool_failures += 1
+                failure_reasons.append(signal.reason)
+                self._count("sweep.pool_rebuilds")
+                obs_events.emit(
+                    "sweep.pool_rebuild",
+                    generation=pool_failures,
+                    unfinished_runs=len(signal.unfinished),
+                    reason=signal.reason,
+                )
+                _LOGGER.warning(
+                    "rebuilding worker pool (generation %d): %s",
+                    pool_failures,
+                    signal.reason,
+                )
                 batch._shutdown_pool()
                 queue = signal.unfinished
 
@@ -421,9 +514,10 @@ class SweepSupervisor:
         for position, (index, state) in enumerate(queue):
             try:
                 submit(index, state)
-            except Exception:
+            except Exception as exc:
                 raise _PoolRebuild(
-                    unfinished_after_breakage(queue[position:])
+                    unfinished_after_breakage(queue[position:]),
+                    reason=f"submission failed ({type(exc).__name__})",
                 ) from None
 
         while inflight or delayed:
@@ -432,9 +526,13 @@ class SweepSupervisor:
                 _, _, index, state = heapq.heappop(delayed)
                 try:
                     submit(index, state)
-                except Exception:
+                except Exception as exc:
                     raise _PoolRebuild(
-                        unfinished_after_breakage([(index, state)])
+                        unfinished_after_breakage([(index, state)]),
+                        reason=(
+                            f"retry submission failed "
+                            f"({type(exc).__name__})"
+                        ),
                     ) from None
             if not inflight:
                 if delayed:
@@ -479,7 +577,10 @@ class SweepSupervisor:
                 else:
                     self._record(outcomes, index, state, result)
             if broken_items:
-                raise _PoolRebuild(unfinished_after_breakage(broken_items))
+                raise _PoolRebuild(
+                    unfinished_after_breakage(broken_items),
+                    reason="worker process died (BrokenProcessPool)",
+                )
 
             # Overdue runs: the worker may be wedged beyond reclaim, so
             # the whole pool is rebuilt (terminating its workers) and
@@ -492,6 +593,13 @@ class SweepSupervisor:
                     index, state = inflight.pop(future)
                     deadlines.pop(future, None)
                     future.cancel()
+                    self._count("sweep.timeouts")
+                    obs_events.emit(
+                        "sweep.run_timeout",
+                        index=index,
+                        benchmark=state.spec.workload_name,
+                        budget_s=self.timeout_s,
+                    )
                     exc = RunTimeoutError(
                         f"run #{index} ({state.spec.workload_name}) "
                         f"exceeded its {self.timeout_s:g} s budget"
@@ -500,7 +608,14 @@ class SweepSupervisor:
                         self._fail(outcomes, index, state, exc)
                     else:
                         retry.append((index, state))
-                raise _PoolRebuild(unfinished_after_breakage(retry))
+                raise _PoolRebuild(
+                    unfinished_after_breakage(retry),
+                    reason=(
+                        f"{len(overdue)} overdue run(s) exceeded the "
+                        f"{self.timeout_s:g} s budget (worker possibly "
+                        f"wedged)"
+                    ),
+                )
 
     # --- lockstep paths ----------------------------------------------------
 
@@ -514,9 +629,22 @@ class SweepSupervisor:
             results = run_lockstep([state.spec for _, state in items])
         except KeyboardInterrupt:
             raise
-        except Exception:
+        except Exception as exc:
             if self.inert:
                 raise
+            self._count("sweep.lockstep_fallbacks")
+            obs_events.emit(
+                "sweep.lockstep_fallback",
+                scope="serial",
+                runs=len(items),
+                error_type=type(exc).__name__,
+            )
+            _LOGGER.warning(
+                "lockstep batch of %d runs failed (%s); re-running "
+                "the batch with per-spec supervision",
+                len(items),
+                type(exc).__name__,
+            )
             self.run_serial(items, outcomes)
             return
         for (index, state), result in zip(items, results):
@@ -591,4 +719,11 @@ class SweepSupervisor:
                 raise SimulationError(
                     "lockstep chunks failed without supervision enabled"
                 )  # pragma: no cover - unreachable (inert re-raises above)
+            self._count("sweep.lockstep_fallbacks")
+            obs_events.emit(
+                "sweep.lockstep_fallback",
+                scope="pool",
+                runs=len(fallback),
+                pool_broken=pool_broken,
+            )
             self.run_pool(fallback, outcomes, processes)

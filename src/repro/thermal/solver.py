@@ -27,6 +27,7 @@ sweep.
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict
 from typing import Optional, Tuple
 
@@ -36,6 +37,8 @@ from scipy.linalg.lapack import get_lapack_funcs
 
 from repro.errors import NumericalError, ThermalModelError
 from repro.thermal.rc_model import ThermalNetwork
+
+_LOGGER = logging.getLogger("repro.thermal")
 
 STEPPER_BACKWARD_EULER = "be"
 STEPPER_EXPONENTIAL = "expm"
@@ -456,7 +459,29 @@ class ExponentialSolver:
                 f"{STEPPER_EXPONENTIAL}->{STEPPER_BACKWARD_EULER}",
             ) from exc
         self._temps[:] = recovered
+        first = not self.fallback_active
         self.fallback_active = True
+        if first:
+            # Cold path by construction (a numerical-health trip): worth
+            # a counter, a structured event and a logged warning.
+            from repro.obs import events as obs_events
+            from repro.obs import metrics as obs_metrics
+
+            obs_metrics.inc("thermal.fallback_activations")
+            obs_events.emit(
+                "thermal.fallback",
+                time_s=self._time_s,
+                dt=dt,
+                steps=steps,
+            )
+            _LOGGER.warning(
+                "exponential stepper tripped a numerical-health guard at "
+                "t=%.6gs; recovered with backward Euler (dt=%.3g, "
+                "steps=%d) and disabled expm for the rest of the run",
+                self._time_s,
+                dt,
+                steps,
+            )
 
     def _mode_basis(self) -> Tuple[np.ndarray, np.ndarray]:
         """Eigendecomposition of the whitened operator

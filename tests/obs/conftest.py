@@ -1,0 +1,32 @@
+"""Fixtures for observability tests.
+
+Every test here runs against a clean registry/trace/event state and a
+throwaway spill directory, and restores the session's enabled flag on
+the way out so obs tests cannot leak state into (or inherit state from)
+the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import metrics as obs_metrics
+
+
+@pytest.fixture()
+def obs_dir(tmp_path, monkeypatch):
+    """A throwaway observability directory, with obs *disabled*."""
+    monkeypatch.setenv(obs_metrics.OBS_DIR_ENV, str(tmp_path))
+    obs.reset_for_testing()
+    previous = obs.set_enabled(False)
+    yield tmp_path
+    obs.set_enabled(previous)
+    obs.reset_for_testing()
+
+
+@pytest.fixture()
+def obs_on(obs_dir):
+    """The same throwaway directory, with obs *enabled*."""
+    obs.set_enabled(True)
+    return obs_dir

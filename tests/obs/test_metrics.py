@@ -1,0 +1,120 @@
+"""The metrics registry: counters, gauges, histograms, the enable flag."""
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import metrics
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    REGISTRY,
+    MetricsRegistry,
+    counter_delta,
+    inc,
+)
+
+
+class TestEnableFlag:
+    def test_set_enabled_returns_previous(self, obs_dir):
+        assert metrics.set_enabled(True) is False
+        assert metrics.enabled()
+        assert metrics.set_enabled(False) is True
+        assert not metrics.enabled()
+
+    def test_obs_dir_follows_env(self, obs_dir):
+        assert metrics.obs_dir() == obs_dir
+
+
+class TestCounter:
+    def test_increments(self, obs_dir):
+        counter = MetricsRegistry().counter("a.b")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_decrease(self, obs_dir):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("a.b").inc(-1.0)
+
+    def test_rejects_bad_names(self, obs_dir):
+        registry = MetricsRegistry()
+        for bad in ("", "UpperCase", "9lead", "has space", "dash-ed"):
+            with pytest.raises(ValueError):
+                registry.counter(bad)
+
+
+class TestGauge:
+    def test_set_and_add(self, obs_dir):
+        gauge = MetricsRegistry().gauge("g.x")
+        gauge.set(4.0)
+        gauge.add(-1.5)
+        assert gauge.value == 2.5
+
+
+class TestHistogram:
+    def test_bucket_assignment_and_overflow(self, obs_dir):
+        histogram = MetricsRegistry().histogram("h.x", bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            histogram.observe(value)
+        # <=1, <=10, overflow
+        assert histogram.counts == [2, 1, 1]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(106.5)
+
+    def test_rejects_unsorted_bounds(self, obs_dir):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h.bad", bounds=(2.0, 1.0))
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self, obs_dir):
+        registry = MetricsRegistry()
+        assert registry.counter("c.x") is registry.counter("c.x")
+
+    def test_kind_collision_rejected(self, obs_dir):
+        registry = MetricsRegistry()
+        registry.counter("name.taken")
+        with pytest.raises(ValueError):
+            registry.gauge("name.taken")
+        with pytest.raises(ValueError):
+            registry.histogram("name.taken")
+
+    def test_snapshot_round_trips_through_json(self, obs_dir):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c.x").inc(2)
+        registry.gauge("g.x").set(1.5)
+        registry.histogram("h.x", bounds=(1.0,)).observe(0.5)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert snapshot["counters"] == {"c.x": 2}
+        assert snapshot["gauges"] == {"g.x": 1.5}
+        assert snapshot["histograms"]["h.x"]["counts"] == [1, 0]
+
+    def test_reset_clears_everything(self, obs_dir):
+        registry = MetricsRegistry()
+        registry.counter("c.x").inc()
+        registry.reset()
+        assert registry.counter_values() == {}
+
+
+class TestModuleHelpers:
+    def test_inc_is_noop_when_disabled(self, obs_dir):
+        inc("noop.counter")
+        assert "noop.counter" not in REGISTRY.counter_values()
+
+    def test_inc_writes_when_enabled(self, obs_on):
+        inc("live.counter", 3.0)
+        assert REGISTRY.counter_values()["live.counter"] == 3.0
+
+    def test_counter_delta_drops_zero_entries(self, obs_dir):
+        before = {"a": 1.0, "b": 2.0}
+        after = {"a": 1.0, "b": 5.0, "c": 1.0}
+        assert counter_delta(after, before) == {"b": 3.0, "c": 1.0}
+
+    def test_reset_for_testing_clears_registry(self, obs_on):
+        inc("leak.check")
+        obs.reset_for_testing()
+        assert REGISTRY.counter_values() == {}

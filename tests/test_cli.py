@@ -149,3 +149,66 @@ class TestBench:
         assert entry["benches"] == ["fig3b"]
         assert entry["config"]["instructions"] == 120000
         assert run_all.DEFAULT_JSON_PATH.exists()
+
+
+class TestReport:
+    """The ``report`` subcommand and ``batch --report``."""
+
+    @pytest.fixture()
+    def _obs(self, tmp_path, monkeypatch):
+        import repro.obs as obs
+        from repro.obs.metrics import OBS_DIR_ENV
+
+        monkeypatch.setenv(OBS_DIR_ENV, str(tmp_path))
+        obs.reset_for_testing()
+        previous = obs.set_enabled(True)
+        yield tmp_path
+        obs.set_enabled(previous)
+        obs.reset_for_testing()
+
+    def test_report_requires_some_input(self, capsys):
+        assert main(["report"]) == 2
+        assert "sweep-report path" in capsys.readouterr().err
+
+    def test_batch_report_needs_obs_enabled(self, tmp_path, capsys):
+        import repro.obs as obs
+
+        previous = obs.set_enabled(False)
+        try:
+            code = main([
+                "batch", "--benchmarks", "gzip", "--policies", "FG",
+                "--instructions", "1000000",
+                "--report", str(tmp_path / "report.jsonl"),
+            ])
+        finally:
+            obs.set_enabled(previous)
+        assert code == 2
+        assert "REPRO_OBS" in capsys.readouterr().err
+
+    def test_batch_report_then_render_and_validate(
+        self, _obs, tmp_path, capsys
+    ):
+        report_path = tmp_path / "report.jsonl"
+        code = main([
+            "batch", "--benchmarks", "gzip", "--policies", "FG",
+            "--instructions", "1000000", "--report", str(report_path),
+        ])
+        assert code == 0
+        assert report_path.exists()
+        capsys.readouterr()
+
+        events = sorted(Path(_obs).glob("events-*.jsonl"))
+        assert events
+        code = main([
+            "report", str(report_path), "--events",
+            *(str(p) for p in events),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all valid" in out
+        assert "engine.trigger_crossings" in out
+
+        code = main(["report", str(report_path), "--prometheus"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repro_engine_runs 1" in out
