@@ -11,7 +11,11 @@ chip:
   workload and one DTM policy per core against the shared thermal model;
 * :mod:`repro.multicore.hopping` -- core hopping, the scheduler-level DTM
   technique multi-core chips unlock: when the active core overheats and
-  the other is cooler, swap the workloads instead of throttling.
+  the other is cooler, swap the workloads instead of throttling;
+* :mod:`repro.multicore.batch` -- :class:`DualCoreRunSpec`, the sweep
+  integration: dual-core runs execute through
+  :func:`~repro.sim.batch.run_many` with supervision, journalling and
+  report aggregation.
 """
 
 from repro.multicore.floorplan import (
@@ -23,13 +27,18 @@ from repro.multicore.floorplan import (
 )
 from repro.multicore.engine import (
     DUAL_CORE_PACKAGE,
+    HOP_STALL_S,
     CoreResult,
     MultiCoreEngine,
     MultiCoreResult,
 )
 from repro.multicore.hopping import CoreHopper, HoppingConfig
+from repro.multicore.batch import DualCoreRunSpec, run_dual_core
 
 __all__ = [
+    "DualCoreRunSpec",
+    "HOP_STALL_S",
+    "run_dual_core",
     "CORE_INSTANCES",
     "build_dual_core_floorplan",
     "core_block",

@@ -102,6 +102,22 @@ class SensorArray:
         self._noise_cursor = 0
         self._noise_chunk = NOISE_CHUNK
 
+    def reset(self) -> None:
+        """Rewind the array to construction state.
+
+        Re-seeds every sensor's RNG stream and discards the vectorized
+        path's pre-drawn noise, so a reset array replays bit-identical
+        readings on a repeated run (the engine contract's
+        reset-reentrancy guarantee).
+        """
+        for sensor in self._sensors.values():
+            sensor.reset()
+        self._last_sample_s = -self._period_s
+        self._offsets = None
+        self._noise_buf = None
+        self._noise_cursor = 0
+        self._noise_chunk = NOISE_CHUNK
+
     @property
     def parameters(self) -> SensorParameters:
         """Shared sensor error model."""

@@ -74,11 +74,24 @@ class ThermalSensor:
         fault: Optional[SensorFault] = None,
     ):
         self._params = parameters
+        self._seed = seed
         self._rng = random.Random(seed)
         self._offset = self._rng.uniform(
             -parameters.max_offset_c, parameters.max_offset_c
         )
         self._fault = fault
+
+    def reset(self) -> None:
+        """Rewind the sensor's RNG stream to construction state.
+
+        Re-seeds and re-draws the fixed offset (consuming the same
+        first value), so a reset sensor produces bit-identical noise on
+        a repeated run.
+        """
+        self._rng = random.Random(self._seed)
+        self._offset = self._rng.uniform(
+            -self._params.max_offset_c, self._params.max_offset_c
+        )
 
     @property
     def parameters(self) -> SensorParameters:

@@ -9,21 +9,28 @@ stall or delayed-effect window.
 """
 
 from repro.sim.config import EngineConfig
+from repro.sim.contract import EngineEvent, SimEngine, drive
 from repro.sim.faults import FaultPlan
 from repro.sim.results import RunResult
 from repro.sim.warmup import average_block_powers, initial_temperatures
 from repro.sim.engine import SimulationEngine
+from repro.sim.lockstep import LockstepEngine, run_lockstep
 from repro.sim.batch import BatchStats, RunSpec, run_many, run_one
 from repro.sim.supervisor import RunFailure, load_journal, spec_digest
 
 __all__ = [
     "BatchStats",
     "EngineConfig",
+    "EngineEvent",
     "FaultPlan",
+    "LockstepEngine",
     "RunFailure",
     "RunResult",
     "RunSpec",
+    "SimEngine",
     "SimulationEngine",
+    "drive",
+    "run_lockstep",
     "initial_temperatures",
     "average_block_powers",
     "load_journal",

@@ -328,8 +328,18 @@ def steady_state_for(workload: Union[str, Workload]) -> np.ndarray:
     return cached.copy()
 
 
-def run_one(spec: RunSpec) -> RunResult:
-    """Execute one spec in this process."""
+def run_one(spec) -> RunResult:
+    """Execute one spec in this process.
+
+    Specs other than the single-core :class:`RunSpec` (e.g.
+    :class:`~repro.multicore.batch.DualCoreRunSpec`) provide their own
+    ``run_in_process`` and are dispatched to it, so every sweep path --
+    serial, pooled, lockstep-delegated, retried -- funnels through this
+    one entry point.
+    """
+    runner = getattr(spec, "run_in_process", None)
+    if runner is not None:
+        return runner()
     from repro.sim.engine import SimulationEngine
 
     fire_prerun_faults(spec.config.fault_plan, spec.seed)
@@ -530,11 +540,19 @@ def run_many(
             parallel = processes is not None and processes > 1
             if parallel:
                 for _, state in items:
-                    if state.spec.initial is None:
+                    if state.spec.initial is not None:
+                        continue
+                    if isinstance(state.spec, RunSpec):
                         state.spec = replace(
                             state.spec,
                             initial=steady_state_for(state.spec.workload),
                         )
+                    else:
+                        warmed = getattr(
+                            state.spec, "precompute_warmup", None
+                        )
+                        if warmed is not None:
+                            state.spec = warmed()
                 unpicklable = _first_unpicklable(
                     [state.spec for _, state in items]
                 )
@@ -559,7 +577,11 @@ def run_many(
 
                 slots: List[Optional[RunSpec]] = [None] * len(specs)
                 for index, state in items:
-                    slots[index] = state.spec
+                    # Only single-core specs ride the shared segment;
+                    # anything else keeps its slot empty so the context
+                    # submits it on the classic pickle path.
+                    if isinstance(state.spec, RunSpec):
+                        slots[index] = state.spec
                 global _ACTIVE_CONTEXT
                 context = _ACTIVE_CONTEXT = create_context(slots)
                 try:
@@ -637,9 +659,17 @@ def last_sweep_report() -> Optional[SweepReport]:
 
 
 def _first_unpicklable(specs: Sequence[RunSpec]) -> Optional[int]:
+    """Index of the first spec :mod:`pickle` rejects, else ``None``.
+
+    Only the exceptions pickle raises for genuinely unpicklable values
+    are treated as "use the serial path": a spec whose ``__reduce__``
+    (or a buggy policy factory attribute) raises something else is a
+    real defect and propagates, rather than being silently reclassified
+    as a serial-fallback condition.
+    """
     for i, spec in enumerate(specs):
         try:
             pickle.dumps(spec)
-        except Exception:
+        except (pickle.PicklingError, TypeError, AttributeError, ValueError):
             return i
     return None

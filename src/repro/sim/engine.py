@@ -27,6 +27,7 @@ from repro.sim.config import (
     POWER_PATH_VECTOR,
     EngineConfig,
 )
+from repro.sim.contract import SimEngine, drive
 from repro.sim.results import RunResult, TracePoint
 from repro.sim.warmup import initial_temperatures
 from repro.thermal.hotspot import HotSpotModel
@@ -173,7 +174,7 @@ class TraceBuffer:
         return out
 
 
-class SimulationEngine:
+class SimulationEngine(SimEngine):
     """Runs one workload under one DTM policy.
 
     All substrate objects can be injected for experiments; the defaults
@@ -326,32 +327,18 @@ class SimulationEngine:
             pulled the chip from its unmanaged steady state into the
             regulated band.
         """
-        steps = self.iter_run(instructions, initial, settle_time_s)
-        reply: Optional[np.ndarray] = None
-        if step_timing_enabled():
-            record = obs_trace.record
-            try:
-                while True:
-                    solver, power, dt, count = steps.send(reply)
-                    t0 = perf_counter()
-                    if count == 1:
-                        reply = solver.step(power, dt, copy=False)
-                    else:
-                        reply = solver.fast_forward(
-                            power, dt, count, copy=False
-                        )
-                    record("step.thermal", perf_counter() - t0)
-            except StopIteration as stop:
-                return stop.value
-        try:
-            while True:
-                solver, power, dt, count = steps.send(reply)
-                if count == 1:
-                    reply = solver.step(power, dt, copy=False)
-                else:
-                    reply = solver.fast_forward(power, dt, count, copy=False)
-        except StopIteration as stop:
-            return stop.value
+        return drive(self.iter_run(instructions, initial, settle_time_s))
+
+    def reset(self) -> None:
+        """Restore run-to-run mutable state to construction values.
+
+        The solver and performance model are rebuilt inside every
+        :meth:`iter_run`; the only state that persists across runs is
+        the sensor array's noise-stream position and the policy, so a
+        ``reset()`` makes a repeated run bit-identical to the first.
+        """
+        self._sensors.reset()
+        self._policy.reset()
 
     def iter_run(
         self,
@@ -386,6 +373,12 @@ class SimulationEngine:
             network, solver_temps, self._config.thermal_stepper
         )
         self._policy.reset()
+        self._emit(
+            "run.start",
+            0.0,
+            instructions=float(instructions),
+            settle_time_s=settle_time_s,
+        )
 
         block_names = self._block_names
         n_blocks = len(block_names)
@@ -1020,6 +1013,13 @@ class SimulationEngine:
                 dtm_duty_cycle=duty_cycle,
                 fallback_active=bool(solver.fallback_active),
             )
+        self._emit(
+            "run.complete",
+            time_s,
+            instructions=float(done),
+            violations=violations,
+            fallback_active=bool(solver.fallback_active),
+        )
         return RunResult(
             benchmark=self._workload.name,
             policy=self._policy.name,

@@ -4,10 +4,12 @@ The process-pool path in :mod:`repro.sim.batch` parallelises *across*
 runs; this module instead advances many runs *together* in a single
 process.  Every run is the engine's :meth:`~repro.sim.engine.
 SimulationEngine.iter_run` generator, which suspends at each thermal
-step and asks the driver to advance its solver.  The driver collects
-the pending requests of all live runs, groups the compatible ones
-(same stepper class, same shared network, same dt) and services each
-group with one batched BLAS-3 operation via
+step and asks the driver to advance its solver.  The
+:class:`LockstepEngine` collects the pending requests of all live runs
+and yields them as one *round* (a mapping of index -> request); the
+contract driver (:func:`~repro.sim.contract.service_round`) groups the
+compatible ones (same stepper class, same shared network, same dt) and
+services each group with one batched BLAS-3 operation via
 :func:`~repro.thermal.solver.step_lockstep`; fast-forward jumps, odd
 time steps and the last survivors of a draining batch are serviced
 individually.  Per-run physics is untouched -- sensing, policy, power
@@ -20,25 +22,165 @@ drift apart in simulated time but still batch whenever their current
 step lengths coincide (the common case -- most policies hold the
 nominal frequency for long stretches).
 
-Specs with ``raise_on_violation`` fall back to the serial runner: an
-emergency must abort only its own run, not the whole batch.
+Specs with ``raise_on_violation``, and specs that are not single-core
+:class:`~repro.sim.batch.RunSpec` instances (e.g. dual-core specs,
+whose engines own private thermal networks and cannot share a BLAS-3
+group), fall back to the serial runner: an emergency must abort only
+its own run, not the whole batch.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import runctx as obs_runctx
 from repro.obs import spill as obs_spill
+from repro.sim.contract import SimEngine, drive
 from repro.sim.results import RunResult
-from repro.thermal.solver import step_lockstep
 
 # Sequence number for chunk record ids within one process.
 _CHUNK_SEQ = 0
+
+
+class LockstepEngine(SimEngine):
+    """Advances a batch of specs together under the engine contract.
+
+    :meth:`iter_run` yields *rounds* -- mappings of spec index to the
+    ``(solver, power, dt, count)`` request that run is suspended on --
+    and expects a mapping of stepped temperature vectors back.  The
+    batch's result (a list of :class:`~repro.sim.results.RunResult` in
+    spec order) is the generator's return value.
+
+    The engine holds no state between runs beyond the spec list itself
+    (per-run engines, solvers and sensor arrays are built fresh inside
+    every :meth:`iter_run`), so :meth:`reset` only discards a partially
+    driven :meth:`build`/:meth:`step` session.
+    """
+
+    def __init__(self, specs):
+        self._specs = list(specs)
+
+    @property
+    def specs(self) -> list:
+        """The batch's specs, in result order."""
+        return list(self._specs)
+
+    def reset(self) -> None:
+        if self._active is not None:
+            self._active.close()
+        self._active = None
+        self._pending_reply = None
+
+    def run(self, budget=None, initial=None, settle_time_s: float = 0.0):
+        """Execute the batch and return results in spec order."""
+        return drive(self.iter_run(budget, initial, settle_time_s))
+
+    def iter_run(self, budget=None, initial=None, settle_time_s: float = 0.0):
+        """Generator form of :meth:`run`.
+
+        ``budget``/``initial``/``settle_time_s`` are unused: every spec
+        carries its own.  They remain in the signature so the lockstep
+        engine satisfies the :class:`~repro.sim.contract.SimEngine`
+        contract verbatim.
+        """
+        from repro.sim.batch import (
+            _build_policy,
+            _default_substrate,
+            _resolve_workload,
+            run_one,
+            steady_state_for,
+        )
+        from repro.sim.batch import RunSpec
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.faults import fire_prerun_faults
+
+        specs = self._specs
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        generators: Dict[int, object] = {}
+        pending: Dict[int, tuple] = {}
+
+        # One telemetry record per chunk: the interleaved generators
+        # share one process, so per-run attribution is impossible here --
+        # instead the engines' end-of-run publishes land in this
+        # chunk-level run context (runs delegated to run_one below open
+        # their own nested context, so their metrics stay per-run and
+        # are not double counted).
+        obs_on = obs_metrics.enabled()
+        if obs_on:
+            global _CHUNK_SEQ
+            _CHUNK_SEQ += 1
+            obs_runctx.begin(
+                f"lockstep.p{os.getpid()}.c{_CHUNK_SEQ}",
+                benchmark=f"lockstep[{len(specs)}]",
+                policy="chunk",
+                chunk=True,
+                runs=len(specs),
+            )
+        error: Optional[str] = None
+        self._emit("run.start", 0.0, runs=len(specs))
+
+        floorplan, hotspot, power_model = _default_substrate()
+        try:
+            for index, spec in enumerate(specs):
+                if not isinstance(spec, RunSpec) or spec.config.raise_on_violation:
+                    # Engines with private thermal networks gain nothing
+                    # from BLAS-3 grouping, and raise_on_violation must
+                    # abort one run, not the round -- both take the
+                    # one-spec path.
+                    results[index] = run_one(spec)
+                    continue
+                fire_prerun_faults(spec.config.fault_plan, spec.seed)
+                workload = _resolve_workload(spec)
+                initial_vec = spec.initial
+                if initial_vec is None:
+                    initial_vec = steady_state_for(workload)
+                engine = SimulationEngine(
+                    workload,
+                    policy=_build_policy(spec),
+                    floorplan=floorplan,
+                    hotspot=hotspot,
+                    power_model=power_model,
+                    config=spec.config,
+                    seed=spec.seed,
+                )
+                generator = engine.iter_run(
+                    spec.instructions,
+                    initial=np.array(initial_vec, dtype=float, copy=True),
+                    settle_time_s=spec.settle_time_s,
+                )
+                generators[index] = generator
+                _advance(index, None, generators, pending, results)
+
+            while pending:
+                replies = yield dict(pending)
+                for index in sorted(replies):
+                    _advance(
+                        index, replies[index], generators, pending, results
+                    )
+        except BaseException as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            # One run failing (or the driver itself raising) must not
+            # leak the other runs' suspended generators: close them all
+            # so their engines unwind now, not at a garbage collection
+            # of unknowable timing.  On clean completion the dict is
+            # already empty.
+            for generator in generators.values():
+                try:
+                    generator.close()
+                except Exception:  # pragma: no cover - defensive
+                    pass
+            generators.clear()
+            pending.clear()
+            if obs_on:
+                obs_spill.record(obs_runctx.end(error=error))
+        self._emit("run.complete", 0.0, runs=len(specs))
+        return results
 
 
 def run_lockstep(specs) -> List[RunResult]:
@@ -48,123 +190,7 @@ def run_lockstep(specs) -> List[RunResult]:
     order (see module docstring); the wins are shared per-step overhead
     and matrix-matrix arithmetic across the batch.
     """
-    from repro.sim.batch import (
-        _build_policy,
-        _default_substrate,
-        _resolve_workload,
-        run_one,
-        steady_state_for,
-    )
-    from repro.sim.engine import SimulationEngine
-    from repro.sim.faults import fire_prerun_faults
-
-    specs = list(specs)
-    results: List[Optional[RunResult]] = [None] * len(specs)
-    generators: Dict[int, object] = {}
-    pending: Dict[int, tuple] = {}
-
-    # One telemetry record per chunk: the interleaved generators share
-    # one process, so per-run attribution is impossible here -- instead
-    # the engines' end-of-run publishes land in this chunk-level run
-    # context (runs delegated to run_one below open their own nested
-    # context, so their metrics stay per-run and are not double
-    # counted).
-    obs_on = obs_metrics.enabled()
-    if obs_on:
-        global _CHUNK_SEQ
-        _CHUNK_SEQ += 1
-        obs_runctx.begin(
-            f"lockstep.p{os.getpid()}.c{_CHUNK_SEQ}",
-            benchmark=f"lockstep[{len(specs)}]",
-            policy="chunk",
-            chunk=True,
-            runs=len(specs),
-        )
-    error: Optional[str] = None
-
-    floorplan, hotspot, power_model = _default_substrate()
-    try:
-        for index, spec in enumerate(specs):
-            if spec.config.raise_on_violation:
-                results[index] = run_one(spec)
-                continue
-            fire_prerun_faults(spec.config.fault_plan, spec.seed)
-            workload = _resolve_workload(spec)
-            initial = spec.initial
-            if initial is None:
-                initial = steady_state_for(workload)
-            engine = SimulationEngine(
-                workload,
-                policy=_build_policy(spec),
-                floorplan=floorplan,
-                hotspot=hotspot,
-                power_model=power_model,
-                config=spec.config,
-                seed=spec.seed,
-            )
-            generator = engine.iter_run(
-                spec.instructions,
-                initial=np.array(initial, dtype=float, copy=True),
-                settle_time_s=spec.settle_time_s,
-            )
-            generators[index] = generator
-            _advance(index, None, generators, pending, results)
-
-        while pending:
-            # Group the pending single-step requests by (stepper class,
-            # network identity, dt); multi-step fast-forwards and groups of
-            # one are serviced through the solver's own methods.
-            groups: Dict[Tuple, List[int]] = {}
-            singles: List[int] = []
-            for index, (solver, _power, dt, count) in pending.items():
-                if count == 1:
-                    key = (type(solver), id(solver.network), dt)
-                    groups.setdefault(key, []).append(index)
-                else:
-                    singles.append(index)
-
-            replies: Dict[int, np.ndarray] = {}
-            for indices in groups.values():
-                if len(indices) == 1:
-                    singles.extend(indices)
-                    continue
-                solvers = [pending[i][0] for i in indices]
-                powers = [pending[i][1] for i in indices]
-                dt = pending[indices[0]][2]
-                for i, temps in zip(
-                    indices, step_lockstep(solvers, powers, dt)
-                ):
-                    replies[i] = temps
-            for index in singles:
-                solver, power, dt, count = pending[index]
-                if count == 1:
-                    replies[index] = solver.step(power, dt, copy=False)
-                else:
-                    replies[index] = solver.fast_forward(
-                        power, dt, count, copy=False
-                    )
-
-            for index in sorted(replies):
-                _advance(index, replies[index], generators, pending, results)
-    except BaseException as exc:
-        error = f"{type(exc).__name__}: {exc}"
-        raise
-    finally:
-        # One run failing (or the driver itself raising) must not leak
-        # the other runs' suspended generators: close them all so their
-        # engines unwind now, not at a garbage collection of unknowable
-        # timing.  On clean completion the dict is already empty.
-        for generator in generators.values():
-            try:
-                generator.close()
-            except Exception:  # pragma: no cover - defensive
-                pass
-        generators.clear()
-        pending.clear()
-        if obs_on:
-            obs_spill.record(obs_runctx.end(error=error))
-
-    return results
+    return LockstepEngine(specs).run()
 
 
 def _advance(

@@ -107,15 +107,24 @@ def spec_digest(spec) -> str:
     else:
         array = np.ascontiguousarray(spec.initial, dtype=float)
         initial_token = sha256(array.tobytes()).hexdigest()
-    payload = (
-        spec.workload_name,
-        policy_token(spec.policy),
-        spec.instructions,
-        spec.settle_time_s,
-        repr(spec.config),
-        spec.seed,
-        initial_token,
-    )
+    custom = getattr(spec, "digest_payload", None)
+    if custom is not None:
+        # Non-single-core specs (e.g. the dual-core
+        # :class:`~repro.multicore.batch.DualCoreRunSpec`) describe
+        # their own physics-determining fields; the initial-vector
+        # token stays appended here so the fill-before-dispatch rule
+        # above applies uniformly.
+        payload = tuple(custom()) + (initial_token,)
+    else:
+        payload = (
+            spec.workload_name,
+            policy_token(spec.policy),
+            spec.instructions,
+            spec.settle_time_s,
+            repr(spec.config),
+            spec.seed,
+            initial_token,
+        )
     return sha256(repr(payload).encode("utf-8")).hexdigest()[:20]
 
 
@@ -208,8 +217,13 @@ class SweepJournal:
         """The journal file's path."""
         return self._path
 
-    def record(self, digest: str, index: int, result: RunResult) -> None:
-        """Append one completed run and flush."""
+    def record(self, digest: str, index: int, result) -> None:
+        """Append one completed run and flush.
+
+        Results that are not single-core :class:`RunResult` instances
+        declare a ``journal_kind`` tag (e.g. ``"multicore"``) so
+        :func:`load_journal` knows which class to rebuild.
+        """
         if self._handle is None:
             self._handle = open(self._path, "a", encoding="utf-8")
         entry = {
@@ -217,6 +231,9 @@ class SweepJournal:
             "index": index,
             "result": result.to_json_dict(),
         }
+        kind = getattr(result, "journal_kind", None)
+        if kind is not None:
+            entry["kind"] = kind
         self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
         self._handle.flush()
 
@@ -227,14 +244,17 @@ class SweepJournal:
             self._handle = None
 
 
-def load_journal(path) -> Dict[str, RunResult]:
+def load_journal(path) -> Dict[str, object]:
     """Completed runs recorded in a journal, keyed by spec digest.
 
     A missing file is an empty journal (a resume of a sweep that never
-    started).  Unparsable lines -- typically one torn line at the tail
-    of a killed sweep -- are skipped, not fatal.
+    started).  Malformed lines -- typically one torn line at the tail
+    of a killed sweep -- are skipped, not fatal; the skip is scoped to
+    the exceptions malformed data can actually raise, so a genuine bug
+    in result reconstruction (or an interrupt landing mid-parse)
+    propagates instead of silently emptying the resume set.
     """
-    completed: Dict[str, RunResult] = {}
+    completed: Dict[str, object] = {}
     try:
         handle = open(path, encoding="utf-8")
     except FileNotFoundError:
@@ -246,10 +266,21 @@ def load_journal(path) -> Dict[str, RunResult]:
                 continue
             try:
                 entry = json.loads(line)
-                completed[str(entry["digest"])] = RunResult.from_json_dict(
-                    entry["result"]
-                )
-            except Exception:
+                payload = entry["result"]
+                if entry.get("kind") == "multicore":
+                    from repro.multicore.engine import MultiCoreResult
+
+                    result = MultiCoreResult.from_json_dict(payload)
+                else:
+                    result = RunResult.from_json_dict(payload)
+                completed[str(entry["digest"])] = result
+            except (
+                json.JSONDecodeError,
+                KeyError,
+                TypeError,
+                ValueError,
+                SimulationError,
+            ):
                 continue
     return completed
 
@@ -668,7 +699,25 @@ class SweepSupervisor:
                 ): chunk
                 for chunk in chunks
             }
-        except Exception:
+        except Exception as exc:
+            # Any pool construction/submission failure must degrade the
+            # sweep, not kill it -- but never silently: the whole batch
+            # re-running serially is a major mode change.  (Keyboard
+            # interrupts and SystemExit derive from BaseException and
+            # propagate past this handler; a regression test pins that.)
+            _LOGGER.warning(
+                "lockstep pool construction failed (%s: %s); falling "
+                "back to supervised per-spec execution for all %d runs",
+                type(exc).__name__,
+                exc,
+                len(items),
+            )
+            self._count("sweep.pool_submit_failures")
+            obs_events.emit(
+                "sweep.pool_submit_failed",
+                error_type=type(exc).__name__,
+                runs=len(items),
+            )
             pool_broken = True
             futures = {}
             fallback = list(items)

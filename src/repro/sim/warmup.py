@@ -11,7 +11,7 @@ studies.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Callable, Dict, Mapping, Tuple
 
 import numpy as np
 
@@ -22,6 +22,44 @@ from repro.workloads.workload import Workload
 
 _LEAKAGE_ITERATIONS = 40
 _CONVERGENCE_C = 1e-6
+
+
+def leakage_fixed_point(
+    block_powers: Callable[[Dict[str, float]], Mapping[str, float]],
+    hotspot: HotSpotModel,
+    start_c: float = 85.0,
+    max_iterations: int = _LEAKAGE_ITERATIONS,
+    tolerance_c: float = _CONVERGENCE_C,
+) -> Tuple[np.ndarray, bool, int]:
+    """Iterate the leakage/temperature fixed point to a steady state.
+
+    ``block_powers`` maps a block-temperature dict to per-block powers;
+    each iteration solves the steady state of those powers and feeds
+    the temperatures back, until the hottest block moves less than
+    ``tolerance_c`` between iterations.  Shared by the single-core and
+    multicore warmup paths (which differ only in how they average
+    workload activity into power).
+
+    Returns ``(vector, converged, iterations)``; callers decide whether
+    a non-converged state is fatal (single-core raises, multicore warns
+    and proceeds).
+    """
+    temps = {name: start_c for name in hotspot.block_names}
+    vector = None
+    previous_max = None
+    for iteration in range(1, max_iterations + 1):
+        powers = block_powers(temps)
+        vector = hotspot.steady_state_vector(powers)
+        mapping = hotspot.network.temperatures_as_mapping(vector)
+        temps = {name: mapping[name] for name in hotspot.block_names}
+        current_max = max(temps.values())
+        if (
+            previous_max is not None
+            and abs(current_max - previous_max) < tolerance_c
+        ):
+            return vector, True, iteration
+        previous_max = current_max
+    return vector, False, max_iterations
 
 
 def average_activities(workload: Workload) -> Dict[str, float]:
@@ -72,19 +110,13 @@ def initial_temperatures(
     temperature, temperature on power.  Converges in a few iterations
     because leakage is a modest fraction of total power.
     """
-    temps = {name: 85.0 for name in hotspot.block_names}
-    vector = None
-    previous_max = None
-    for _ in range(_LEAKAGE_ITERATIONS):
-        powers = average_block_powers(workload, power_model, temps)
-        vector = hotspot.steady_state_vector(powers)
-        mapping = hotspot.network.temperatures_as_mapping(vector)
-        temps = {name: mapping[name] for name in hotspot.block_names}
-        current_max = max(temps.values())
-        if previous_max is not None and abs(current_max - previous_max) < _CONVERGENCE_C:
-            return vector
-        previous_max = current_max
-    raise SimulationError(
-        "leakage/temperature fixed point did not converge; the operating "
-        "point is likely in thermal runaway"
+    vector, converged, _ = leakage_fixed_point(
+        lambda temps: average_block_powers(workload, power_model, temps),
+        hotspot,
     )
+    if not converged:
+        raise SimulationError(
+            "leakage/temperature fixed point did not converge; the operating "
+            "point is likely in thermal runaway"
+        )
+    return vector
