@@ -12,16 +12,26 @@ Throughput is per-run steps/second, so it is only weakly sensitive to
 the instruction budget; CI uses a reduced budget and the slack in
 ``--max-drop`` absorbs the residual difference plus runner noise.
 
+With ``--kernel-identity`` the bench is run twice -- once with the
+fused step kernel forced on (``REPRO_STEP_KERNEL=numba`` when numba is
+importable, else ``numpy``) and once with it ``off`` -- and the two
+result tables must be bit-identical; the fused run is the one gated
+against the baseline.  When numba is absent the fused leg degrades to
+the numpy backend with a printed note rather than failing, so the check
+is meaningful on minimal installs too.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py
     PYTHONPATH=src python benchmarks/perf_smoke.py --bench fig4a --max-drop 0.5
+    PYTHONPATH=src python benchmarks/perf_smoke.py --kernel-identity
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -29,6 +39,34 @@ from typing import List, Optional
 sys.path.insert(0, str(Path(__file__).parent))
 
 from run_all import BENCHES, DEFAULT_JSON_PATH, _run_bench
+
+
+def _table_body(record: dict) -> str:
+    """The bench's result table minus its wall-clock throughput line.
+
+    Every bench appends a ``[throughput: ...]`` report to its table;
+    that line is timing, not simulation output, so the bit-identity
+    check must ignore it.
+    """
+    return "\n".join(
+        line for line in record["table"].splitlines()
+        if not line.startswith("[throughput:")
+    )
+
+
+def _run_with_kernel(bench: str, mode: str) -> dict:
+    """Run one bench with ``REPRO_STEP_KERNEL`` pinned to ``mode``."""
+    from repro.sim.config import STEP_KERNEL_ENV
+
+    previous = os.environ.get(STEP_KERNEL_ENV)
+    os.environ[STEP_KERNEL_ENV] = mode
+    try:
+        return _run_bench(bench)
+    finally:
+        if previous is None:
+            del os.environ[STEP_KERNEL_ENV]
+        else:
+            os.environ[STEP_KERNEL_ENV] = previous
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -46,6 +84,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="largest tolerated relative throughput drop "
              "(default %(default)s)",
     )
+    parser.add_argument(
+        "--kernel-identity", action="store_true",
+        help="also run the bench with the fused step kernel off and "
+             "require a bit-identical result table (gates on the "
+             "fused run)",
+    )
     options = parser.parse_args(argv)
 
     baseline_path = Path(options.baseline)
@@ -62,7 +106,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     base_sps = float(base["steps_per_second"])
 
-    record = _run_bench(options.bench)
+    if options.kernel_identity:
+        from repro.sim.kernel import numba_available
+
+        if numba_available():
+            backend = "numba"
+        else:
+            backend = "numpy"
+            print(
+                "perf-smoke: numba not installed; fused-kernel leg "
+                "uses the numpy backend"
+            )
+        record = _run_with_kernel(options.bench, backend)
+        plain = _run_with_kernel(options.bench, "off")
+        if _table_body(record) != _table_body(plain):
+            print(
+                f"perf-smoke: FAIL -- {options.bench} result table "
+                f"with step_kernel={backend!r} differs from the "
+                f"kernel-off run",
+                file=sys.stderr,
+            )
+            return 1
+        fused_sps = float(record["steps_per_second"])
+        plain_sps = float(plain["steps_per_second"])
+        speedup = fused_sps / plain_sps if plain_sps > 0 else float("inf")
+        print(
+            f"\n[perf-smoke: kernel identity OK -- {options.bench} table "
+            f"bit-identical with step_kernel={backend!r} and 'off'; "
+            f"fused {fused_sps:,.0f} vs per-step {plain_sps:,.0f} "
+            f"steps/s ({speedup:.2f}x)]"
+        )
+    else:
+        record = _run_bench(options.bench)
     sps = float(record["steps_per_second"])
     floor = base_sps * (1.0 - options.max_drop)
     ratio = sps / base_sps if base_sps > 0 else float("inf")

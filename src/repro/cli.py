@@ -300,6 +300,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     timers = step_timers()
     if timers:
+        # ``kernel`` is a *boundary* span: it wraps whole fused dense
+        # spans whose inner sense/perf/power/thermal work records under
+        # the other sections too (see engine.STEP_SECTIONS), so it is
+        # excluded from the additive total and reported separately.
+        boundary = timers.pop("kernel", None)
         total = sum(seconds for seconds, _ in timers.values())
         rows = [
             [
@@ -319,6 +324,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             rows,
             title="per-phase step timing",
         ))
+        if boundary is not None:
+            seconds, calls = boundary
+            per_span = 1e6 * seconds / calls if calls else 0.0
+            covered = 100.0 * seconds / total if total else 0.0
+            print(
+                f"[step.kernel boundary span: {seconds:.3f} s over "
+                f"{calls} fused spans ({per_span:.1f} us/span), covering "
+                f"{covered:.1f}% of the timed sections above -- overlaps "
+                f"them, so it is excluded from the additive total]"
+            )
 
     if profiler is not None:
         print("\n[cProfile: top functions by total time]")

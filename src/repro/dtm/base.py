@@ -73,6 +73,14 @@ class DtmPolicy(abc.ABC):
     #: Short identifier used in result tables ("FG", "DVS", "Hyb", ...).
     name: str = "base"
 
+    #: True when :meth:`update` consumes nothing but the array maximum
+    #: (the paper's trigger/emergency comparators).  Such policies also
+    #: implement :meth:`update_hottest`, and the engine's fused sensing
+    #: path feeds them the maximum directly -- same float, no per-sample
+    #: readings dict.  Per-block policies (migration, local toggling)
+    #: leave this False and keep the mapping path.
+    hottest_only: bool = False
+
     @abc.abstractmethod
     def update(
         self, readings: Mapping[str, float], time_s: float, dt_s: float
@@ -82,6 +90,21 @@ class DtmPolicy(abc.ABC):
         Called once per sensor sample (10 kHz).  ``dt_s`` is the time since
         the previous call, which feedback controllers need.
         """
+
+    def update_hottest(
+        self, hottest: float, time_s: float, dt_s: float
+    ) -> DtmCommand:
+        """Compute the operating point from the hottest reading alone.
+
+        Only valid when :attr:`hottest_only` is True; such policies
+        implement their control law here and route :meth:`update`
+        through ``self.update_hottest(self.hottest(readings), ...)`` so
+        both entry points are one code path.
+        """
+        raise DtmConfigError(
+            f"policy {self.name!r} needs per-block readings; "
+            f"update_hottest is only valid when hottest_only is set"
+        )
 
     @abc.abstractmethod
     def reset(self) -> None:

@@ -48,6 +48,7 @@ class ClockGatingPolicy(DtmPolicy):
     """Integral-controlled global clock stop at nominal voltage."""
 
     name = "CG"
+    hottest_only = True
 
     def __init__(
         self,
@@ -80,7 +81,12 @@ class ClockGatingPolicy(DtmPolicy):
         self, readings: Mapping[str, float], time_s: float, dt_s: float
     ) -> DtmCommand:
         """Integrate the temperature error into a new stop duty."""
-        hottest = self.hottest(readings)
+        return self.update_hottest(self.hottest(readings), time_s, dt_s)
+
+    def update_hottest(
+        self, hottest: float, time_s: float, dt_s: float
+    ) -> DtmCommand:
+        """Integrate the temperature error into a new stop duty."""
         self._duty = self._controller.update(hottest, dt_s)
         return DtmCommand(
             gating_fraction=0.0,

@@ -78,6 +78,7 @@ class DvsPolicy(DtmPolicy):
     control."""
 
     name = "DVS"
+    hottest_only = True
 
     def __init__(
         self,
@@ -154,7 +155,12 @@ class DvsPolicy(DtmPolicy):
         self, readings: Mapping[str, float], time_s: float, dt_s: float
     ) -> DtmCommand:
         """One comparator/PI evaluation per sensor sample."""
-        hottest = self.hottest(readings)
+        return self.update_hottest(self.hottest(readings), time_s, dt_s)
+
+    def update_hottest(
+        self, hottest: float, time_s: float, dt_s: float
+    ) -> DtmCommand:
+        """One comparator/PI evaluation per sensor sample."""
         filtered = self._filter.update(hottest)
         if self._controller is None:
             self._update_binary(hottest, filtered)

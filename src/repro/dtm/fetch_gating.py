@@ -85,6 +85,7 @@ class FixedFetchGatingPolicy(DtmPolicy):
     """
 
     name = "FG-fixed"
+    hottest_only = True
 
     def __init__(
         self,
@@ -121,7 +122,12 @@ class FixedFetchGatingPolicy(DtmPolicy):
         self, readings: Mapping[str, float], time_s: float, dt_s: float
     ) -> DtmCommand:
         """Comparator against the trigger; filtered release."""
-        hottest = self.hottest(readings)
+        return self.update_hottest(self.hottest(readings), time_s, dt_s)
+
+    def update_hottest(
+        self, hottest: float, time_s: float, dt_s: float
+    ) -> DtmCommand:
+        """Comparator against the trigger; filtered release."""
         filtered = self._filter.update(hottest)
         if hottest > self._thresholds.trigger_c:
             self._engaged = True
@@ -142,6 +148,7 @@ class FetchGatingPolicy(DtmPolicy):
     """Integral-controlled fetch gating at nominal voltage."""
 
     name = "FG"
+    hottest_only = True
 
     def __init__(
         self,
@@ -174,7 +181,12 @@ class FetchGatingPolicy(DtmPolicy):
         self, readings: Mapping[str, float], time_s: float, dt_s: float
     ) -> DtmCommand:
         """Integrate the temperature error into a new duty cycle."""
-        hottest = self.hottest(readings)
+        return self.update_hottest(self.hottest(readings), time_s, dt_s)
+
+    def update_hottest(
+        self, hottest: float, time_s: float, dt_s: float
+    ) -> DtmCommand:
+        """Integrate the temperature error into a new duty cycle."""
         self._fraction = self._controller.update(hottest, dt_s)
         # Guard against float drift pushing the fraction to 1.0.
         self._fraction = min(self._fraction, math.nextafter(1.0, 0.0) * 0.999)

@@ -92,6 +92,7 @@ class HybPolicy(DtmPolicy):
     """
 
     name = "Hyb"
+    hottest_only = True
 
     def __init__(
         self,
@@ -133,7 +134,13 @@ class HybPolicy(DtmPolicy):
     ) -> DtmCommand:
         """Two comparators: trigger engages FG, trigger+offset engages
         DVS; de-escalation goes through the low-pass filter."""
-        hottest = self.hottest(readings)
+        return self.update_hottest(self.hottest(readings), time_s, dt_s)
+
+    def update_hottest(
+        self, hottest: float, time_s: float, dt_s: float
+    ) -> DtmCommand:
+        """Two comparators: trigger engages FG, trigger+offset engages
+        DVS; de-escalation goes through the low-pass filter."""
         filtered = self._filter.update(hottest)
         trigger = self._thresholds.trigger_c
         second = trigger + self._config.second_threshold_offset_c
@@ -206,6 +213,7 @@ class PIHybPolicy(DtmPolicy):
     DVS."""
 
     name = "PI-Hyb"
+    hottest_only = True
 
     def __init__(
         self,
@@ -241,7 +249,13 @@ class PIHybPolicy(DtmPolicy):
     ) -> DtmCommand:
         """Run the fetch-gating controller; hand over to DVS when it
         saturates at the crossover and heat keeps coming."""
-        hottest = self.hottest(readings)
+        return self.update_hottest(self.hottest(readings), time_s, dt_s)
+
+    def update_hottest(
+        self, hottest: float, time_s: float, dt_s: float
+    ) -> DtmCommand:
+        """Run the fetch-gating controller; hand over to DVS when it
+        saturates at the crossover and heat keeps coming."""
         filtered = self._filter.update(hottest)
         fraction = self._controller.update(hottest, dt_s)
         config = self._config

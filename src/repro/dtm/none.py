@@ -15,6 +15,7 @@ class NoDtmPolicy(DtmPolicy):
     """
 
     name = "none"
+    hottest_only = True
 
     def __init__(self, nominal_voltage: float = 1.3):
         self._command = DtmCommand(gating_fraction=0.0, voltage=nominal_voltage)
@@ -23,6 +24,12 @@ class NoDtmPolicy(DtmPolicy):
         self, readings: Mapping[str, float], time_s: float, dt_s: float
     ) -> DtmCommand:
         """Ignore the readings and stay at nominal."""
+        return self._command
+
+    def update_hottest(
+        self, hottest: float, time_s: float, dt_s: float
+    ) -> DtmCommand:
+        """Ignore the reading and stay at nominal."""
         return self._command
 
     def reset(self) -> None:

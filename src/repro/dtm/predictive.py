@@ -77,6 +77,7 @@ class PredictiveHybPolicy(DtmPolicy):
     """Hyb driven by a short-horizon temperature forecast."""
 
     name = "Pred-Hyb"
+    hottest_only = True
 
     def __init__(
         self,
@@ -133,7 +134,12 @@ class PredictiveHybPolicy(DtmPolicy):
         self, readings: Mapping[str, float], time_s: float, dt_s: float
     ) -> DtmCommand:
         """Escalate/de-escalate against the forecast temperature."""
-        hottest = self.hottest(readings)
+        return self.update_hottest(self.hottest(readings), time_s, dt_s)
+
+    def update_hottest(
+        self, hottest: float, time_s: float, dt_s: float
+    ) -> DtmCommand:
+        """Escalate/de-escalate against the forecast temperature."""
         predicted = self.forecast(hottest, dt_s)
         trigger = self._thresholds.trigger_c
         second = trigger + self._config.second_threshold_offset_c

@@ -255,6 +255,61 @@ class PowerModel:
         out += leak
         return out.copy() if check else out
 
+    def dynamic_vector_w(
+        self,
+        activities: np.ndarray,
+        voltage: float,
+        frequency: float,
+        clock_enabled_fraction: Union[float, np.ndarray] = 1.0,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """The dynamic-power half of :meth:`block_powers_vector`.
+
+        Runs the identical float operations in the identical order as
+        the dynamic portion of the fused call, so
+        ``dynamic_vector_w(...) + leakage_vector_w(...)`` decomposes a
+        ``block_powers_vector`` result exactly (the engine's
+        event-driven stride relies on this to isolate leakage drift).
+        Inputs are trusted (no validation); pass ``out`` to avoid
+        clobbering the model's internal buffers.
+        """
+        if out is None:
+            out = np.empty(len(self._names))
+        dyn_scale, _ = self._operating_point(voltage, frequency)
+        gate = clock_enabled_fraction
+        np.multiply(self._dyn_act_w, activities, out=out)
+        out += self._dyn_base_w
+        if isinstance(gate, np.ndarray):
+            out *= gate
+            out *= dyn_scale
+        else:
+            out *= gate * dyn_scale
+        return out
+
+    def leakage_vector_w(
+        self,
+        temperatures: np.ndarray,
+        voltage: float,
+        frequency: float,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """The leakage half of :meth:`block_powers_vector`.
+
+        Exponential-in-temperature leakage at the given operating point,
+        computed with the same float operations as the fused call (see
+        :meth:`dynamic_vector_w`).  Inputs are trusted; pass ``out`` to
+        avoid clobbering the model's internal buffers.
+        """
+        if out is None:
+            out = np.empty(len(self._names))
+        _, leak_scale = self._operating_point(voltage, frequency)
+        np.subtract(temperatures, self._leakage.reference_temp_c, out=out)
+        out *= self._leakage.beta_per_k
+        np.exp(out, out=out)
+        out *= leak_scale
+        out *= self._leakage_ref_w
+        return out
+
     def block_powers(
         self,
         activities: Mapping[str, float],

@@ -268,6 +268,48 @@ class SensorArray:
             values *= step
         return dict(zip(self._names, values.tolist()))
 
+    def sample_hottest(self, true_temps_c: np.ndarray, time_s: float) -> float:
+        """Read every sensor once and return only the hottest reading.
+
+        The fused-sensing form of :meth:`sample_vector` for policies
+        that consume nothing but the array maximum (the paper's
+        trigger/emergency comparisons): same offsets, same pre-drawn
+        per-sensor noise streams, same round-half-even quantisation --
+        the per-block values are computed identically and the maximum of
+        identical values is order-independent, so the returned float is
+        bit-identical to ``max(sample_vector(...).values())`` -- but no
+        per-sample dict is built.  Only valid on a fault-free array
+        (:attr:`vector_eligible`).
+        """
+        if self._has_faults:
+            raise SimulationError(
+                "sample_hottest is only valid on a fault-free array; "
+                "use sample() so per-sensor faults apply"
+            )
+        if not self.due(time_s):
+            raise SimulationError(
+                f"sensor sample at t={time_s * 1e6:.1f} us violates the "
+                f"{self._period_s * 1e6:.0f} us sampling period"
+            )
+        self._last_sample_s = time_s
+        if self._offsets is None:
+            self._offsets = np.array(
+                [sensor._offset for sensor in self._sensors.values()]
+            )
+        values = true_temps_c + self._offsets
+        if self._params.noise_sigma_c > 0.0:
+            buf = self._noise_buf
+            if buf is None or self._noise_cursor >= buf.shape[1]:
+                buf = self._refill_noise()
+            values += buf[:, self._noise_cursor]
+            self._noise_cursor += 1
+        step = self._params.quantisation_c
+        if step > 0.0:
+            values /= step
+            np.round(values, out=values)
+            values *= step
+        return float(values.max())
+
     @staticmethod
     def max_reading(readings: Mapping[str, float]) -> float:
         """The hottest observed temperature across the array."""

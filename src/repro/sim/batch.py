@@ -53,6 +53,20 @@ from repro.workloads.workload import Workload
 
 DEFAULT_INSTRUCTIONS = 20_000_000
 
+SWEEP_LOCKSTEP_ENV = "REPRO_SWEEP_LOCKSTEP"
+"""Environment override for :func:`run_many`'s lockstep default:
+``1``/``on`` forces lockstep, ``0``/``off`` forces the per-run path.
+An explicit ``lockstep=`` argument always wins."""
+
+_LOCKSTEP_ALIASES = {
+    "1": True,
+    "on": True,
+    "true": True,
+    "0": False,
+    "off": False,
+    "false": False,
+}
+
 
 @dataclass(frozen=True, eq=False)
 class RunSpec:
@@ -427,10 +441,46 @@ def _chunk_evenly(specs: Sequence[RunSpec], parts: int) -> List[List[RunSpec]]:
     return chunks
 
 
+def _resolve_lockstep(specs: Sequence, lockstep: Optional[bool]) -> bool:
+    """Decide whether a sweep runs in lockstep.
+
+    Explicit argument wins; then the ``REPRO_SWEEP_LOCKSTEP``
+    environment override; otherwise lockstep is on automatically for
+    multi-run sweeps of plain :class:`RunSpec` instances with none of
+    the features that want per-run supervision (fault plans,
+    ``raise_on_violation``, trace recording).  Heterogeneous batches
+    (dual-core specs, mixed spec types) stay on the per-run path.
+    """
+    if lockstep is not None:
+        return bool(lockstep)
+    raw = os.environ.get(SWEEP_LOCKSTEP_ENV)
+    if raw is not None:
+        value = _LOCKSTEP_ALIASES.get(raw.strip().lower())
+        if value is None:
+            raise SimulationError(
+                f"{SWEEP_LOCKSTEP_ENV} must be one of on/off (or 1/0), "
+                f"got {raw!r}"
+            )
+        return value
+    if len(specs) < 2:
+        return False
+    for spec in specs:
+        if not isinstance(spec, RunSpec):
+            return False
+        config = spec.config
+        if (
+            config.raise_on_violation
+            or config.record_trace
+            or config.fault_plan is not None
+        ):
+            return False
+    return True
+
+
 def run_many(
     specs: Sequence[RunSpec],
     processes: Optional[int] = None,
-    lockstep: bool = False,
+    lockstep: Optional[bool] = None,
     *,
     timeout_s: Optional[float] = None,
     retries: int = 0,
@@ -459,7 +509,13 @@ def run_many(
         :mod:`repro.sim.lockstep`).  Composes with ``processes``: each
         worker receives one contiguous chunk of specs and runs it in
         lockstep.  Results match the non-lockstep path to BLAS
-        summation order.
+        summation order.  ``None`` (default) resolves via the
+        ``REPRO_SWEEP_LOCKSTEP`` environment variable when set, else
+        turns lockstep on automatically for sweeps of two or more
+        plain :class:`RunSpec` runs without fault plans,
+        ``raise_on_violation`` or trace recording; heterogeneous
+        batches fall back to per-run execution.  Pass ``False`` to
+        force the per-run path.
     timeout_s:
         Per-run wall-clock budget, enforced on the pool path (an
         overdue run's worker may be wedged, so the pool is rebuilt and
@@ -497,6 +553,7 @@ def run_many(
     specs = list(specs)
     if not specs:
         return []
+    lockstep = _resolve_lockstep(specs, lockstep)
     started = time.perf_counter()
     obs_on = obs_metrics.enabled()
     # The last report always describes the *latest* sweep: a sweep run

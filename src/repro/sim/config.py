@@ -36,6 +36,22 @@ _COMPILED_ALIASES = {
     "verify": COMPILED_TRACE_VERIFY,
 }
 
+STEP_KERNEL_OFF = "off"
+STEP_KERNEL_NUMPY = "numpy"
+STEP_KERNEL_NUMBA = "numba"
+STEP_KERNEL_AUTO = "auto"
+
+STEP_KERNEL_MODES = (
+    STEP_KERNEL_OFF,
+    STEP_KERNEL_NUMPY,
+    STEP_KERNEL_NUMBA,
+    STEP_KERNEL_AUTO,
+)
+
+STEP_KERNEL_ENV = "REPRO_STEP_KERNEL"
+"""Environment default for :attr:`EngineConfig.step_kernel`:
+``auto`` (default), ``numpy``, ``numba``, or ``off``."""
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -79,18 +95,21 @@ class EngineConfig:
         constant-power fast-forward.  ``"be"`` -- backward Euler, kept
         as the time-discretised regression anchor.
     fast_forward:
-        Allow the engine to jump spans of steps whose power vector, dt
-        and actuation are unchanged (idle phases, converged steady
-        phases) in closed form via ``A_d^K``.  Only effective with the
-        ``"expm"`` stepper; every jump is first proven safe against the
-        trigger/emergency thresholds (see docs/MODELING.md), otherwise
-        the engine falls back to explicit stepping.
+        Allow the engine to jump spans of steps between DTM decision
+        points in closed form via ``A_d^K`` (event-driven stepping).
+        The dynamic power is constant over such a span by construction
+        (same phase, actuation and voltage until the next sensor
+        sample); leakage drift within the span is closed by a widened
+        span envelope (see ``stride_drift_tol_w``).  Only effective
+        with the ``"expm"`` stepper; every jump is first proven safe
+        against the trigger/emergency thresholds (see docs/MODELING.md
+        section 8), otherwise the engine falls back to dense stepping.
     fast_forward_power_tol_w:
-        Per-block power drift (watts) between consecutive steps below
-        which the power vector counts as unchanged for fast-forward.
-        The temperature error of freezing the power over a span is
-        bounded by this tolerance times the worst-case thermal
-        resistance (~3 K/W), i.e. microkelvins at the default.
+        Retained for compatibility.  The historical fast-forward gate
+        required step-to-step power stability below this tolerance; the
+        event-driven stride replaced that heuristic with a rigorous
+        leakage-drift closure governed by ``stride_drift_tol_w``, so
+        this knob no longer affects the engine.
     fault_plan:
         Deterministic faults to inject into matching runs (worker
         crashes, delays, solver corruption, sensor degradation; see
@@ -106,6 +125,27 @@ class EngineConfig:
         environment variable (default ``on``).  The compiled path is
         bit-identical to the interpreted one by construction; see
         docs/MODELING.md section 7.
+    step_kernel:
+        Backend that executes a dense span of thermal steps as one fused
+        call instead of one engine round-trip per step.  ``"numpy"`` --
+        a tight Python loop over pre-bound solver/power/accounting
+        callables, bit-identical to per-step dispatch (it runs the same
+        float operations in the same order; see docs/MODELING.md
+        section 8).  ``"numba"`` -- reserved for a JIT-compiled kernel;
+        raises a clear error when numba is not installed.  ``"auto"`` --
+        numba when available, else numpy.  ``"off"`` -- the per-step
+        anchor path: the engine yields every step through the
+        :mod:`repro.sim.contract` surface individually.  ``None``
+        (default) defers to the ``REPRO_STEP_KERNEL`` environment
+        variable (default ``auto``).
+    stride_drift_tol_w:
+        Per-block power drift (watts) each event-driven stride segment
+        may absorb before the stride is split into more segments (or
+        abandoned for dense stepping).  Drift within a segment is closed
+        rigorously -- the envelope is widened by the worst-case
+        steady-state response ``L^-1 dP`` and re-verified a posteriori
+        -- so this knob trades stride length against envelope slack, not
+        correctness.
     """
 
     thermal_step_cycles: int = 10_000
@@ -121,6 +161,23 @@ class EngineConfig:
     fast_forward_power_tol_w: float = 1.0e-3
     fault_plan: Optional[FaultPlan] = None
     compiled_trace: Optional[str] = None
+    step_kernel: Optional[str] = None
+    stride_drift_tol_w: float = 1.0e-3
+
+    def resolved_step_kernel(self) -> str:
+        """The effective step-kernel mode: the explicit field if set,
+        else the ``REPRO_STEP_KERNEL`` environment variable, else
+        ``"auto"``."""
+        if self.step_kernel is not None:
+            return self.step_kernel
+        raw = os.environ.get(STEP_KERNEL_ENV, STEP_KERNEL_AUTO)
+        mode = raw.strip().lower()
+        if mode not in STEP_KERNEL_MODES:
+            raise SimulationError(
+                f"{STEP_KERNEL_ENV} must be one of "
+                f"{'/'.join(STEP_KERNEL_MODES)}, got {raw!r}"
+            )
+        return mode
 
     def resolved_compiled_trace(self) -> str:
         """The effective compiled-trace mode: the explicit field if set,
@@ -177,3 +234,13 @@ class EngineConfig:
                 f"compiled_trace must be 'on', 'off', 'verify' or None, "
                 f"got {self.compiled_trace!r}"
             )
+        if self.step_kernel is not None and self.step_kernel not in (
+            STEP_KERNEL_MODES
+        ):
+            raise SimulationError(
+                f"step_kernel must be one of "
+                f"{'/'.join(STEP_KERNEL_MODES)} or None, "
+                f"got {self.step_kernel!r}"
+            )
+        if self.stride_drift_tol_w < 0.0:
+            raise SimulationError("stride drift tolerance must be >= 0")

@@ -16,7 +16,12 @@ runs inside the generator.  A request is either
 * a tuple ``(solver, power, dt, count)``: advance ``solver`` by
   ``count`` steps of ``dt`` seconds under the node ``power`` vector
   (``count == 1`` is a plain step, ``count > 1`` a constant-power
-  fast-forward), replying with the solver's state array; or
+  fast-forward), replying with the solver's state array;
+* a tuple ``(solver, task, dt, count)`` where ``task`` is a
+  :class:`~repro.sim.kernel.DenseSpanTask`: execute ``count`` fused
+  dense steps via the task's pre-bound closure (the engine keeps
+  ownership of sampling/power/accounting; the driver just invokes the
+  span), replying with the solver's state array; or
 * a mapping ``{key: (solver, power, dt, count)}``: a *round* of
   requests from many interleaved runs (the lockstep engine), replying
   with ``{key: stepped_vector}``.  The driver batches the compatible
@@ -39,6 +44,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.obs import trace as obs_trace
+from repro.sim.kernel import DenseSpanTask
 
 
 @dataclass(frozen=True)
@@ -59,6 +65,8 @@ class EngineEvent:
 def service_request(request: Tuple) -> Any:
     """Advance one solver per a ``(solver, power, dt, count)`` request."""
     solver, power, dt, count = request
+    if isinstance(power, DenseSpanTask):
+        return power.run(solver)
     if count == 1:
         return solver.step(power, dt, copy=False)
     return solver.fast_forward(power, dt, count, copy=False)
@@ -79,7 +87,7 @@ def service_round(requests: Mapping) -> Dict:
     groups: Dict[Tuple, List] = {}
     singles: List = []
     for key, (solver, _power, dt, count) in requests.items():
-        if count == 1:
+        if count == 1 and not isinstance(_power, DenseSpanTask):
             groups.setdefault((type(solver), id(solver.network), dt), []).append(key)
         else:
             singles.append(key)
@@ -105,8 +113,12 @@ def drive(steps) -> Any:
     generator's return value.  With step timing enabled
     (``REPRO_STEP_TIMING`` / observability on), tuple requests record
     under the ``step.thermal`` span exactly as the pre-contract engine
-    loop did.  If servicing raises, the generator is closed so the
-    engine unwinds immediately instead of at garbage collection.
+    loop did; fused :class:`~repro.sim.kernel.DenseSpanTask` requests
+    record under ``step.kernel`` instead (the span covers the whole
+    fused pipeline -- the kernel attributes its inner sections itself,
+    so ``step.kernel`` is a boundary measure, not an additive one).  If
+    servicing raises, the generator is closed so the engine unwinds
+    immediately instead of at garbage collection.
     """
     from repro.sim.engine import step_timing_enabled
 
@@ -122,7 +134,10 @@ def drive(steps) -> Any:
                         continue
                     t0 = perf_counter()
                     reply = service_request(request)
-                    record("step.thermal", perf_counter() - t0)
+                    if isinstance(request[1], DenseSpanTask):
+                        record("step.kernel", perf_counter() - t0)
+                    else:
+                        record("step.thermal", perf_counter() - t0)
             except StopIteration as stop:
                 return stop.value
         try:

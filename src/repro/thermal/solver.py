@@ -531,6 +531,52 @@ class ExponentialSolver:
         upper = t_ss + np.maximum(weights, decayed).sum(axis=1)
         return lower, upper
 
+    def span_envelope_bounds(
+        self, p_lo: np.ndarray, p_hi: np.ndarray, span_s: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Rigorous per-node bounds on *any* varying-power trajectory
+        over the next ``span_s`` seconds.
+
+        Returns ``(lower, upper)`` such that every trajectory from the
+        current state under *any* measurable power profile ``P(t)`` with
+        ``p_lo <= P(t) <= p_hi`` elementwise satisfies
+        ``lower <= T(t) <= upper`` for all ``t in [0, span_s]``.
+
+        The generalisation from :meth:`span_envelope` rests on the
+        network's order structure: ``-C^{-1} L`` is a Metzler matrix
+        (the off-diagonals of the conductance Laplacian are ``-g_ij <=
+        0``), so the thermal dynamics are *cooperative* and the Kamke-
+        Mueller comparison principle applies -- raising any input can
+        only raise every temperature.  The trajectory under ``P(t)`` is
+        therefore pinched, elementwise and for all ``t``, between the
+        two constant-power extremal trajectories started from the same
+        state, and each extremal trajectory is bounded by its modal
+        envelope.  This is what lets the engine stride across spans of
+        *piecewise-varying* power (leakage drifting with temperature, a
+        controller holding its actuation between samples) with the same
+        threshold-safety proof the constant-power fast-forward uses.
+        """
+        if p_lo.shape != (self._network.size,) or p_hi.shape != (
+            self._network.size,
+        ):
+            raise ThermalModelError(
+                f"power bounds have shapes {p_lo.shape}/{p_hi.shape}, "
+                f"expected ({self._network.size},)"
+            )
+        if np.any(p_lo > p_hi):
+            raise ThermalModelError(
+                "power lower bound exceeds upper bound"
+            )
+        lower, _ = self.span_envelope(p_lo, span_s)
+        _, upper = self.span_envelope(p_hi, span_s)
+        return lower, upper
+
+    def span_probe(self, rows: np.ndarray) -> "SpanProbe":
+        """An allocation-free span-envelope evaluator restricted to the
+        node subset ``rows`` (the engine passes its block-node indices).
+        See :class:`SpanProbe`."""
+        return SpanProbe(self, rows)
+
     def reset(self, temperatures: np.ndarray) -> None:
         """Overwrite the state with ``temperatures`` and zero the clock."""
         if temperatures.shape != (self._network.size,):
@@ -541,6 +587,172 @@ class ExponentialSolver:
         self._temps = np.array(temperatures, dtype=float, copy=True)
         self._time_s = 0.0
         self.fallback_active = False
+
+
+class SpanProbe:
+    """Allocation-free span-envelope evaluator over a fixed row subset.
+
+    The engine's event-driven stride asks, once per sensor period, for
+    bounds on the hottest *block* temperature over the coming span.
+    :meth:`ExponentialSolver.span_envelope` answers that with ~six fresh
+    arrays per call; at a few thousand calls per run the allocator
+    becomes a measurable slice of the hot path.  This probe precomputes
+    the modal basis restricted to the requested rows, caches the span
+    decay vector per span length, and reuses one set of buffers, so a
+    call is a handful of in-place BLAS/ufunc operations.
+
+    The returned bound arrays are the probe's own buffers: read them
+    before the next :meth:`bounds` call.  Bounds are numerically
+    identical to ``span_envelope(power, span_s)`` restricted to
+    ``rows`` (same operations on the same doubles, reassociated only
+    where float addition order is already unspecified upstream).
+    """
+
+    def __init__(self, solver: "ExponentialSolver", rows: np.ndarray):
+        self._solver = solver
+        rows = np.asarray(rows, dtype=np.intp)
+        self._rows = rows
+        network = solver._network
+        n = network.size
+        m = rows.size
+        rates, vectors = solver._mode_basis()
+        self._rates = rates
+        self._vectors_t = np.ascontiguousarray(vectors.T)
+        # Row-restricted, capacitance-unwhitened basis: row i of
+        # ``row_basis * coeffs`` is node rows[i]'s modal weight vector.
+        self._row_basis = np.ascontiguousarray(
+            vectors[rows] * solver._inv_c_sqrt[rows, None]
+        )
+        self._linv = solver._linv
+        # Steady-state response of the row subset to extra power *on*
+        # the row subset: bounds the trajectory shift from a power
+        # perturbation confined to those nodes (see ``response_bound``).
+        self._linv_rows = np.ascontiguousarray(
+            solver._linv[np.ix_(rows, rows)]
+        )
+        self._c_sqrt = solver._c_sqrt
+        self._ambient_source = solver._ambient_source
+        self._exp_cache = _LruCache(FACTOR_CACHE_SIZE)
+        # Transposed-contiguous copies so the paired (2, n) variants run
+        # as one dgemm each instead of two dgemv dispatches.
+        self._linv_t = np.ascontiguousarray(solver._linv.T)
+        self._vectors = np.ascontiguousarray(vectors)
+        # Reused buffers.
+        self._u = np.empty(n)
+        self._t_ss = np.empty(n)
+        self._diff = np.empty(n)
+        self._coeffs = np.empty(n)
+        self._weights = np.empty((m, n))
+        self._decayed = np.empty((m, n))
+        self._extreme = np.empty((m, n))
+        self._lower = np.empty(m)
+        self._upper = np.empty(m)
+        self._resp = np.empty(m)
+        self._pair_u = np.empty((2, n))
+        self._pair_t_ss = np.empty((2, n))
+        self._pair_diff = np.empty((2, n))
+        self._pair_coeffs = np.empty((2, n))
+
+    def _decay(self, span_s: float) -> np.ndarray:
+        key = int(round(span_s * 1e15))
+        cached = self._exp_cache.get(key)
+        if cached is None:
+            cached = np.exp(-self._rates * span_s)
+            self._exp_cache.put(key, cached)
+        return cached
+
+    def bounds(
+        self, power: np.ndarray, span_s: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(lower, upper)`` over the probe's rows for the constant-
+        ``power`` trajectory over ``[0, span_s]`` -- the row-restricted
+        :meth:`ExponentialSolver.span_envelope`, without allocation.
+        Returns internal buffers, overwritten by the next call."""
+        solver = self._solver
+        u = self._u
+        np.add(power, self._ambient_source, out=u)
+        t_ss = self._t_ss
+        np.dot(self._linv, u, out=t_ss)
+        diff = self._diff
+        np.subtract(solver._temps, t_ss, out=diff)
+        diff *= self._c_sqrt
+        np.dot(self._vectors_t, diff, out=self._coeffs)
+        weights = self._weights
+        np.multiply(self._row_basis, self._coeffs[None, :], out=weights)
+        decayed = self._decayed
+        np.multiply(weights, self._decay(span_s)[None, :], out=decayed)
+        extreme = self._extreme
+        np.minimum(weights, decayed, out=extreme)
+        lower = self._lower
+        extreme.sum(axis=1, out=lower)
+        lower += t_ss[self._rows]
+        np.maximum(weights, decayed, out=extreme)
+        upper = self._upper
+        extreme.sum(axis=1, out=upper)
+        upper += t_ss[self._rows]
+        return lower, upper
+
+    def widened(
+        self, power_pair: np.ndarray, span_s: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(lower, upper)`` where ``upper`` bounds the constant-
+        ``power_pair[0]`` trajectory from above and ``lower`` bounds the
+        constant-``power_pair[1]`` trajectory from below, over
+        ``[0, span_s]`` on the probe's rows.
+
+        This is the half of two :meth:`bounds` calls the engine's
+        widened-envelope closure actually consumes (the upper bound of
+        the leakage-inflated power, the lower bound of the deflated
+        one), computed in one stacked pass so the two steady-state and
+        modal projections run as single (2, n) x (n, n) matmuls instead
+        of four matvec dispatches.  Each returned bound is numerically
+        the same function of the same doubles as the corresponding
+        :meth:`bounds` output.  Returns internal buffers, overwritten by
+        the next :meth:`bounds` or :meth:`widened` call."""
+        solver = self._solver
+        u = self._pair_u
+        np.add(power_pair, self._ambient_source[None, :], out=u)
+        t_ss = self._pair_t_ss
+        np.dot(u, self._linv_t, out=t_ss)
+        diff = self._pair_diff
+        np.subtract(solver._temps[None, :], t_ss, out=diff)
+        diff *= self._c_sqrt[None, :]
+        np.dot(diff, self._vectors, out=self._pair_coeffs)
+        decay = self._decay(span_s)
+        weights = self._weights
+        decayed = self._decayed
+        extreme = self._extreme
+        np.multiply(self._row_basis, self._pair_coeffs[0][None, :], out=weights)
+        np.multiply(weights, decay[None, :], out=decayed)
+        np.maximum(weights, decayed, out=extreme)
+        upper = self._upper
+        extreme.sum(axis=1, out=upper)
+        upper += t_ss[0, self._rows]
+        np.multiply(self._row_basis, self._pair_coeffs[1][None, :], out=weights)
+        np.multiply(weights, decay[None, :], out=decayed)
+        np.minimum(weights, decayed, out=extreme)
+        lower = self._lower
+        extreme.sum(axis=1, out=lower)
+        lower += t_ss[1, self._rows]
+        return lower, upper
+
+    def response_bound(self, delta_rows: np.ndarray) -> np.ndarray:
+        """Elementwise bound on the extra trajectory movement caused by
+        adding a constant power perturbation ``delta_rows >= 0`` (one
+        entry per probe row, applied at those nodes) on top of any
+        profile already covered by :meth:`bounds`.
+
+        By linearity the perturbed trajectory is the unperturbed one
+        plus the zero-state response ``(I - e^{-C^{-1}L t}) L^{-1} d``,
+        which for ``d >= 0`` is elementwise nonnegative, monotone in
+        ``t`` and bounded by its asymptote ``L^{-1} d``.  Adding the
+        returned vector to an upper bound (or subtracting the bound for
+        ``-d`` from a lower bound) therefore keeps the envelope rigorous
+        under power drift of at most ``delta_rows`` -- the a-posteriori
+        closure the engine uses for temperature-dependent leakage.
+        Returns an internal buffer, overwritten by the next call."""
+        np.dot(self._linv_rows, delta_rows, out=self._resp)
+        return self._resp
 
 
 def step_lockstep(solvers, powers, dt: float):

@@ -187,6 +187,26 @@ class IntervalPerformanceModel:
             count -= 1
         return count
 
+    def span_instructions(
+        self, cycles: int, actuation: DtmActuation
+    ) -> float:
+        """Instructions one :meth:`fast_forward` interval would commit
+        under ``actuation`` in the current phase (the fast-path
+        :meth:`advance` commit).
+
+        The engine sizes a prospective jump's budget cap with this
+        rather than the *last* dense sample: a boundary-crossing step
+        commits a blend of two phases' rates, and capping with the
+        blended value lets the span's (clean) rate overshoot the
+        instruction budget.
+        """
+        if cycles <= 0:
+            raise SimulationError("interval length must be > 0")
+        remaining = float(cycles) * actuation.clock_enabled_fraction
+        if remaining <= 1e-9:
+            return 0.0
+        return remaining / self._cpi(self.current_phase, actuation)
+
     def fast_forward(
         self, cycles: int, actuation: DtmActuation, repeats: int
     ) -> float:

@@ -79,8 +79,13 @@ def _as_tuple(result):
 
 @pytest.fixture(scope="module")
 def reference():
-    """Fault-free sweep, serial run_one semantics for every spec."""
-    return [_as_tuple(r) for r in run_many(_clean_specs())]
+    """Fault-free sweep, serial run_one semantics for every spec.
+
+    Pinned to the per-run path: healed chaos sweeps execute per spec
+    (fault plans opt out of the lockstep sweep default), and the
+    bit-identity claim only holds against the same execution mode.
+    """
+    return [_as_tuple(r) for r in run_many(_clean_specs(), lockstep=False)]
 
 
 class TestChaosInvariant:
@@ -115,7 +120,8 @@ class TestResumeAfterKill:
     ):
         path = tmp_path / "sweep.jsonl"
         specs = _clean_specs()
-        run_many(specs, journal=str(path))
+        # Per-run path throughout: this test counts run_one calls.
+        run_many(specs, journal=str(path), lockstep=False)
 
         # Simulate the sweep process dying after two finishes: keep the
         # journal's first two lines, then resume the same grid.
@@ -136,7 +142,7 @@ class TestResumeAfterKill:
 
         try:
             batch.run_one = counting_run_one
-            resumed = run_many(specs, resume=str(path))
+            resumed = run_many(specs, resume=str(path), lockstep=False)
         finally:
             batch.run_one = original
 

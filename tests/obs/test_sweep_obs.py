@@ -43,7 +43,9 @@ def _exploding_policy():
 class TestSweepReport:
     def test_serial_sweep_produces_report(self, obs_on):
         specs = [_spec(seed=s) for s in range(2)]
-        run_many(specs)
+        # Per-run path: lockstep sweeps spill one chunk record per
+        # batch rather than one record per run.
+        run_many(specs, lockstep=False)
         report = last_sweep_report()
         assert report is not None
         assert report.meta["n_runs"] == 2
@@ -59,10 +61,10 @@ class TestSweepReport:
 
     def test_pool_and_lockstep_counters_match_serial(self, obs_on):
         specs = [_spec(seed=s) for s in range(3)]
-        run_many(specs)
+        run_many(specs, lockstep=False)
         serial = last_sweep_report()
 
-        run_many(specs, processes=2)
+        run_many(specs, processes=2, lockstep=False)
         pooled = last_sweep_report()
 
         run_many(specs, processes=2, lockstep=True)

@@ -60,10 +60,97 @@ def _as_tuples(results):
     ]
 
 
+class TestLockstepDefault:
+    """Resolution of run_many's lockstep execution mode."""
+
+    def _clean(self, n=2):
+        return [
+            RunSpec(
+                workload="gzip",
+                policy="FG",
+                instructions=FAST_N,
+                seed=s,
+            )
+            for s in range(n)
+        ]
+
+    def test_auto_on_for_homogeneous_multi_run_sweeps(self):
+        from repro.sim.batch import _resolve_lockstep
+
+        assert _resolve_lockstep(self._clean(2), None) is True
+
+    def test_auto_off_for_single_run(self):
+        from repro.sim.batch import _resolve_lockstep
+
+        assert _resolve_lockstep(self._clean(1), None) is False
+
+    def test_auto_off_for_specs_needing_per_run_supervision(self):
+        from repro.sim.faults import FaultPlan
+        from repro.sim.batch import _resolve_lockstep
+
+        faulty = self._clean(1) + [
+            RunSpec(
+                workload="gzip",
+                policy="FG",
+                instructions=FAST_N,
+                seed=9,
+                engine_config=EngineConfig(
+                    fault_plan=FaultPlan(crash_worker=True)
+                ),
+            )
+        ]
+        assert _resolve_lockstep(faulty, None) is False
+        guarded = self._clean(1) + [
+            RunSpec(
+                workload="gzip",
+                policy="FG",
+                instructions=FAST_N,
+                seed=9,
+                engine_config=EngineConfig(raise_on_violation=True),
+            )
+        ]
+        assert _resolve_lockstep(guarded, None) is False
+        traced = self._clean(1) + [
+            RunSpec(
+                workload="gzip",
+                policy="FG",
+                instructions=FAST_N,
+                seed=9,
+                engine_config=EngineConfig(record_trace=True),
+            )
+        ]
+        assert _resolve_lockstep(traced, None) is False
+        heterogeneous = self._clean(1) + [object()]
+        assert _resolve_lockstep(heterogeneous, None) is False
+
+    def test_env_override(self, monkeypatch):
+        from repro.sim.batch import SWEEP_LOCKSTEP_ENV, _resolve_lockstep
+
+        monkeypatch.setenv(SWEEP_LOCKSTEP_ENV, "off")
+        assert _resolve_lockstep(self._clean(2), None) is False
+        monkeypatch.setenv(SWEEP_LOCKSTEP_ENV, "1")
+        assert _resolve_lockstep(self._clean(1), None) is True
+        monkeypatch.setenv(SWEEP_LOCKSTEP_ENV, "sideways")
+        with pytest.raises(SimulationError, match="REPRO_SWEEP_LOCKSTEP"):
+            _resolve_lockstep(self._clean(2), None)
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        from repro.sim.batch import SWEEP_LOCKSTEP_ENV, _resolve_lockstep
+
+        monkeypatch.setenv(SWEEP_LOCKSTEP_ENV, "on")
+        assert _resolve_lockstep(self._clean(2), False) is False
+        monkeypatch.setenv(SWEEP_LOCKSTEP_ENV, "off")
+        assert _resolve_lockstep(self._clean(2), True) is True
+
+
 class TestRunMany:
+    # These tests pin the per-run scheduling invariance of the classic
+    # serial/pool paths, so they opt out of the lockstep sweep default
+    # (lockstep matches per-run only to BLAS summation order, and its
+    # grouping varies with chunking).
     def test_parallel_matches_serial_exactly(self):
-        serial = run_many(_specs(), processes=1)
-        parallel = run_many(_specs(), processes=4)
+        serial = run_many(_specs(), processes=1, lockstep=False)
+        parallel = run_many(_specs(), processes=4, lockstep=False)
         assert _as_tuples(serial) == _as_tuples(parallel)
 
     def test_results_preserve_spec_order(self):
@@ -72,8 +159,8 @@ class TestRunMany:
         assert [r.policy for r in results] == ["none", "FG", "DVS", "FG"]
 
     def test_deterministic_across_repeats(self):
-        first = run_many(_specs(), processes=2)
-        second = run_many(_specs(), processes=3)
+        first = run_many(_specs(), processes=2, lockstep=False)
+        second = run_many(_specs(), processes=3, lockstep=False)
         assert _as_tuples(first) == _as_tuples(second)
 
     def test_empty_batch(self):

@@ -43,6 +43,12 @@ def gcc():
 
 
 def _run_both(workload, policy_factory, settle_time_s=2.0e-4, **config_kwargs):
+    # Pin dense stepping: the event-driven stride requires the vector
+    # power pipeline, so the mapping path always steps densely.  This
+    # suite asserts power-path arithmetic equivalence, which is only
+    # meaningful step for step; stride-vs-dense fidelity is covered by
+    # tests/sim/test_fast_forward.py.
+    config_kwargs.setdefault("fast_forward", False)
     results = {}
     for path in ("vector", "mapping"):
         engine = SimulationEngine(

@@ -29,8 +29,8 @@ EXACT_FIELDS = (
     "migrations",
 )
 # (field, abs tolerance): time-like statistics agree to rounding error;
-# temperature and power pick up the documented fast-forward power
-# tolerance (EngineConfig.fast_forward_power_tol_w freezes sub-milliwatt
+# temperature and power pick up the stride's proven leakage-drift band
+# (EngineConfig.stride_drift_tol_w bounds sub-milliwatt within-span
 # drift) and backward Euler's O(dt) discretisation error.
 CLOSE_FIELDS = (
     ("elapsed_s", 1e-12),

@@ -61,7 +61,9 @@ def _assert_equivalent(result, reference):
 
 @pytest.fixture(scope="module")
 def serial_results():
-    return run_many(_specs())
+    # The whole suite compares lockstep against per-run execution, so
+    # the reference must opt out of the lockstep sweep default.
+    return run_many(_specs(), lockstep=False)
 
 
 class TestLockstepEquivalence:

@@ -177,11 +177,13 @@ class TestRunManyIntegration:
         ]
 
     def test_pool_matches_serial_with_and_without_shm(self, monkeypatch):
-        serial = run_many(self._specs())
+        # The shared-memory dispatch lives on the classic per-run pool
+        # path; opt out of the lockstep sweep default to exercise it.
+        serial = run_many(self._specs(), lockstep=False)
         monkeypatch.setenv(SHM_SWEEPS_ENV, "1")
-        pooled_shm = run_many(self._specs(), processes=2)
+        pooled_shm = run_many(self._specs(), processes=2, lockstep=False)
         monkeypatch.setenv(SHM_SWEEPS_ENV, "0")
-        pooled_pickle = run_many(self._specs(), processes=2)
+        pooled_pickle = run_many(self._specs(), processes=2, lockstep=False)
         reference = [asdict(r) for r in serial]
         assert [asdict(r) for r in pooled_shm] == reference
         assert [asdict(r) for r in pooled_pickle] == reference

@@ -176,8 +176,10 @@ class TestSerialSupervision:
             _spec(seed=1, plan=FaultPlan(crash_worker=True)),
         ]
         clean = [_spec(), _spec(seed=1)]
+        # Faulty specs run per-run (fault plans opt out of the lockstep
+        # default); the bit-identity reference must be per-run too.
         healed = run_many(faulty, retries=1)
-        reference = run_many(clean)
+        reference = run_many(clean, lockstep=False)
         assert [_as_tuple(r) for r in healed] == [
             _as_tuple(r) for r in reference
         ]
@@ -255,7 +257,9 @@ class TestJournalAndResume:
     def test_resume_runs_only_unfinished_specs(self, tmp_path):
         path = tmp_path / "sweep.jsonl"
         specs = [_spec(), _spec(seed=1), _spec(seed=2)]
-        complete = run_many(specs, journal=str(path))
+        # Pin the per-run path: this test counts run_one invocations,
+        # which the lockstep default would bypass.
+        complete = run_many(specs, journal=str(path), lockstep=False)
 
         # Simulate a sweep killed after two finishes: drop the journal's
         # last line, then resume.
@@ -273,7 +277,7 @@ class TestJournalAndResume:
 
         try:
             batch.run_one = counting_run_one
-            resumed = run_many(specs, resume=str(path))
+            resumed = run_many(specs, resume=str(path), lockstep=False)
         finally:
             batch.run_one = original
         assert len(calls) == 1
@@ -296,7 +300,7 @@ class TestPoolSupervision:
         ]
         clean = [_spec(seed=s) for s in range(4)]
         healed = run_many(faulty, processes=2, timeout_s=60.0)
-        reference = run_many(clean)
+        reference = run_many(clean, lockstep=False)
         assert [_as_tuple(r) for r in healed] == [
             _as_tuple(r) for r in reference
         ]
@@ -332,8 +336,12 @@ class TestPoolSupervision:
 
         monkeypatch.setattr(batch, "_get_pool", flaky_get_pool)
         specs = [_spec(seed=s) for s in range(4)]
-        healed = run_many(specs, processes=2, timeout_s=60.0)
-        reference = run_many([_spec(seed=s) for s in range(4)])
+        # Pin the classic pool path: the mid-submit breakage being
+        # exercised lives in run_pool, not the lockstep-chunk runner.
+        healed = run_many(specs, processes=2, timeout_s=60.0, lockstep=False)
+        reference = run_many(
+            [_spec(seed=s) for s in range(4)], lockstep=False
+        )
         assert [_as_tuple(r) for r in healed] == [
             _as_tuple(r) for r in reference
         ]
@@ -359,7 +367,7 @@ class TestPoolSupervision:
         healed = run_many(
             specs, processes=2, timeout_s=1.0, retries=1, backoff_s=0.0
         )
-        reference = run_many([_spec(), _spec(seed=1)])
+        reference = run_many([_spec(), _spec(seed=1)], lockstep=False)
         assert [_as_tuple(r) for r in healed] == [
             _as_tuple(r) for r in reference
         ]
@@ -377,7 +385,7 @@ class TestLockstepSupervision:
         ]
         clean = [_spec(), _spec(seed=1), _spec(seed=2)]
         healed = run_many(faulty, lockstep=True, retries=1, backoff_s=0.0)
-        reference = run_many(clean)
+        reference = run_many(clean, lockstep=False)
         assert [_as_tuple(r) for r in healed] == [
             _as_tuple(r) for r in reference
         ]
@@ -396,6 +404,6 @@ class TestLockstepSupervision:
             faulty, processes=2, lockstep=True, retries=1, backoff_s=0.0
         )
         lockstep_ref = run_many(clean, lockstep=True)
-        serial_ref = run_many(clean)
+        serial_ref = run_many(clean, lockstep=False)
         for got, a, b in zip(healed, lockstep_ref, serial_ref):
             assert _as_tuple(got) in (_as_tuple(a), _as_tuple(b))
