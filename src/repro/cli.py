@@ -10,6 +10,8 @@ characterise the suite -- from a shell, without writing harness code::
     python -m repro characterise
     python -m repro list
     python -m repro report sweep-report.jsonl
+    python -m repro serve --socket sweep.sock --cache-dir cache
+    python -m repro submit --socket sweep.sock --benchmarks gzip gcc
 
 ``batch`` runs a benchmark x policy grid under the sweep supervisor:
 per-run timeouts, bounded retries, partial results, and a JSONL journal
@@ -18,6 +20,10 @@ work.  With ``REPRO_OBS=1`` and ``--report PATH`` it also saves the
 merged observability report, which ``report`` renders (or exports as
 Prometheus text) and whose event files ``report --events`` validates
 against the schema.
+
+``serve`` exposes the same supervised execution as a crash-tolerant
+job server with a content-addressed result cache (docs/SERVICE.md);
+``submit`` is its client (grids, ``--status``, ``--drain``).
 """
 
 from __future__ import annotations
@@ -27,7 +33,9 @@ import cProfile
 import importlib
 import os
 import pstats
+import signal
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 from typing import List, Optional
 
@@ -50,6 +58,50 @@ from repro.sim.engine import (
     step_timers,
 )
 from repro.workloads.spec import SPEC_BENCHMARK_NAMES, build_benchmark
+
+
+def _add_supervisor_knobs(parser: argparse.ArgumentParser) -> None:
+    """The sweep supervisor's retry/backoff/timeout parameters, shared
+    verbatim by ``batch`` and ``serve`` (they feed ``run_many``)."""
+    parser.add_argument(
+        "--timeout-s", type=float, default=None, metavar="S",
+        help="per-run wall-clock budget in seconds, enforced on the "
+             "pool path; an overdue run's worker is presumed wedged, "
+             "the pool is rebuilt and the run retried "
+             "(default: no timeout)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry attempts allowed per run beyond the first "
+             "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--backoff-s", type=float, default=0.1, metavar="S",
+        help="base retry backoff; attempt k waits backoff*2^(k-1) "
+             "seconds plus deterministic jitter (default %(default)s)",
+    )
+    parser.add_argument(
+        "--backoff-max-s", type=float, default=30.0, metavar="S",
+        help="ceiling on one retry's backoff delay "
+             "(default %(default)s)",
+    )
+
+
+def _add_service_address(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="serve on (connect to) a Unix domain socket at PATH "
+             "instead of TCP",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="TCP bind/connect host (default %(default)s)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=7621,
+        help="TCP port (default %(default)s; 0 binds an ephemeral "
+             "port when serving)",
+    )
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -148,6 +200,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+class _GracefulTermination(Exception):
+    """SIGTERM arrived; the command should stop cleanly."""
+
+
+@contextmanager
+def _sigterm_raises():
+    """Convert SIGTERM into :class:`_GracefulTermination` inside the
+    block, so ``finally`` clauses (journal close, pool teardown) run
+    and an interrupted sweep leaves a valid, resumable journal behind.
+    Restores the previous handler on exit; a no-op off the main thread.
+    """
+    def raise_termination(signum, frame):
+        raise _GracefulTermination()
+
+    try:
+        previous = signal.signal(signal.SIGTERM, raise_termination)
+    except ValueError:  # pragma: no cover - not the main thread
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+SIGTERM_EXIT_CODE = 143  # 128 + SIGTERM, the conventional shell code
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.sim.batch import RunSpec, last_sweep_report, run_many
@@ -171,15 +251,32 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for benchmark in args.benchmarks
         for policy in args.policies
     ]
-    outcomes = run_many(
-        specs,
-        processes=args.processes,
-        timeout_s=args.timeout_s,
-        retries=args.retries,
-        partial_results=args.partial,
-        journal=args.journal,
-        resume=args.resume,
-    )
+    try:
+        with _sigterm_raises():
+            outcomes = run_many(
+                specs,
+                processes=args.processes,
+                timeout_s=args.timeout_s,
+                retries=args.retries,
+                backoff_s=args.backoff_s,
+                backoff_max_s=args.backoff_max_s,
+                partial_results=args.partial,
+                journal=args.journal,
+                resume=args.resume,
+            )
+    except _GracefulTermination:
+        journal = args.journal or args.resume
+        print(
+            "terminated by SIGTERM; "
+            + (
+                f"journal {journal} holds every finished run -- resume "
+                f"with --resume {journal}"
+                if journal
+                else "no journal was configured, finished runs are lost"
+            ),
+            file=sys.stderr,
+        )
+        return SIGTERM_EXIT_CODE
 
     rows = []
     failures = 0
@@ -209,6 +306,130 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             print("error: no sweep report was produced", file=sys.stderr)
             return 2
         print(f"sweep report saved to {report.save(args.report)}")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import ServiceConfig, SweepService
+
+    config = ServiceConfig(
+        cache_dir=args.cache_dir,
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        max_queue=args.max_queue,
+        max_frame_bytes=args.max_frame_bytes,
+        processes=args.processes,
+        retries=args.retries,
+        backoff_s=args.backoff_s,
+        backoff_max_s=args.backoff_max_s,
+        timeout_s=args.timeout_s,
+    )
+    service = SweepService(config)
+
+    async def serve() -> int:
+        loop = asyncio.get_running_loop()
+        # SIGTERM and SIGINT both mean graceful drain: stop admitting,
+        # finish the in-flight run, flush the journal, exit 0.
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, service.begin_drain)
+        started = asyncio.ensure_future(service.run())
+        while service.address is None and not started.done():
+            await asyncio.sleep(0.01)  # listener coming up
+        if service.address:
+            print(f"sweep service listening on {service.address} "
+                  f"(cache {args.cache_dir})", flush=True)
+        return await started
+
+    return asyncio.run(serve())
+
+
+def _parse_service_address(args: argparse.Namespace):
+    if args.socket:
+        return args.socket
+    return (args.host, args.port)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import (
+        ServiceBusyError,
+        ServiceClient,
+        ServiceError,
+    )
+
+    address = _parse_service_address(args)
+    try:
+        client = ServiceClient(address, timeout=args.connect_timeout_s)
+    except OSError as exc:
+        print(f"error: cannot connect to {address}: {exc}", file=sys.stderr)
+        return 2
+    with client:
+        if args.drain:
+            client.drain()
+            print("drain requested")
+            return 0
+        if args.status:
+            status = client.status()
+            rows = [
+                [key, status[key]]
+                for key in sorted(status)
+                if key != "cache"
+            ]
+            rows.extend(
+                [f"cache.{key}", value]
+                for key, value in sorted(status["cache"].items())
+            )
+            print(render_table(["field", "value"], rows,
+                               title="service status"))
+            return 0
+
+        specs = [
+            {
+                "benchmark": benchmark,
+                "policy": policy,
+                "instructions": int(args.instructions),
+                "settle_time_s": args.settle_ms * 1e-3,
+                "dvs_mode": args.dvs_mode,
+                "seed": args.seed,
+            }
+            for benchmark in args.benchmarks
+            for policy in args.policies
+        ]
+        try:
+            outcomes = client.submit(specs, timeout_s=args.wait_s)
+        except ServiceBusyError as exc:
+            print(f"server busy: {exc}", file=sys.stderr)
+            return 3
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    rows = []
+    failures = 0
+    for spec, outcome in zip(specs, outcomes):
+        if outcome.ok:
+            rows.append([
+                spec["benchmark"], spec["policy"],
+                "cached" if outcome.cached else "ran",
+                outcome.result.elapsed_s * 1e3,
+                outcome.result.violations,
+            ])
+        else:
+            failures += 1
+            rows.append([
+                spec["benchmark"], spec["policy"], "FAILED",
+                outcome.error, "-",
+            ])
+    print(render_table(
+        ["benchmark", "policy", "status", "elapsed ms / error",
+         "violations"],
+        rows,
+        title=f"service submission ({len(specs)} specs)",
+    ))
+    if failures:
+        print(f"{failures}/{len(specs)} specs failed")
     return 0 if failures == 0 else 1
 
 
@@ -395,14 +616,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes", type=int, default=None,
         help="worker processes (default: serial in-process)",
     )
-    batch_parser.add_argument(
-        "--timeout-s", type=float, default=None,
-        help="per-run wall-clock budget in seconds (default: none)",
-    )
-    batch_parser.add_argument(
-        "--retries", type=int, default=0,
-        help="retry attempts per failed run (default %(default)s)",
-    )
+    _add_supervisor_knobs(batch_parser)
     batch_parser.add_argument(
         "--partial", action="store_true",
         help="report failed runs as rows instead of aborting the sweep",
@@ -427,6 +641,71 @@ def build_parser() -> argparse.ArgumentParser:
         "characterise", help="unmanaged thermal characterisation"
     )
     _add_common(char_parser)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the sweep service: an async job server with a "
+             "content-addressed result cache (docs/SERVICE.md)",
+    )
+    _add_service_address(serve_parser)
+    serve_parser.add_argument(
+        "--cache-dir", default="service-cache", metavar="DIR",
+        help="directory holding the result cache and journal "
+             "(default %(default)s); restarting against the same "
+             "directory recovers every journalled result",
+    )
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=256, metavar="N",
+        help="admission-queue bound across all clients; submissions "
+             "beyond it are shed with a BUSY reply "
+             "(default %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--max-frame-bytes", type=int, default=1 << 20, metavar="N",
+        help="largest accepted protocol frame (default %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--processes", type=int, default=None,
+        help="worker processes per job (default: serial in-process)",
+    )
+    _add_supervisor_knobs(serve_parser)
+
+    submit_parser = sub.add_parser(
+        "submit",
+        help="submit a benchmark x policy grid to a running sweep "
+             "service (or query --status / request --drain)",
+    )
+    _add_service_address(submit_parser)
+    submit_parser.add_argument(
+        "--benchmarks", nargs="+", default=list(SPEC_BENCHMARK_NAMES),
+        choices=SPEC_BENCHMARK_NAMES,
+    )
+    submit_parser.add_argument(
+        "--policies", nargs="+", default=["Hyb"], choices=POLICY_NAMES,
+    )
+    submit_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="sensor-noise seed for every spec (default %(default)s)",
+    )
+    submit_parser.add_argument(
+        "--wait-s", type=float, default=None, metavar="S",
+        help="overall deadline for the submission (default: wait "
+             "forever)",
+    )
+    submit_parser.add_argument(
+        "--connect-timeout-s", type=float, default=30.0, metavar="S",
+        help="socket timeout for connect and per-frame reads "
+             "(default %(default)s)",
+    )
+    submit_parser.add_argument(
+        "--status", action="store_true",
+        help="print the server's STATUS snapshot and exit",
+    )
+    submit_parser.add_argument(
+        "--drain", action="store_true",
+        help="ask the server to drain gracefully and exit",
+    )
+    _add_common(submit_parser)
 
     report_parser = sub.add_parser(
         "report",
@@ -474,6 +753,8 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "batch": _cmd_batch,
     "characterise": _cmd_characterise,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
     "bench": _cmd_bench,
     "report": _cmd_report,
 }

@@ -20,8 +20,11 @@ records (:mod:`repro.obs.spill`), not by merging registries.
 
 from __future__ import annotations
 
+import atexit
 import os
 import re
+import shutil
+import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -31,7 +34,10 @@ structured events, span tracing, sweep reports).  Off by default."""
 
 OBS_DIR_ENV = "REPRO_OBS_DIR"
 """Directory that receives event logs, worker spill files and sweep
-reports (default ``obs`` under the current working directory)."""
+reports.  When unset, a per-run temporary directory is created lazily
+(``repro-obs-*`` under the system temp dir) and removed at interpreter
+exit, so casual runs never litter the working directory with
+``obs/events-*.jsonl`` files.  Set it explicitly to keep the logs."""
 
 _FALSEY = ("", "0", "off", "false", "no")
 
@@ -62,9 +68,47 @@ def set_enabled(on: bool) -> bool:
     return previous
 
 
+# The lazily created default output directory, cached per process so
+# every caller (and every pool worker forked afterwards) agrees on one
+# path.  Only the process that created it removes it at exit: forked
+# workers inherit the cache but not ownership.
+_DEFAULT_DIR: Optional[Path] = None
+_DEFAULT_DIR_OWNER: Optional[int] = None
+
+
+def _cleanup_default_dir() -> None:
+    if _DEFAULT_DIR is not None and _DEFAULT_DIR_OWNER == os.getpid():
+        shutil.rmtree(_DEFAULT_DIR, ignore_errors=True)
+
+
 def obs_dir() -> Path:
-    """The observability output directory (not created here)."""
-    return Path(os.environ.get(OBS_DIR_ENV, "obs"))
+    """The observability output directory.
+
+    ``REPRO_OBS_DIR`` names it explicitly (not created here).  Without
+    the override, a per-run temporary directory is created on first use
+    and removed at interpreter exit by the process that created it --
+    telemetry spill/event files must live *somewhere* while pool
+    workers stream them back, but they are intermediate state, not a
+    deliverable, and used to accumulate unboundedly in ``./obs``.
+    """
+    env = os.environ.get(OBS_DIR_ENV)
+    if env:
+        return Path(env)
+    global _DEFAULT_DIR, _DEFAULT_DIR_OWNER
+    if _DEFAULT_DIR is None:
+        _DEFAULT_DIR = Path(tempfile.mkdtemp(prefix="repro-obs-"))
+        _DEFAULT_DIR_OWNER = os.getpid()
+        atexit.register(_cleanup_default_dir)
+    return _DEFAULT_DIR
+
+
+def reset_default_dir_for_testing() -> None:
+    """Drop (and delete) the cached default directory so the next
+    :func:`obs_dir` call creates a fresh one.  Test isolation only."""
+    global _DEFAULT_DIR, _DEFAULT_DIR_OWNER
+    _cleanup_default_dir()
+    _DEFAULT_DIR = None
+    _DEFAULT_DIR_OWNER = None
 
 
 def _check_name(name: str) -> str:

@@ -119,6 +119,48 @@ def collect(token: Dict[str, int]) -> List[Dict[str, object]]:
     return records
 
 
+def _writer_alive(pid: int) -> bool:
+    if pid == os.getpid():
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # pragma: no cover - e.g. EPERM: someone's process
+        return True
+    return True
+
+
+def discard_merged() -> None:
+    """Drop spill records that have just been merged into a report.
+
+    Called by ``run_many`` after :func:`collect`: without it, spill
+    files accumulate for the life of the obs directory (one per worker
+    pid, growing across sweeps).  Files whose writer process is gone
+    are unlinked.  Files whose writer may still be alive are
+    *truncated* instead: a live worker holds an ``O_APPEND`` handle, so
+    its next record still lands safely at the (new) end of the file,
+    whereas unlinking would silently divert every later record to a
+    dead inode.  The parent's in-memory records are cleared too.
+    """
+    _LOCAL.clear()
+    directory = metrics.obs_dir()
+    if not directory.is_dir():
+        return
+    for path in directory.glob("spill-*.jsonl"):
+        try:
+            pid = int(path.stem.split("-", 1)[1])
+        except (IndexError, ValueError):  # pragma: no cover - foreign file
+            continue
+        try:
+            if _writer_alive(pid):
+                os.truncate(path, 0)
+            else:
+                path.unlink()
+        except OSError:  # pragma: no cover - raced unlink
+            continue
+
+
 def reset() -> None:
     """Close the handle and clear in-memory records (test isolation)."""
     global _HANDLE, _HANDLE_KEY, _IN_PARENT_PID

@@ -1,0 +1,62 @@
+"""Sweep-as-a-service: the engine as a long-running backend.
+
+The batch layer already owns the hard parts -- content digests for
+specs, a JSONL journal with resume, a fault-tolerant supervisor.  This
+package serves them over a socket:
+
+* :mod:`repro.service.protocol` -- length-prefixed JSON frames and the
+  declarative spec wire format;
+* :mod:`repro.service.cache` -- the content-addressed on-disk result
+  cache (atomic writes, skeptical reads, journal backfill);
+* :mod:`repro.service.server` -- the asyncio :class:`SweepService`
+  (bounded admission, per-client round-robin, graceful drain, crash
+  recovery) and the :class:`ServerThread` embedding;
+* :mod:`repro.service.client` -- the thin blocking
+  :class:`ServiceClient`.
+
+``python -m repro serve`` / ``python -m repro submit`` are the CLI
+faces; docs/SERVICE.md documents the protocol, cache layout, drain
+semantics and failure matrix.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.client import (
+    ServiceBusyError,
+    ServiceClient,
+    ServiceError,
+    SubmitOutcome,
+)
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameTooLargeError,
+    ProtocolError,
+    SpecError,
+    spec_from_wire,
+    spec_to_wire,
+)
+from repro.service.server import (
+    DEFAULT_MAX_QUEUE,
+    ServerThread,
+    ServiceConfig,
+    SweepService,
+)
+
+__all__ = [
+    "DEFAULT_MAX_QUEUE",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "FrameTooLargeError",
+    "ProtocolError",
+    "ResultCache",
+    "ServerThread",
+    "ServiceBusyError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SpecError",
+    "SubmitOutcome",
+    "SweepService",
+    "spec_from_wire",
+    "spec_to_wire",
+]

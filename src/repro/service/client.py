@@ -1,0 +1,180 @@
+"""Thin blocking client for the sweep service.
+
+Plain sockets, stdlib only -- usable from scripts, tests and the
+``python -m repro submit`` CLI verb without dragging asyncio into the
+caller.  One client is one connection; it is not thread-safe (use one
+client per thread, the server schedules fairly across connections).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SimulationError
+from repro.service import protocol
+from repro.sim.supervisor import result_from_journal_entry
+
+
+class ServiceError(SimulationError):
+    """The server answered with an error (malformed spec, unknown op)."""
+
+
+class ServiceBusyError(ServiceError):
+    """The server shed the submission (admission queue full) or is
+    draining.  Back off and retry -- nothing was admitted."""
+
+
+@dataclass
+class SubmitOutcome:
+    """Per-spec resolution of one submission, in submission order."""
+
+    index: int
+    digest: str
+    cached: bool
+    result: object = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the spec resolved to a result."""
+        return self.error is None
+
+
+Address = Union[str, Tuple[str, int]]
+
+
+def _connect(address: Address, timeout: Optional[float]) -> socket.socket:
+    if isinstance(address, tuple):
+        sock = socket.create_connection(address, timeout=timeout)
+    else:
+        path = address[5:] if address.startswith("unix:") else address
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(path)
+    return sock
+
+
+class ServiceClient:
+    """Blocking connection to a running sweep service.
+
+    ``address`` is a ``(host, port)`` tuple for TCP or a Unix-socket
+    path (optionally prefixed ``unix:``).  ``timeout`` bounds each
+    socket operation; :meth:`submit` takes its own overall deadline.
+    """
+
+    def __init__(self, address: Address, timeout: Optional[float] = 30.0):
+        self._sock = _connect(address, timeout)
+        self._max_frame = protocol.MAX_FRAME_BYTES
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # --- plumbing -----------------------------------------------------------
+
+    def _request(self, obj: Dict[str, object]) -> Dict[str, object]:
+        protocol.send_frame(self._sock, obj)
+        reply = protocol.recv_frame(self._sock, self._max_frame)
+        if reply is None:
+            raise ServiceError("server closed the connection")
+        return reply
+
+    # --- verbs --------------------------------------------------------------
+
+    def ping(self) -> Dict[str, object]:
+        """Liveness probe; returns the server's ping reply."""
+        reply = self._request({"op": "ping"})
+        if not reply.get("ok"):
+            raise ServiceError(str(reply.get("error")))
+        return reply
+
+    def status(self) -> Dict[str, object]:
+        """The server's STATUS snapshot (queue depth, cache counters,
+        drain state -- see docs/SERVICE.md)."""
+        reply = self._request({"op": "status"})
+        if not reply.get("ok"):
+            raise ServiceError(str(reply.get("error")))
+        return reply["status"]
+
+    def drain(self) -> Dict[str, object]:
+        """Ask the server to drain gracefully (administrative)."""
+        reply = self._request({"op": "drain"})
+        if not reply.get("ok"):
+            raise ServiceError(str(reply.get("error")))
+        return reply
+
+    def submit(
+        self,
+        specs: Sequence[object],
+        timeout_s: Optional[float] = None,
+    ) -> List[SubmitOutcome]:
+        """Submit specs and block until every one resolves.
+
+        ``specs`` may be :class:`~repro.sim.batch.RunSpec` instances or
+        wire mappings (``{"benchmark": ..., "policy": ..., ...}``).
+        Returns one :class:`SubmitOutcome` per spec, in order; cached
+        results are marked ``cached=True``.  Raises
+        :class:`ServiceBusyError` when the server sheds the batch, and
+        :class:`ServiceError` when it rejects it (nothing admitted in
+        either case).
+        """
+        wire = [
+            spec if isinstance(spec, dict) else protocol.spec_to_wire(spec)
+            for spec in specs
+        ]
+        protocol.send_frame(self._sock, {"op": "submit", "specs": wire})
+        accept = protocol.recv_frame(self._sock, self._max_frame)
+        if accept is None:
+            raise ServiceError("server closed the connection")
+        if not accept.get("ok"):
+            if accept.get("busy") or accept.get("draining"):
+                raise ServiceBusyError(str(accept.get("error")))
+            raise ServiceError(str(accept.get("error")))
+        expected = int(accept["accepted"])
+        outcomes: Dict[int, SubmitOutcome] = {}
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        while len(outcomes) < expected:
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"submission timed out with "
+                    f"{expected - len(outcomes)} results outstanding"
+                )
+            frame = protocol.recv_frame(self._sock, self._max_frame)
+            if frame is None:
+                raise ServiceError(
+                    "server closed the connection mid-submission"
+                )
+            if frame.get("op") != "result":
+                continue  # interleaved reply to another verb
+            index = int(frame["index"])
+            if frame.get("ok"):
+                result = result_from_journal_entry(frame)
+                outcomes[index] = SubmitOutcome(
+                    index=index,
+                    digest=str(frame["digest"]),
+                    cached=bool(frame.get("cached")),
+                    result=result,
+                )
+            else:
+                outcomes[index] = SubmitOutcome(
+                    index=index,
+                    digest=str(frame.get("digest", "")),
+                    cached=False,
+                    error=str(frame.get("error")),
+                )
+        return [outcomes[i] for i in sorted(outcomes)]

@@ -1,0 +1,264 @@
+"""Wire protocol of the sweep service: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding one object.  The framing is deliberately
+dumb: no negotiation, no compression, no partial frames -- a reader
+either gets a whole well-formed object or a typed error telling it
+exactly what went wrong, and a *server* reading a bad frame can fail
+one connection without poisoning its event loop or any other client.
+
+Requests are objects with an ``op`` field (``submit`` / ``status`` /
+``drain`` / ``ping``); replies echo ``op`` and carry ``ok``.  A submit
+is answered by one acceptance frame, then one ``result`` frame per
+spec as it resolves (cache hits immediately, executed runs on
+completion) -- see :mod:`repro.service.server` for the full grammar
+and docs/SERVICE.md for the failure matrix.
+
+Spec wire format
+----------------
+The service accepts the declarative subset of
+:class:`~repro.sim.batch.RunSpec`: named benchmark, named policy, and
+scalar knobs.  Callable policy factories and pinned initial-temperature
+vectors are process-local constructs and are rejected at the boundary
+(:class:`SpecError`), never half-honoured.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+
+MAX_FRAME_BYTES = 1 << 20
+"""Default ceiling on one frame's payload (1 MiB).  A sweep submission
+of several thousand specs fits comfortably; anything bigger is shed at
+the framing layer before it can balloon server memory."""
+
+_HEADER = struct.Struct(">I")
+
+PROTOCOL_VERSION = 1
+"""Bumped on incompatible frame-grammar changes."""
+
+
+class ProtocolError(SimulationError):
+    """The peer violated the frame grammar (bad length, bad JSON, bad
+    payload type).  Scoped to one connection."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame announced a payload beyond the agreed maximum."""
+
+
+class SpecError(SimulationError):
+    """A submitted spec failed validation at the service boundary."""
+
+
+def encode_frame(obj: Dict[str, object]) -> bytes:
+    """One wire frame (header + JSON payload) for ``obj``."""
+    payload = json.dumps(obj, sort_keys=True).encode("utf-8")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, object]:
+    """Parse and type-check one frame payload."""
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+# --- asyncio side (server) --------------------------------------------------
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    max_bytes: int = MAX_FRAME_BYTES,
+) -> Optional[Dict[str, object]]:
+    """Read one frame; ``None`` on clean EOF before a header.
+
+    Raises :class:`FrameTooLargeError` for an oversized announcement
+    (after draining the announced bytes, so the caller *may* keep the
+    connection if it chooses) and :class:`ProtocolError` for a torn
+    header/payload or non-object JSON.
+    """
+    header = await reader.read(_HEADER.size)
+    if not header:
+        return None
+    while len(header) < _HEADER.size:
+        more = await reader.read(_HEADER.size - len(header))
+        if not more:
+            raise ProtocolError("connection closed inside a frame header")
+        header += more
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        # Drain without buffering so the error reply stays in sync on a
+        # connection the server decides to keep.
+        remaining = length
+        while remaining > 0:
+            chunk = await reader.read(min(65536, remaining))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+        raise FrameTooLargeError(
+            f"frame of {length} bytes exceeds the {max_bytes} byte limit"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed inside a frame payload") from None
+    return decode_payload(payload)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, obj: Dict[str, object]
+) -> None:
+    """Send one frame and drain the transport."""
+    writer.write(encode_frame(obj))
+    await writer.drain()
+
+
+# --- blocking side (client) -------------------------------------------------
+
+
+def send_frame(sock: socket.socket, obj: Dict[str, object]) -> None:
+    """Send one frame on a blocking socket."""
+    sock.sendall(encode_frame(obj))
+
+
+def recv_frame(
+    sock: socket.socket, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[Dict[str, object]]:
+    """Receive one frame on a blocking socket; ``None`` on clean EOF."""
+
+    def read_exact(n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining > 0:
+            chunk = sock.recv(min(65536, remaining))
+            if not chunk:
+                raise ProtocolError("connection closed inside a frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    first = sock.recv(_HEADER.size)
+    if not first:
+        return None
+    header = first
+    if len(header) < _HEADER.size:
+        header += read_exact(_HEADER.size - len(header))
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise FrameTooLargeError(
+            f"frame of {length} bytes exceeds the {max_bytes} byte limit"
+        )
+    return decode_payload(read_exact(length))
+
+
+# --- spec wire format -------------------------------------------------------
+
+_SPEC_FIELDS = {
+    "benchmark": str,
+    "policy": str,
+    "instructions": int,
+    "settle_time_s": (int, float),
+    "dvs_mode": str,
+    "seed": int,
+}
+
+_SPEC_DEFAULTS = {
+    "policy": "none",
+    "settle_time_s": 0.0,
+    "dvs_mode": "stall",
+    "seed": 0,
+}
+
+
+def spec_to_wire(spec) -> Dict[str, object]:
+    """The wire mapping for a declarative :class:`RunSpec`.
+
+    Raises :class:`SpecError` for specs the service cannot represent
+    (callable policies, workload objects, pinned initial vectors,
+    engine-config overrides).
+    """
+    from repro.sim.batch import RunSpec
+
+    if not isinstance(spec, RunSpec):
+        raise SpecError(
+            f"the service accepts single-core RunSpec only, got "
+            f"{type(spec).__name__}"
+        )
+    if not isinstance(spec.workload, str):
+        raise SpecError("service specs must name their benchmark")
+    if not isinstance(spec.policy, str):
+        raise SpecError("service specs must name their policy")
+    if spec.initial is not None:
+        raise SpecError("pinned initial vectors are not wire-portable")
+    if spec.engine_config is not None:
+        raise SpecError(
+            "engine-config overrides are not wire-portable; use dvs_mode"
+        )
+    return {
+        "benchmark": spec.workload,
+        "policy": spec.policy,
+        "instructions": int(spec.instructions),
+        "settle_time_s": float(spec.settle_time_s),
+        "dvs_mode": spec.dvs_mode,
+        "seed": int(spec.seed),
+    }
+
+
+def spec_from_wire(wire: object):
+    """Validate one wire mapping and build the :class:`RunSpec`.
+
+    Every failure mode is a :class:`SpecError` naming the offending
+    field -- a malformed spec is answered, never executed and never
+    allowed to take the server down.
+    """
+    from repro.core.policies import POLICY_NAMES
+    from repro.sim.batch import DEFAULT_INSTRUCTIONS, RunSpec
+    from repro.workloads.spec import SPEC_BENCHMARK_NAMES
+
+    if not isinstance(wire, dict):
+        raise SpecError(f"spec must be an object, got {type(wire).__name__}")
+    unknown = set(wire) - set(_SPEC_FIELDS)
+    if unknown:
+        raise SpecError(f"unknown spec fields: {sorted(unknown)}")
+    if "benchmark" not in wire:
+        raise SpecError("spec is missing 'benchmark'")
+    merged = {**_SPEC_DEFAULTS,
+              "instructions": DEFAULT_INSTRUCTIONS, **wire}
+    for field, types in _SPEC_FIELDS.items():
+        value = merged[field]
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise SpecError(
+                f"spec field {field!r} has wrong type "
+                f"{type(value).__name__}"
+            )
+    if merged["benchmark"] not in SPEC_BENCHMARK_NAMES:
+        raise SpecError(f"unknown benchmark {merged['benchmark']!r}")
+    if merged["policy"] not in POLICY_NAMES:
+        raise SpecError(f"unknown policy {merged['policy']!r}")
+    if merged["dvs_mode"] not in ("stall", "ideal"):
+        raise SpecError(f"unknown dvs_mode {merged['dvs_mode']!r}")
+    if merged["instructions"] <= 0:
+        raise SpecError("instructions must be > 0")
+    if merged["settle_time_s"] < 0.0:
+        raise SpecError("settle_time_s must be >= 0")
+    return RunSpec(
+        workload=merged["benchmark"],
+        policy=merged["policy"],
+        instructions=int(merged["instructions"]),
+        settle_time_s=float(merged["settle_time_s"]),
+        dvs_mode=merged["dvs_mode"],
+        seed=int(merged["seed"]),
+    )

@@ -1,0 +1,703 @@
+"""The sweep service: a crash-tolerant asyncio job server.
+
+``python -m repro serve`` wraps the existing hard parts of the batch
+layer -- spec digests, the JSONL journal with resume, the
+fault-tolerant supervisor -- in a long-running server that many
+clients can hammer concurrently:
+
+* **dedup by content**: every spec is identified by
+  :func:`~repro.sim.supervisor.spec_digest`; an identical spec is
+  answered from the content-addressed :class:`ResultCache` without
+  recomputation, across clients and across server restarts;
+* **bounded admission**: the queue holds at most ``max_queue`` jobs;
+  a submission that would overflow it is refused with an explicit
+  ``busy`` reply (load shedding) rather than accepted into unbounded
+  memory;
+* **fair scheduling**: queued jobs are drained round-robin across
+  clients, so one client dumping a thousand specs cannot starve
+  another's single run;
+* **supervised execution**: each job runs through
+  :func:`~repro.sim.batch.run_many`, so retries, timeouts, pool
+  rebuild and serial degradation all compose unchanged, and every
+  completed run is journalled before it is announced;
+* **graceful drain**: SIGTERM stops admission, lets the in-flight run
+  finish, flushes the journal, then exits 0; queued-but-unstarted jobs
+  are refused back to their waiters;
+* **crash recovery**: SIGKILL loses nothing that was journalled -- on
+  restart the journal backfills the cache and only unfinished specs
+  re-execute when resubmitted.
+
+The failure matrix (who can misbehave, what happens) is documented in
+docs/SERVICE.md and pinned by ``tests/service/``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.service import protocol
+from repro.service.cache import ResultCache
+from repro.sim.supervisor import RunFailure, spec_digest
+
+DEFAULT_MAX_QUEUE = 256
+"""Default bound on the admission queue, across all clients."""
+
+
+@dataclass
+class ServiceConfig:
+    """Everything one server instance needs, by value.
+
+    Exactly one of ``socket_path`` (Unix domain socket) or
+    ``host``/``port`` (TCP; port 0 binds an ephemeral port) selects the
+    listener.  The supervisor knobs (``retries``/``backoff_s``/
+    ``backoff_max_s``/``timeout_s``/``processes``) are passed through
+    to :func:`~repro.sim.batch.run_many` for every job.  ``runner`` is
+    a test seam: a callable ``spec -> outcome`` replacing the default
+    supervised execution.
+    """
+
+    cache_dir: str
+    socket_path: Optional[str] = None
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_queue: int = DEFAULT_MAX_QUEUE
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    processes: Optional[int] = None
+    retries: int = 0
+    backoff_s: float = 0.1
+    backoff_max_s: float = 30.0
+    timeout_s: Optional[float] = None
+    runner: Optional[Callable] = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue <= 0:
+            raise SimulationError("max_queue must be > 0")
+        if self.max_frame_bytes <= 0:
+            raise SimulationError("max_frame_bytes must be > 0")
+
+
+@dataclass
+class _Job:
+    """One admitted spec awaiting (or undergoing) execution."""
+
+    digest: str
+    spec: object
+    owner: int  # client id whose round-robin queue holds it
+    waiters: List[Tuple["_Connection", int]] = field(default_factory=list)
+    state: str = "queued"  # queued -> running -> done
+
+
+class _Connection:
+    """One client connection with a serialised outbound frame stream."""
+
+    def __init__(self, cid: int, writer: asyncio.StreamWriter):
+        self.id = cid
+        self.writer = writer
+        self.open = True
+        self._send_lock = asyncio.Lock()
+
+    async def send(self, obj: Dict[str, object]) -> None:
+        """Send one frame; a dead peer marks the connection closed
+        instead of raising into the caller (job completion must never
+        die because one waiter vanished)."""
+        if not self.open:
+            return
+        try:
+            async with self._send_lock:
+                await protocol.write_frame(self.writer, obj)
+        except (ConnectionError, OSError, RuntimeError):
+            self.open = False
+
+
+class SweepService:
+    """The server.  One instance, one listener, one executor lane.
+
+    Jobs execute strictly one at a time (the engine itself may fan out
+    over a process pool per ``processes``); admission, scheduling and
+    result fan-out all live on the event loop, so a misbehaving client
+    can be failed individually without touching anyone else.
+    """
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        root = Path(config.cache_dir)
+        self.cache = ResultCache(root / "results")
+        self.journal_path = root / "journal.jsonl"
+        self.ready = threading.Event()
+        self.address: Optional[str] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Dict[int, _Connection] = {}
+        self._handler_tasks: set = set()
+        self._next_client_id = 0
+        # Scheduling state: per-client FIFO queues drained round-robin.
+        self._queues: "OrderedDict[int, Deque[_Job]]" = OrderedDict()
+        self._rr: Deque[int] = deque()
+        self._jobs: Dict[str, _Job] = {}
+        self._queued_total = 0
+        self._running: Optional[_Job] = None
+        self._wake = asyncio.Event()
+        self._draining = False
+        self._drain_began: Optional[float] = None
+        self.drain_seconds: Optional[float] = None
+        self._started = time.monotonic()
+        # Robustness counters, maintained unconditionally so STATUS
+        # works with observability off; mirrored into repro.obs when on.
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self.shed = 0
+        self.cancelled = 0
+        self.dedup_joins = 0
+        self.protocol_errors = 0
+
+    # --- counters -----------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        obs_metrics.inc(f"service.{name}")
+
+    def _gauge_queue(self) -> None:
+        if obs_metrics.enabled():
+            obs_metrics.REGISTRY.gauge(
+                "service.queue_depth",
+                help="jobs admitted but not yet running",
+            ).set(float(self._queued_total))
+
+    # --- lifecycle ----------------------------------------------------------
+
+    async def run(self) -> int:
+        """Serve until drained; returns the process exit code (0)."""
+        self._loop = asyncio.get_running_loop()
+        Path(self.config.cache_dir).mkdir(parents=True, exist_ok=True)
+        recovered = self.cache.absorb_journal(self.journal_path)
+        if self.config.socket_path:
+            self._server = await self._listen_unix(self.config.socket_path)
+            self.address = f"unix:{self.config.socket_path}"
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, host=self.config.host,
+                port=self.config.port,
+            )
+            bound = self._server.sockets[0].getsockname()
+            self.address = f"{bound[0]}:{bound[1]}"
+        obs_events.emit(
+            "service.start",
+            address=self.address,
+            cache_entries=len(self.cache),
+            recovered_from_journal=recovered,
+            max_queue=self.config.max_queue,
+        )
+        self.ready.set()
+        try:
+            await self._executor_loop()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            for conn in list(self._connections.values()):
+                conn.open = False
+                try:
+                    conn.writer.close()
+                except Exception:  # pragma: no cover - defensive
+                    pass
+            # Closed transports feed EOF to their readers; wait for the
+            # handler tasks to notice and unwind instead of letting the
+            # loop teardown cancel them mid-read.
+            if self._handler_tasks:
+                await asyncio.wait(self._handler_tasks, timeout=5.0)
+            if self._drain_began is not None:
+                self.drain_seconds = time.monotonic() - self._drain_began
+                if obs_metrics.enabled():
+                    obs_metrics.REGISTRY.gauge(
+                        "service.drain_seconds",
+                        help="duration of the last graceful drain",
+                    ).set(self.drain_seconds)
+                obs_events.emit(
+                    "service.drain_complete",
+                    drain_seconds=self.drain_seconds,
+                    jobs_done=self.jobs_done,
+                )
+        return 0
+
+    async def _listen_unix(self, path: str) -> asyncio.AbstractServer:
+        """Bind the Unix socket, reclaiming a stale file if needed.
+
+        A SIGKILLed predecessor cannot unlink its socket file, and
+        restart-into-the-same-rendezvous is a core part of the crash
+        recovery story.  If nothing answers on the path, the file is a
+        corpse: remove it and bind.  If something *does* answer, refuse
+        loudly -- two live servers sharing a cache directory would race
+        the journal.  The probe must happen *before* binding, because
+        ``asyncio.start_unix_server`` silently removes an existing
+        socket file, live server or not.
+        """
+        if os.path.exists(path):
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            probe.settimeout(1.0)
+            try:
+                probe.connect(path)
+            except OSError:
+                os.unlink(path)  # stale socket (or junk file): reclaim
+            else:
+                raise SimulationError(
+                    f"socket {path} already has a live server"
+                )
+            finally:
+                probe.close()
+        return await asyncio.start_unix_server(
+            self._handle_client, path=path
+        )
+
+    def begin_drain(self) -> None:
+        """Stop admitting work and exit once the in-flight run ends.
+
+        Safe to call from a signal handler registered on the loop; for
+        cross-thread use go through :meth:`request_drain_threadsafe`.
+        Idempotent -- a second SIGTERM during a drain changes nothing.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self._drain_began = time.monotonic()
+        obs_events.emit(
+            "service.drain_begin",
+            queued=self._queued_total,
+            running=self._running.digest if self._running else None,
+        )
+        if self._server is not None:
+            self._server.close()
+        self._wake.set()
+
+    def request_drain_threadsafe(self) -> None:
+        """Trigger :meth:`begin_drain` from any thread.  A no-op once
+        the loop is gone -- draining a drained server is not an error."""
+        if self._loop is None:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self.begin_drain)
+        except RuntimeError:  # loop already closed
+            pass
+
+    # --- connection handling ------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._next_client_id += 1
+        conn = _Connection(self._next_client_id, writer)
+        self._connections[conn.id] = conn
+        task = asyncio.current_task()
+        self._handler_tasks.add(task)
+        obs_events.emit("service.client_connect", client=conn.id)
+        try:
+            while True:
+                try:
+                    request = await protocol.read_frame(
+                        reader, self.config.max_frame_bytes
+                    )
+                except protocol.ProtocolError as exc:
+                    # Oversized or malformed: answer, count, and close
+                    # *this* connection only.  The event loop, the
+                    # executor and every other client are untouched.
+                    self.protocol_errors += 1
+                    self._count("protocol_errors")
+                    obs_events.emit(
+                        "service.protocol_error",
+                        client=conn.id,
+                        error_type=type(exc).__name__,
+                    )
+                    await conn.send({"ok": False, "error": str(exc)})
+                    break
+                if request is None:
+                    break
+                await self._dispatch(conn, request)
+        finally:
+            conn.open = False
+            self._connections.pop(conn.id, None)
+            self._handler_tasks.discard(task)
+            await self._cancel_queued_for(conn)
+            obs_events.emit("service.client_disconnect", client=conn.id)
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    async def _dispatch(
+        self, conn: _Connection, request: Dict[str, object]
+    ) -> None:
+        op = request.get("op")
+        if op == "ping":
+            await conn.send(
+                {"ok": True, "op": "ping",
+                 "version": protocol.PROTOCOL_VERSION}
+            )
+        elif op == "status":
+            await conn.send(
+                {"ok": True, "op": "status", "status": self.status()}
+            )
+        elif op == "drain":
+            self.begin_drain()
+            await conn.send({"ok": True, "op": "drain", "draining": True})
+        elif op == "submit":
+            await self._handle_submit(conn, request)
+        else:
+            # Unknown verbs are survivable: answer and keep serving.
+            await conn.send(
+                {"ok": False, "op": str(op), "error": f"unknown op {op!r}"}
+            )
+
+    # --- submission ---------------------------------------------------------
+
+    async def _handle_submit(
+        self, conn: _Connection, request: Dict[str, object]
+    ) -> None:
+        wire_specs = request.get("specs")
+        if not isinstance(wire_specs, list) or not wire_specs:
+            await conn.send(
+                {"ok": False, "op": "submit",
+                 "error": "'specs' must be a non-empty list"}
+            )
+            return
+        if self._draining:
+            await conn.send(
+                {"ok": False, "op": "submit", "draining": True,
+                 "error": "server is draining; resubmit after restart"}
+            )
+            return
+        # Validate the whole submission before admitting any of it: a
+        # malformed spec rejects the batch atomically, so the client
+        # never has to reason about partially admitted sweeps.
+        try:
+            specs = [protocol.spec_from_wire(wire) for wire in wire_specs]
+        except protocol.SpecError as exc:
+            await conn.send(
+                {"ok": False, "op": "submit", "error": str(exc)}
+            )
+            return
+        digests = [spec_digest(spec) for spec in specs]
+
+        # Admission control *before* side effects: count how many new
+        # jobs this submission creates (in-submission duplicates and
+        # in-flight digests join existing jobs; cached digests cost
+        # nothing) and shed the whole batch if they do not fit.
+        new_digests = []
+        seen = set()
+        for digest in digests:
+            if digest in seen or digest in self._jobs:
+                continue
+            if digest in self.cache:
+                continue
+            seen.add(digest)
+            new_digests.append(digest)
+        if self._queued_total + len(new_digests) > self.config.max_queue:
+            self.shed += 1
+            self._count("shed")
+            obs_events.emit(
+                "service.busy_shed",
+                client=conn.id,
+                queued=self._queued_total,
+                refused=len(new_digests),
+            )
+            await conn.send(
+                {"ok": False, "op": "submit", "busy": True,
+                 "error": (
+                     f"admission queue full "
+                     f"({self._queued_total}/{self.config.max_queue}); "
+                     f"retry later"
+                 )}
+            )
+            return
+
+        await conn.send(
+            {"ok": True, "op": "submit", "accepted": len(specs),
+             "digests": digests, "new_jobs": len(new_digests)}
+        )
+        obs_events.emit(
+            "service.submit",
+            client=conn.id,
+            n_specs=len(specs),
+            new_jobs=len(new_digests),
+        )
+        for index, (spec, digest) in enumerate(zip(specs, digests)):
+            job = self._jobs.get(digest)
+            if job is not None:
+                job.waiters.append((conn, index))
+                self.dedup_joins += 1
+                self._count("dedup_joins")
+                continue
+            cached = self.cache.get(digest)
+            if cached is not None:
+                self._count("cache_hits")
+                obs_events.emit("service.cache_hit", digest=digest)
+                await conn.send(self._result_frame(index, digest, cached,
+                                                   cached_hit=True))
+                continue
+            self._count("cache_misses")
+            self._enqueue(_Job(digest=digest, spec=spec, owner=conn.id,
+                               waiters=[(conn, index)]))
+        self._wake.set()
+
+    def _result_frame(
+        self, index: int, digest: str, result, cached_hit: bool
+    ) -> Dict[str, object]:
+        frame: Dict[str, object] = {
+            "ok": True,
+            "op": "result",
+            "index": index,
+            "digest": digest,
+            "cached": cached_hit,
+            "result": result.to_json_dict(),
+        }
+        kind = getattr(result, "journal_kind", None)
+        if kind is not None:
+            frame["kind"] = kind
+        return frame
+
+    # --- scheduling ---------------------------------------------------------
+
+    def _enqueue(self, job: _Job) -> None:
+        self._jobs[job.digest] = job
+        queue = self._queues.get(job.owner)
+        if queue is None:
+            queue = self._queues[job.owner] = deque()
+            self._rr.append(job.owner)
+        queue.append(job)
+        self._queued_total += 1
+        self._gauge_queue()
+
+    def _pop_next_job(self) -> Optional[_Job]:
+        """Next job under per-client round-robin: take the head of the
+        front client's queue, then move that client to the back."""
+        if not self._rr:
+            return None
+        cid = self._rr[0]
+        queue = self._queues[cid]
+        job = queue.popleft()
+        if queue:
+            self._rr.rotate(-1)
+        else:
+            self._rr.popleft()
+            del self._queues[cid]
+        self._queued_total -= 1
+        self._gauge_queue()
+        return job
+
+    def _remove_queued(self, job: _Job) -> None:
+        queue = self._queues.get(job.owner)
+        if queue is None:  # pragma: no cover - bookkeeping invariant
+            return
+        queue.remove(job)
+        if not queue:
+            self._rr.remove(job.owner)
+            del self._queues[job.owner]
+        self._queued_total -= 1
+        self._gauge_queue()
+
+    async def _cancel_queued_for(self, conn: _Connection) -> None:
+        """Client gone: cancel its *queued* jobs.  A running job always
+        completes (the result is cached for whoever asks next), and a
+        queued job another client also waits on survives -- only this
+        client's interest is withdrawn."""
+        for digest, job in list(self._jobs.items()):
+            before = len(job.waiters)
+            job.waiters = [
+                (c, i) for c, i in job.waiters if c is not conn
+            ]
+            if len(job.waiters) == before or job.state != "queued":
+                continue
+            if job.waiters:
+                continue
+            self._remove_queued(job)
+            del self._jobs[digest]
+            self.cancelled += 1
+            self._count("cancelled")
+            obs_events.emit(
+                "service.job_cancelled", digest=digest, client=conn.id
+            )
+
+    async def _next_job(self) -> Optional[_Job]:
+        while True:
+            if self._draining:
+                await self._refuse_queued()
+                return None
+            job = self._pop_next_job()
+            if job is not None:
+                return job
+            self._wake.clear()
+            # Re-check under the cleared event: an enqueue or drain
+            # racing the clear sets it again and we fall through.
+            if self._draining or self._rr:
+                continue
+            await self._wake.wait()
+
+    async def _refuse_queued(self) -> None:
+        """Drain semantics for queued-but-unstarted jobs: tell every
+        waiter explicitly instead of going dark."""
+        while True:
+            job = self._pop_next_job()
+            if job is None:
+                return
+            del self._jobs[job.digest]
+            self.cancelled += 1
+            for conn, index in job.waiters:
+                await conn.send(
+                    {"ok": False, "op": "result", "index": index,
+                     "digest": job.digest, "cached": False,
+                     "error": "server draining before this job started; "
+                              "resubmit after restart"}
+                )
+
+    # --- execution ----------------------------------------------------------
+
+    async def _executor_loop(self) -> None:
+        while True:
+            job = await self._next_job()
+            if job is None:
+                return
+            job.state = "running"
+            self._running = job
+            obs_events.emit(
+                "service.run_start",
+                digest=job.digest,
+                benchmark=job.spec.workload_name,
+            )
+            try:
+                outcome = await self._loop.run_in_executor(
+                    None, self._execute, job.spec
+                )
+            except BaseException as exc:  # noqa: BLE001 - runner seam
+                outcome = exc
+            self._running = None
+            await self._finish_job(job, outcome)
+
+    def _execute(self, spec):
+        """Blocking execution of one job (runs on a worker thread)."""
+        if self.config.runner is not None:
+            return self.config.runner(spec)
+        from repro.sim.batch import run_many
+
+        return run_many(
+            [spec],
+            processes=self.config.processes,
+            lockstep=False,
+            timeout_s=self.config.timeout_s,
+            retries=self.config.retries,
+            backoff_s=self.config.backoff_s,
+            backoff_max_s=self.config.backoff_max_s,
+            partial_results=True,
+            journal=str(self.journal_path),
+        )[0]
+
+    async def _finish_job(self, job: _Job, outcome) -> None:
+        del self._jobs[job.digest]
+        job.state = "done"
+        if isinstance(outcome, RunFailure):
+            error = f"{outcome.error_type}: {outcome.message}"
+        elif isinstance(outcome, BaseException):
+            error = f"{type(outcome).__name__}: {outcome}"
+        else:
+            error = None
+        if error is not None:
+            # Failures are answered but never cached: a resubmission
+            # after the fault clears must re-execute, not replay the
+            # failure.
+            self.jobs_failed += 1
+            self._count("jobs_failed")
+            obs_events.emit(
+                "service.job_failed", digest=job.digest, error=error
+            )
+            for conn, index in job.waiters:
+                await conn.send(
+                    {"ok": False, "op": "result", "index": index,
+                     "digest": job.digest, "cached": False, "error": error}
+                )
+            return
+        self.cache.put(job.digest, outcome)
+        self.jobs_done += 1
+        self._count("jobs_done")
+        obs_events.emit("service.job_done", digest=job.digest)
+        for conn, index in job.waiters:
+            await conn.send(
+                self._result_frame(index, job.digest, outcome,
+                                   cached_hit=False)
+            )
+
+    # --- status -------------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        """The ``/healthz``-style liveness snapshot the STATUS verb
+        returns."""
+        return {
+            "pid": os.getpid(),
+            "address": self.address,
+            "uptime_s": time.monotonic() - self._started,
+            "draining": self._draining,
+            "queue_depth": self._queued_total,
+            "running": self._running.digest if self._running else None,
+            "clients": len(self._connections),
+            "jobs_done": self.jobs_done,
+            "jobs_failed": self.jobs_failed,
+            "cancelled": self.cancelled,
+            "shed": self.shed,
+            "dedup_joins": self.dedup_joins,
+            "protocol_errors": self.protocol_errors,
+            "cache": self.cache.stats(),
+            "journal": str(self.journal_path),
+            "version": protocol.PROTOCOL_VERSION,
+        }
+
+
+class ServerThread:
+    """A :class:`SweepService` on a background thread's event loop.
+
+    The embedding used by the test suite (and available to library
+    callers): start, talk to it over its socket from the calling
+    thread, then :meth:`stop` for a graceful drain.
+    """
+
+    def __init__(self, config: ServiceConfig):
+        self.service = SweepService(config)
+        self.exit_code: Optional[int] = None
+        self.error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            self.exit_code = asyncio.run(self.service.run())
+        except BaseException as exc:  # noqa: BLE001 - surfaced by start()
+            self.error = exc
+
+    def start(self, timeout: float = 30.0) -> "ServerThread":
+        self._thread.start()
+        deadline = time.monotonic() + timeout
+        while not self.service.ready.wait(0.05):
+            if not self._thread.is_alive():
+                if self.error is not None:
+                    raise self.error
+                raise SimulationError("service thread died during startup")
+            if time.monotonic() > deadline:
+                raise SimulationError("service failed to start listening")
+        return self
+
+    def stop(self, timeout: float = 60.0) -> Optional[int]:
+        """Graceful drain; returns the exit code (None on join timeout)."""
+        self.service.request_drain_threadsafe()
+        self._thread.join(timeout)
+        return self.exit_code
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

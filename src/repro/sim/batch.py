@@ -193,8 +193,12 @@ _POOL_OBS: Tuple[bool, str] = (False, "")
 def _obs_pool_key() -> Tuple[bool, str]:
     # Workers fork with the parent's observability state frozen at fork
     # time; a pool created with obs off (or spilling into a different
-    # directory) would silently drop every worker's run records.
-    return (obs_metrics.enabled(), str(obs_metrics.obs_dir()))
+    # directory) would silently drop every worker's run records.  The
+    # directory only matters (and, for the lazily created temp default,
+    # only *exists*) when observability is on.
+    if not obs_metrics.enabled():
+        return (False, "")
+    return (True, str(obs_metrics.obs_dir()))
 
 
 def _get_pool(processes: int) -> ProcessPoolExecutor:
@@ -696,6 +700,9 @@ def run_many(
             meta=meta,
             sweep_counters=supervisor.telemetry,
         )
+        # The merged records now live in the report; drop the spill
+        # files so they cannot accumulate across sweeps.
+        obs_spill.discard_merged()
         obs_events.emit(
             "sweep.complete",
             n_specs=len(specs),

@@ -226,6 +226,15 @@ class SweepJournal:
         """
         if self._handle is None:
             self._handle = open(self._path, "a", encoding="utf-8")
+            # Appending after a crash may land on a torn final line that
+            # never got its newline; starting mid-line would merge this
+            # record into the torn one and corrupt *both*.  tell() on an
+            # append handle is the current end of file.
+            if self._handle.tell() > 0:
+                with open(self._path, "rb") as tail:
+                    tail.seek(-1, 2)
+                    if tail.read(1) != b"\n":
+                        self._handle.write("\n")
         entry = {
             "digest": digest,
             "index": index,
@@ -244,44 +253,92 @@ class SweepJournal:
             self._handle = None
 
 
+def result_from_journal_entry(entry: Dict[str, object]):
+    """Rebuild the result object one parsed journal entry describes.
+
+    Entries are the mappings :meth:`SweepJournal.record` writes: the
+    ``result`` payload plus an optional ``kind`` tag naming the result
+    class (``"multicore"`` for
+    :class:`~repro.multicore.engine.MultiCoreResult`; absent for the
+    single-core :class:`~repro.sim.results.RunResult`).  Shared by
+    :func:`load_journal` and the service result cache
+    (:mod:`repro.service.cache`), so both rebuild identically.
+    Malformed payloads raise (``KeyError``/``TypeError``/``ValueError``/
+    :class:`~repro.errors.SimulationError`); callers decide whether
+    that is fatal.
+    """
+    payload = entry["result"]
+    if entry.get("kind") == "multicore":
+        from repro.multicore.engine import MultiCoreResult
+
+        return MultiCoreResult.from_json_dict(payload)
+    return RunResult.from_json_dict(payload)
+
+
+#: Exceptions malformed journal data can legitimately raise while being
+#: parsed and rebuilt.  Anything else is a real bug and propagates.
+_JOURNAL_ENTRY_ERRORS = (
+    json.JSONDecodeError,
+    KeyError,
+    TypeError,
+    ValueError,
+    SimulationError,
+)
+
+
 def load_journal(path) -> Dict[str, object]:
     """Completed runs recorded in a journal, keyed by spec digest.
 
     A missing file is an empty journal (a resume of a sweep that never
-    started).  Malformed lines -- typically one torn line at the tail
-    of a killed sweep -- are skipped, not fatal; the skip is scoped to
-    the exceptions malformed data can actually raise, so a genuine bug
-    in result reconstruction (or an interrupt landing mid-parse)
-    propagates instead of silently emptying the resume set.
+    started).  The file is read as bytes and decoded line by line, so a
+    crash mid-append cannot poison the whole resume: a torn tail --
+    truncated JSON, or even a line sheared inside a multi-byte UTF-8
+    sequence -- is *skipped with a warning* and a structured
+    ``journal.torn_tail`` observability event instead of failing the
+    resume.  A malformed line that is **not** the tail means real
+    corruption (an append landed after the tear), which is likewise
+    skipped but flagged as ``journal.malformed_line`` so it is never
+    silent.  The skip is scoped to the exceptions malformed data can
+    actually raise, so a genuine bug in result reconstruction (or an
+    interrupt landing mid-parse) propagates instead of silently
+    emptying the resume set.
     """
     completed: Dict[str, object] = {}
     try:
-        handle = open(path, encoding="utf-8")
+        handle = open(path, "rb")
     except FileNotFoundError:
         return completed
     with handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-                payload = entry["result"]
-                if entry.get("kind") == "multicore":
-                    from repro.multicore.engine import MultiCoreResult
-
-                    result = MultiCoreResult.from_json_dict(payload)
-                else:
-                    result = RunResult.from_json_dict(payload)
-                completed[str(entry["digest"])] = result
-            except (
-                json.JSONDecodeError,
-                KeyError,
-                TypeError,
-                ValueError,
-                SimulationError,
-            ):
-                continue
+        raw = handle.read()
+    lines = [
+        (lineno, line)
+        for lineno, line in enumerate(raw.split(b"\n"), start=1)
+        if line.strip()
+    ]
+    for position, (lineno, line) in enumerate(lines):
+        try:
+            entry = json.loads(line.decode("utf-8"))
+            digest = str(entry["digest"])
+            completed[digest] = result_from_journal_entry(entry)
+        except (UnicodeDecodeError,) + _JOURNAL_ENTRY_ERRORS as exc:
+            torn_tail = position == len(lines) - 1
+            kind = "torn_tail" if torn_tail else "malformed_line"
+            warnings.warn(
+                f"sweep journal {path}: skipping "
+                f"{'torn trailing' if torn_tail else 'malformed'} line "
+                f"{lineno} ({type(exc).__name__}); "
+                f"{'the run it described will be re-executed on resume' if torn_tail else 'mid-file corruption -- inspect the journal'}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            obs_events.emit(
+                f"journal.{kind}",
+                path=str(path),
+                line=lineno,
+                error_type=type(exc).__name__,
+            )
+            obs_metrics.inc(f"journal.{kind}_skips")
+            continue
     return completed
 
 

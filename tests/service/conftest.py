@@ -1,0 +1,67 @@
+"""Fixtures for the service suite.
+
+Server-behaviour tests run a real :class:`SweepService` on a background
+thread (``ServerThread``) over a Unix socket in ``tmp_path``, with the
+``runner`` seam swapped in so jobs resolve in microseconds instead of
+simulating -- scheduling, dedup, shedding and drain are properties of
+the server, not of the engine.  The kill/restart drill in
+``test_kill_restart.py`` uses real subprocesses and real runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.server import ServerThread, ServiceConfig
+from repro.sim.results import RunResult
+
+
+def synthetic_result(benchmark="gzip", policy="FG", seed=0):
+    """A plausible completed run, built without simulating."""
+    return RunResult(
+        benchmark=benchmark,
+        policy=policy,
+        dvs_mode="stall",
+        instructions=1_000_000.0,
+        elapsed_s=1e-3 * (1 + seed),
+        cycles=1_000_000,
+        violations=0,
+        max_true_temp_c=80.0,
+        hottest_block="IntReg",
+        time_above_trigger_s=0.0,
+        dvs_switches=0,
+        dvs_low_time_s=0.0,
+        stall_time_s=0.0,
+        mean_gating_fraction=0.0,
+        mean_power_w=30.0,
+    )
+
+
+@pytest.fixture
+def make_result():
+    return synthetic_result
+
+
+@pytest.fixture
+def service_factory(tmp_path):
+    """Start ServerThreads on Unix sockets under tmp_path; always drain
+    them at teardown so no loop thread outlives the test."""
+    started = []
+    counter = [0]
+
+    def start(runner, **overrides):
+        counter[0] += 1
+        kwargs = dict(
+            cache_dir=str(tmp_path / f"svc{counter[0]}"),
+            socket_path=str(tmp_path / f"svc{counter[0]}.sock"),
+            runner=runner,
+        )
+        kwargs.update(overrides)
+        config = ServiceConfig(**kwargs)
+        server = ServerThread(config).start()
+        started.append(server)
+        return server
+
+    yield start
+    for server in started:
+        server.stop(timeout=30.0)

@@ -1,0 +1,114 @@
+"""The content-addressed result cache: atomic writes, skeptical reads,
+journal backfill."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.cache import ResultCache
+from repro.sim.supervisor import SweepJournal
+from tests.service.conftest import synthetic_result
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        cache = ResultCache(tmp_path / "results")
+        result = synthetic_result()
+        cache.put("d0", result)
+        assert "d0" in cache
+        assert len(cache) == 1
+        got = cache.get("d0")
+        assert got.to_json_dict() == result.to_json_dict()
+        assert cache.stats() == {
+            "entries": 1, "hits": 1, "misses": 0, "corrupt": 0,
+        }
+
+    def test_missing_is_a_counted_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "results")
+        assert cache.get("absent") is None
+        assert cache.misses == 1
+
+    def test_overwrite_is_idempotent(self, tmp_path):
+        cache = ResultCache(tmp_path / "results")
+        cache.put("d0", synthetic_result(seed=0))
+        cache.put("d0", synthetic_result(seed=0))
+        assert len(cache) == 1
+
+    def test_no_temp_files_survive_a_put(self, tmp_path):
+        cache = ResultCache(tmp_path / "results")
+        cache.put("d0", synthetic_result())
+        leftovers = [
+            p for p in (tmp_path / "results").iterdir()
+            if p.suffix != ".json"
+        ]
+        assert leftovers == []
+
+
+class TestSkepticalReads:
+    @pytest.mark.parametrize("payload", [
+        b"garbage not json",
+        b'{"digest": "d0"}',             # missing the result payload
+        b'{"result": {"benchmark": 1}}',  # unbuildable result
+        '{"digest": "é'.encode("utf-8")[:-1],  # sheared UTF-8
+    ])
+    def test_corrupt_entry_is_quarantined_miss(self, tmp_path, payload):
+        root = tmp_path / "results"
+        cache = ResultCache(root)
+        root.mkdir(parents=True)
+        (root / "d0.json").write_bytes(payload)
+        assert cache.get("d0") is None
+        assert cache.corrupt == 1
+        assert not (root / "d0.json").exists()
+        assert (root / "d0.json.corrupt").exists()  # evidence survives
+        # The quarantined entry can never be served again.
+        assert cache.get("d0") is None
+        assert "d0" not in cache
+
+
+class TestJournalBackfill:
+    def test_absorb_recovers_journalled_results(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        journal = SweepJournal(journal_path)
+        results = {f"d{i}": synthetic_result(seed=i) for i in range(3)}
+        for i, (digest, result) in enumerate(results.items()):
+            journal.record(digest, i, result)
+        journal.close()
+
+        cache = ResultCache(tmp_path / "results")
+        assert cache.absorb_journal(journal_path) == 3
+        for digest, result in results.items():
+            assert cache.get(digest).to_json_dict() == result.to_json_dict()
+        # Re-absorbing the same journal adds nothing.
+        assert cache.absorb_journal(journal_path) == 0
+
+    def test_absorb_tolerates_missing_journal(self, tmp_path):
+        cache = ResultCache(tmp_path / "results")
+        assert cache.absorb_journal(tmp_path / "nope.jsonl") == 0
+
+    def test_absorb_tolerates_torn_tail(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        journal = SweepJournal(journal_path)
+        journal.record("good", 0, synthetic_result())
+        journal.close()
+        with open(journal_path, "ab") as handle:
+            handle.write(b'{"digest": "torn", "resu')
+        cache = ResultCache(tmp_path / "results")
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            added = cache.absorb_journal(journal_path)
+        assert added == 1
+        assert "good" in cache
+
+    def test_entry_format_matches_journal_lines(self, tmp_path):
+        # One serialisation format serves both persistence paths: a
+        # cache entry carries the same digest/result mapping a journal
+        # line does.
+        cache = ResultCache(tmp_path / "results")
+        result = synthetic_result()
+        cache.put("d0", result)
+        entry = json.loads((tmp_path / "results" / "d0.json").read_text())
+        assert entry["digest"] == "d0"
+        assert entry["result"] == json.loads(
+            json.dumps(result.to_json_dict())
+        )

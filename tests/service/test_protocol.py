@@ -1,0 +1,160 @@
+"""Wire protocol: framing and the declarative spec format.
+
+Every way a peer can violate the frame grammar must surface as a typed
+error scoped to that read -- never a hang, never an unhandled
+exception, never a silently half-consumed stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.service import protocol
+from repro.sim.batch import RunSpec
+from repro.sim.supervisor import spec_digest
+
+
+def _read_from_bytes(data: bytes, **kwargs):
+    """Run ``read_frame`` against a canned byte stream."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await protocol.read_frame(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+class TestFraming:
+    def test_round_trip(self):
+        obj = {"op": "ping", "nested": {"a": [1, 2.5, "é"]}}
+        assert _read_from_bytes(protocol.encode_frame(obj)) == obj
+
+    def test_clean_eof_is_none(self):
+        assert _read_from_bytes(b"") is None
+
+    def test_torn_header_raises(self):
+        with pytest.raises(protocol.ProtocolError, match="frame header"):
+            _read_from_bytes(b"\x00\x00")
+
+    def test_torn_payload_raises(self):
+        frame = protocol.encode_frame({"op": "ping"})
+        with pytest.raises(protocol.ProtocolError, match="frame payload"):
+            _read_from_bytes(frame[:-3])
+
+    def test_oversized_frame_raises_after_draining(self):
+        # The announced bytes are consumed, so a follow-up frame on the
+        # same stream still parses -- the server may keep the connection.
+        big = protocol.encode_frame({"blob": "x" * 200})
+        follow = protocol.encode_frame({"op": "ping"})
+
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(big + follow)
+            reader.feed_eof()
+            with pytest.raises(protocol.FrameTooLargeError):
+                await protocol.read_frame(reader, max_bytes=64)
+            return await protocol.read_frame(reader, max_bytes=1024)
+
+        assert asyncio.run(go()) == {"op": "ping"}
+
+    def test_non_json_payload_raises(self):
+        payload = b"not json at all"
+        data = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(protocol.ProtocolError, match="not JSON"):
+            _read_from_bytes(data)
+
+    def test_non_object_json_raises(self):
+        payload = b"[1, 2, 3]"
+        data = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(protocol.ProtocolError, match="JSON object"):
+            _read_from_bytes(data)
+
+
+class TestBlockingSide:
+    def test_socketpair_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            obj = {"op": "status", "n": 7}
+            protocol.send_frame(a, obj)
+            assert protocol.recv_frame(b) == obj
+            a.close()
+            assert protocol.recv_frame(b) is None  # clean EOF
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_announcement_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 1 << 30))
+            with pytest.raises(protocol.FrameTooLargeError):
+                protocol.recv_frame(b, max_bytes=1024)
+        finally:
+            a.close()
+            b.close()
+
+    def test_torn_stream_raises(self):
+        a, b = socket.socketpair()
+        try:
+            frame = protocol.encode_frame({"op": "ping"})
+            a.sendall(frame[:-2])
+            a.close()
+            with pytest.raises(protocol.ProtocolError):
+                protocol.recv_frame(b)
+        finally:
+            b.close()
+
+
+class TestSpecWire:
+    def test_round_trip_preserves_digest(self):
+        spec = RunSpec("gzip", "Hyb", instructions=2_000_000,
+                       settle_time_s=0.002, dvs_mode="ideal", seed=3)
+        wire = protocol.spec_to_wire(spec)
+        rebuilt = protocol.spec_from_wire(wire)
+        assert spec_digest(rebuilt) == spec_digest(spec)
+
+    def test_defaults_fill_in(self):
+        spec = protocol.spec_from_wire(
+            {"benchmark": "gzip", "instructions": 1000}
+        )
+        assert spec.policy == "none"
+        assert spec.dvs_mode == "stall"
+        assert spec.seed == 0
+
+    @pytest.mark.parametrize("wire, match", [
+        ("gzip", "must be an object"),
+        ({}, "missing 'benchmark'"),
+        ({"benchmark": "gzip", "bogus": 1}, "unknown spec fields"),
+        ({"benchmark": "notabench"}, "unknown benchmark"),
+        ({"benchmark": "gzip", "policy": "NotAPolicy"}, "unknown policy"),
+        ({"benchmark": "gzip", "dvs_mode": "warp"}, "unknown dvs_mode"),
+        ({"benchmark": "gzip", "instructions": 0}, "instructions"),
+        ({"benchmark": "gzip", "instructions": True}, "wrong type"),
+        ({"benchmark": "gzip", "settle_time_s": -1.0}, "settle_time_s"),
+        ({"benchmark": 7}, "wrong type"),
+    ])
+    def test_rejections_name_the_field(self, wire, match):
+        with pytest.raises(protocol.SpecError, match=match):
+            protocol.spec_from_wire(wire)
+
+    def test_callable_policy_not_wire_portable(self):
+        spec = RunSpec("gzip", lambda: None, instructions=1000)
+        with pytest.raises(protocol.SpecError, match="name their policy"):
+            protocol.spec_to_wire(spec)
+
+    def test_pinned_initial_not_wire_portable(self):
+        spec = RunSpec("gzip", "FG", instructions=1000,
+                       initial=np.full(8, 85.0))
+        with pytest.raises(protocol.SpecError, match="initial"):
+            protocol.spec_to_wire(spec)
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(protocol.SpecError, match="RunSpec"):
+            protocol.spec_to_wire({"benchmark": "gzip"})
