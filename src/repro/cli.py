@@ -230,8 +230,13 @@ SIGTERM_EXIT_CODE = 143  # 128 + SIGTERM, the conventional shell code
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro import obs
+    from repro.obs import flightrec
     from repro.sim.batch import RunSpec, last_sweep_report, run_many
     from repro.sim.supervisor import RunFailure
+
+    # Long sweeps are where post-mortems matter: SIGUSR2 (or a crash)
+    # dumps the flight-recorder ring of recent events.
+    flightrec.install()
 
     if args.report and not obs.enabled():
         print(
@@ -312,6 +317,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.obs import flightrec
     from repro.service.server import ServiceConfig, SweepService
 
     config = ServiceConfig(
@@ -326,8 +332,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backoff_s=args.backoff_s,
         backoff_max_s=args.backoff_max_s,
         timeout_s=args.timeout_s,
+        http=args.http,
     )
     service = SweepService(config)
+    # SIGUSR2 dumps the flight-recorder ring; an unhandled crash dumps
+    # it too before the traceback prints.
+    flightrec.install()
 
     async def serve() -> int:
         loop = asyncio.get_running_loop()
@@ -341,6 +351,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if service.address:
             print(f"sweep service listening on {service.address} "
                   f"(cache {args.cache_dir})", flush=True)
+        while (
+            args.http is not None
+            and service.http_address is None
+            and not started.done()
+        ):
+            await asyncio.sleep(0.01)  # http facade coming up
+        if service.http_address:
+            print(f"observability http on {service.http_address}",
+                  flush=True)
         return await started
 
     return asyncio.run(serve())
@@ -384,6 +403,37 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             print(render_table(["field", "value"], rows,
                                title="service status"))
             return 0
+        if args.job:
+            try:
+                entry = client.status(digest=args.job)
+            except ServiceError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            rows = [[key, entry[key]] for key in sorted(entry)
+                    if key != "progress"]
+            rows.extend(
+                [f"progress.{key}", value]
+                for key, value in sorted(entry.get("progress", {}).items())
+            )
+            print(render_table(["field", "value"], rows,
+                               title=f"job {args.job[:12]}"))
+            return 0
+
+        if args.watch:
+            def _print_progress(frame):
+                for job in frame.get("jobs", []):
+                    if job.get("state") != "running":
+                        continue
+                    percent = job.get("percent")
+                    percent = 0.0 if percent is None else float(percent)
+                    print(
+                        f"  [{job.get('digest', '?')[:12]}] "
+                        f"{job.get('benchmark')}/{job.get('policy')} "
+                        f"{percent:5.1f}%",
+                        flush=True,
+                    )
+            client.on_progress = _print_progress
+            client.watch(True)
 
         specs = [
             {
@@ -437,9 +487,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import SweepReport, validate_events_file
 
     code = 0
-    if args.events:
+    event_files = list(args.events or [])
+    if args.validate and args.path:
+        # --validate: also pick up the event logs written next to the
+        # report, so a malformed log fails the command loudly instead
+        # of silently skewing the rendered SweepReport.
+        listed = {str(Path(p).resolve()) for p in event_files}
+        for sibling in sorted(Path(args.path).parent.glob("events-*.jsonl")):
+            if str(sibling.resolve()) not in listed:
+                event_files.append(str(sibling))
+    if args.validate and not event_files:
+        print(
+            "error: --validate found no event logs (no --events given "
+            f"and no events-*.jsonl next to {args.path or 'the report'})",
+            file=sys.stderr,
+        )
+        return 2
+    if event_files:
         total = 0
-        for path in args.events:
+        for path in event_files:
             count, errors = validate_events_file(path)
             total += count
             if errors:
@@ -449,7 +515,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
                     print(f"  {error}")
             else:
                 print(f"{path}: {count} events, all valid")
-        print(f"validated {total} events across {len(args.events)} file(s)")
+        print(f"validated {total} events across {len(event_files)} file(s)")
+    if code and args.validate:
+        # Malformed logs poison whatever the report aggregated from
+        # them: refuse to render rather than print skewed numbers.
+        print("error: event validation failed; not rendering the report",
+              file=sys.stderr)
+        return code
 
     if args.path:
         report = SweepReport.load(args.path)
@@ -457,7 +529,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             print(report.prometheus_text(), end="")
         else:
             print(report.render())
-    elif not args.events:
+    elif not event_files:
         print(
             "error: give a sweep-report path and/or --events files",
             file=sys.stderr,
@@ -668,6 +740,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes", type=int, default=None,
         help="worker processes per job (default: serial in-process)",
     )
+    serve_parser.add_argument(
+        "--http", default=None, metavar="HOST:PORT",
+        help="mount the read-only observability HTTP facade "
+             "(/metrics, /healthz, /readyz, /jobs, /flight); "
+             "port 0 binds an ephemeral port",
+    )
     _add_supervisor_knobs(serve_parser)
 
     submit_parser = sub.add_parser(
@@ -702,6 +780,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the server's STATUS snapshot and exit",
     )
     submit_parser.add_argument(
+        "--job", default=None, metavar="DIGEST",
+        help="print one job's status (state, percent complete) by "
+             "spec digest and exit",
+    )
+    submit_parser.add_argument(
+        "--watch", action="store_true",
+        help="subscribe to streamed progress frames and print live "
+             "per-job percent-complete lines while waiting",
+    )
+    submit_parser.add_argument(
         "--drain", action="store_true",
         help="ask the server to drain gracefully and exit",
     )
@@ -723,6 +811,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--events", nargs="+", default=None, metavar="PATH",
         help="validate these events-*.jsonl files against the event "
              "schema",
+    )
+    report_parser.add_argument(
+        "--validate", action="store_true",
+        help="validate the event logs next to the report (plus any "
+             "--events) and refuse to render if any are malformed",
     )
 
     bench_parser = sub.add_parser(

@@ -47,6 +47,7 @@ from repro.multicore.floorplan import (
 from repro.multicore.hopping import CoreHopper
 from repro.floorplan.alpha21364 import CORE_BLOCKS
 from repro.obs import events as obs_events
+from repro.obs import heartbeat as obs_heartbeat
 from repro.obs import metrics as obs_metrics
 from repro.obs import runctx as obs_runctx
 from repro.power.model import PowerModel
@@ -573,10 +574,27 @@ class MultiCoreEngine(SimEngine):
             cache[id(acts_map)] = (acts_map, vec)
             return vec
 
+        # Progress heartbeat: captured once per run; heartbeat-off cost
+        # is one ``is not None`` compare per sensor sample.  This engine
+        # measures progress in simulated seconds, not instructions.
+        hb_pub = obs_heartbeat.active()
+        hb_publish = hb_pub.publish if hb_pub is not None else None
+
         while (time_s - measure_start if measuring else 0.0) < duration_s:
             # --- sensing, policy, hopping ----------------------------------
             if sensors_due(time_s):
                 sensor_samples += 1
+                if hb_publish is not None:
+                    cmd0, cmd1 = commands
+                    hb_publish(
+                        time_s - measure_start if measuring else 0.0,
+                        time_s,
+                        exec_steps,
+                        max_temp,
+                        voltage < nominal_v - 1e-12
+                        or (cmd0 is not None and cmd0.gating_fraction > 0.0)
+                        or (cmd1 is not None and cmd1.gating_fraction > 0.0),
+                    )
                 if sensors_sample_vector is not None:
                     readings = sensors_sample_vector(block_temps, time_s)
                 else:

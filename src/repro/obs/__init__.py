@@ -43,6 +43,15 @@ from repro.obs.events import (
     validate_record,
 )
 from repro.obs.export import prometheus_text, registry_snapshot
+from repro.obs.flightrec import (
+    FLIGHT_DIR_ENV,
+    FLIGHT_ENV,
+    FLIGHT_LEN_ENV,
+)
+from repro.obs.heartbeat import (
+    HEARTBEAT_ENV,
+    HEARTBEAT_INTERVAL_ENV,
+)
 from repro.obs.metrics import (
     OBS_DIR_ENV,
     OBS_ENV,
@@ -60,6 +69,11 @@ from repro.obs.report import SweepReport
 from repro.obs.trace import span
 
 __all__ = [
+    "FLIGHT_DIR_ENV",
+    "FLIGHT_ENV",
+    "FLIGHT_LEN_ENV",
+    "HEARTBEAT_ENV",
+    "HEARTBEAT_INTERVAL_ENV",
     "OBS_DIR_ENV",
     "OBS_ENV",
     "REGISTRY",
@@ -127,7 +141,7 @@ def reset_for_testing() -> None:
     active run context, the event-log handle and the in-process spill
     records.  Does *not* touch the enabled flag.
     """
-    from repro.obs import events, runctx, spill, trace
+    from repro.obs import events, flightrec, heartbeat, runctx, spill, trace
 
     REGISTRY.reset()
     trace.reset_totals()
@@ -135,3 +149,5 @@ def reset_for_testing() -> None:
     runctx.reset()
     events.reset()
     spill.reset()
+    flightrec.reset()
+    heartbeat.reset()

@@ -29,7 +29,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.obs import metrics
+from repro.obs import flightrec, metrics
 
 REQUIRED_FIELDS = ("event", "ts", "pid")
 """Fields present on every event record."""
@@ -83,6 +83,10 @@ def emit(event: str, **fields) -> Optional[Dict[str, object]]:
     handle = _sink()
     handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
     handle.flush()
+    # Mirror into the crash flight recorder's ring: one append, no
+    # copy, no re-serialisation.  Call sites that emit must therefore
+    # never also call flightrec.note for the same event.
+    flightrec.note_record(record)
     return record
 
 

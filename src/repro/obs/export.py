@@ -14,6 +14,8 @@ from typing import Dict, List, Optional
 
 from repro.obs import metrics, trace
 
+_INF = float("inf")
+
 
 def registry_snapshot(
     registry: Optional[metrics.MetricsRegistry] = None,
@@ -34,6 +36,14 @@ def _mangle(name: str) -> str:
 
 
 def _fmt(value: float) -> str:
+    # NaN/Inf first: int(nan) raises ValueError and int(inf) raises
+    # OverflowError, and Prometheus text requires these exact spellings.
+    if value != value:
+        return "NaN"
+    if value == _INF:
+        return "+Inf"
+    if value == -_INF:
+        return "-Inf"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
@@ -95,7 +105,7 @@ def prometheus_text(
                     f'{mangled}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
                 )
             lines.append(f'{mangled}_bucket{{le="+Inf"}} {hist.count}')
-            lines.append(f"{mangled}_sum {repr(hist.sum)}")
+            lines.append(f"{mangled}_sum {repr(float(hist.sum))}")
             lines.append(f"{mangled}_count {hist.count}")
 
     span_table: Dict[str, object] = (

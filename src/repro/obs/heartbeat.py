@@ -1,0 +1,370 @@
+"""Per-run progress heartbeats: a lock-free slot relaying live status.
+
+The engine step loops (single-core, multi-core, and the lockstep
+batcher's inner generators) run for seconds to minutes per spec; until
+now their only output was the final :class:`~repro.sim.results.
+RunResult`.  This module lets each in-flight run publish a small
+progress record -- done/total, simulated time, executed steps, peak
+temperature, DTM state -- that the sweep parent and the service can
+read *while the run executes*, including across the process-pool
+boundary.
+
+Design constraints, in order:
+
+1. **The heartbeat-off hot path must cost one pointer compare.**  The
+   engine captures :func:`active` once per run; when no publisher is
+   registered it holds ``None`` and the per-sensor-sample hook is a
+   single ``is not None`` branch.  ``begin`` with the module disabled
+   returns ``None`` without allocating (asserted by
+   ``tests/obs/test_overhead.py``).
+2. **Readers must never block writers.**  Cross-process relay uses a
+   per-process slot file (``<obs_dir>/hb-<pid>.slot``) written with a
+   seqlock: the writer flips a sequence word odd, rewrites the payload,
+   flips it even.  A reader that observes an odd or changing sequence
+   (or a torn JSON payload) simply retries or skips -- no locks, no
+   fsync, one small ``pwrite`` per publish.
+3. **Publishes are wall-clock throttled** (default 0.25 s,
+   ``REPRO_HEARTBEAT_S``), so even a pathological sensor cadence costs
+   a bounded number of writes per second.
+
+The slot file rides the existing spill channel's directory
+(:func:`~repro.obs.metrics.obs_dir`): pool workers inherit the path
+over fork exactly like spill files, and the parent's :func:`snapshot`
+merges its own in-memory records with every ``hb-*.slot`` present,
+freshest timestamp winning.
+
+Heartbeats default **off** (``REPRO_HEARTBEAT``) so batch runs pay
+nothing; the sweep service switches them on at startup, which is where
+live progress actually has a consumer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+from typing import Dict, List, Optional
+
+from repro.obs import metrics
+
+HEARTBEAT_ENV = "REPRO_HEARTBEAT"
+"""Set to ``1`` to publish per-run progress heartbeats.  Off by
+default; ``python -m repro serve`` enables it unless explicitly set."""
+
+HEARTBEAT_INTERVAL_ENV = "REPRO_HEARTBEAT_S"
+"""Minimum wall-clock seconds between slot publishes (default 0.25)."""
+
+DEFAULT_INTERVAL_S = 0.25
+
+_ENABLED = os.environ.get(HEARTBEAT_ENV, "").strip().lower() not in metrics._FALSEY
+
+
+def _env_interval() -> float:
+    raw = os.environ.get(HEARTBEAT_INTERVAL_ENV, "").strip()
+    try:
+        value = float(raw) if raw else DEFAULT_INTERVAL_S
+    except ValueError:
+        return DEFAULT_INTERVAL_S
+    return max(0.0, value)
+
+
+_INTERVAL_S = _env_interval()
+
+# Publisher stack (nested begin/release pairs -- the lockstep driver
+# interleaves many runs, each bracketing its generator advances), the
+# in-flight records of this process, and a bounded table of recently
+# finished runs so late status queries still resolve.
+_STACK: List["_Publisher"] = []
+_INFLIGHT: Dict[str, Dict[str, object]] = {}
+_DONE: Dict[str, Dict[str, object]] = {}
+_DONE_LIMIT = 256
+
+# Slot-file seqlock: 8-byte little-endian sequence + 4-byte payload
+# length, padded to a 16-byte header; payload is a JSON array of the
+# process's in-flight records.  Even sequence = payload valid.
+_HEADER = struct.Struct("<QI")
+_HEADER_SIZE = 16
+_SLOT_RECORD_CAP = 32
+
+_SLOT_FD: Optional[int] = None
+_SLOT_KEY: Optional[tuple] = None
+_SLOT_SEQ = 0
+
+
+def enabled() -> bool:
+    """True when runs publish progress heartbeats."""
+    return _ENABLED
+
+
+def set_enabled(on: bool) -> bool:
+    """Set the heartbeat flag; returns the previous value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(on)
+    return previous
+
+
+def set_publish_interval(seconds: float) -> float:
+    """Set the minimum wall seconds between publishes; returns the
+    previous value.  Tests set 0.0 to make every publish land."""
+    global _INTERVAL_S
+    previous = _INTERVAL_S
+    _INTERVAL_S = max(0.0, float(seconds))
+    return previous
+
+
+class _Publisher:
+    """Progress outlet for one in-flight run.
+
+    Bound to the run's digest key at :func:`begin`; the engine calls
+    :meth:`publish` from its sensor-sample branch with plain loop
+    locals -- the publisher owns throttling, record shaping and the
+    slot write, so the engine stays free of any heartbeat logic beyond
+    one call."""
+
+    __slots__ = ("key", "benchmark", "policy", "total", "interval_s", "_next")
+
+    def __init__(self, key: str, benchmark: str, policy: str, total: float):
+        self.key = key
+        self.benchmark = benchmark
+        self.policy = policy
+        self.total = float(total)
+        self.interval_s = _INTERVAL_S
+        self._next = 0.0
+
+    def publish(
+        self,
+        done: float,
+        time_s: float,
+        steps: int,
+        peak_temp_c: float,
+        engaged: bool,
+    ) -> None:
+        """Publish one progress sample (wall-clock throttled)."""
+        now = time.monotonic()
+        if now < self._next:
+            return
+        self._next = now + self.interval_s
+        _INFLIGHT[self.key] = {
+            "key": self.key,
+            "benchmark": self.benchmark,
+            "policy": self.policy,
+            "state": "running",
+            "done": float(done),
+            "total": self.total,
+            "time_s": float(time_s),
+            "steps": int(steps),
+            "peak_temp_c": float(peak_temp_c),
+            "dtm_state": "engaged" if engaged else "nominal",
+            "ts": time.time(),
+            "pid": os.getpid(),
+        }
+        _write_slot()
+
+
+def begin(
+    key: str, benchmark: str, policy: str, total: float
+) -> Optional[_Publisher]:
+    """Register a run and return its publisher (``None`` when off).
+
+    Pushes the publisher onto the ambient stack so the engine's
+    ``iter_run`` -- which knows nothing about specs or digests -- can
+    pick it up via :func:`active` when its generator body first runs."""
+    if not _ENABLED:
+        return None
+    publisher = _Publisher(key, benchmark, policy, total)
+    _STACK.append(publisher)
+    _INFLIGHT[key] = {
+        "key": key,
+        "benchmark": benchmark,
+        "policy": policy,
+        "state": "running",
+        "done": 0.0,
+        "total": publisher.total,
+        "time_s": 0.0,
+        "steps": 0,
+        "peak_temp_c": 0.0,
+        "dtm_state": "nominal",
+        "ts": time.time(),
+        "pid": os.getpid(),
+    }
+    _write_slot()
+    return publisher
+
+
+def active() -> Optional[_Publisher]:
+    """The innermost registered publisher, or ``None``.
+
+    Allocation-free either way -- this is the engine's once-per-run
+    capture point."""
+    if _STACK:
+        return _STACK[-1]
+    return None
+
+
+def release(publisher: Optional[_Publisher]) -> None:
+    """Pop the publisher off the ambient stack without finishing it.
+
+    The lockstep driver releases after a generator's first advance so
+    the *next* run's generator captures its own publisher; the run
+    itself stays in flight until :func:`finish`."""
+    if publisher is not None and publisher in _STACK:
+        _STACK.remove(publisher)
+
+
+def finish(publisher: Optional[_Publisher], error: Optional[str] = None) -> None:
+    """Mark a run finished: final record, slot rewrite, stack cleanup."""
+    if publisher is None:
+        return
+    release(publisher)
+    record = _INFLIGHT.pop(publisher.key, None)
+    if record is None:
+        record = {
+            "key": publisher.key,
+            "benchmark": publisher.benchmark,
+            "policy": publisher.policy,
+            "total": publisher.total,
+        }
+    record = dict(record)
+    record["state"] = "failed" if error else "done"
+    if error:
+        record["error"] = error
+    elif publisher.total > 0.0:
+        record["done"] = publisher.total
+    record["ts"] = time.time()
+    record["pid"] = os.getpid()
+    _DONE[publisher.key] = record
+    while len(_DONE) > _DONE_LIMIT:
+        _DONE.pop(next(iter(_DONE)))
+    _write_slot()
+
+
+def percent(record: Dict[str, object]) -> float:
+    """Percent complete for one heartbeat record (clamped to 100)."""
+    total = float(record.get("total") or 0.0)
+    if total <= 0.0:
+        return 100.0 if record.get("state") in ("done", "failed") else 0.0
+    return min(100.0, 100.0 * float(record.get("done") or 0.0) / total)
+
+
+def snapshot() -> Dict[str, Dict[str, object]]:
+    """Merged progress view: local records plus every slot file.
+
+    Returns ``{key: record}`` with a computed ``percent`` field; when a
+    key appears in several sources (a worker's slot file and a stale
+    parent record, say) the freshest ``ts`` wins."""
+    merged: Dict[str, Dict[str, object]] = {}
+
+    def _offer(record: Dict[str, object]) -> None:
+        key = record.get("key")
+        if not isinstance(key, str):
+            return
+        held = merged.get(key)
+        if held is None or float(record.get("ts") or 0.0) >= float(
+            held.get("ts") or 0.0
+        ):
+            merged[key] = record
+
+    try:
+        slot_files = sorted(metrics.obs_dir().glob("hb-*.slot"))
+    except OSError:  # pragma: no cover - obs dir raced away
+        slot_files = []
+    for path in slot_files:
+        for record in _read_slot(path):
+            _offer(record)
+    for record in _DONE.values():
+        _offer(record)
+    for record in _INFLIGHT.values():
+        _offer(record)
+    out: Dict[str, Dict[str, object]] = {}
+    for key, record in merged.items():
+        record = dict(record)
+        record["percent"] = percent(record)
+        out[key] = record
+    return out
+
+
+def _slot_fd() -> int:
+    """This process's slot-file descriptor, reopened after fork."""
+    global _SLOT_FD, _SLOT_KEY
+    path = metrics.obs_dir() / f"hb-{os.getpid()}.slot"
+    key = (os.getpid(), str(path))
+    if _SLOT_FD is None or _SLOT_KEY != key:
+        if _SLOT_FD is not None and _SLOT_KEY is not None and (
+            _SLOT_KEY[0] == os.getpid()
+        ):
+            try:
+                os.close(_SLOT_FD)
+            except OSError:  # pragma: no cover - already closed
+                pass
+        _SLOT_FD = os.open(str(path), os.O_CREAT | os.O_RDWR, 0o644)
+        _SLOT_KEY = key
+    return _SLOT_FD
+
+
+def _write_slot() -> None:
+    """Seqlock write of this process's in-flight records.
+
+    Best-effort: a slot write must never take down the run publishing
+    it, so filesystem errors are swallowed."""
+    global _SLOT_SEQ
+    try:
+        fd = _slot_fd()
+        records = list(_INFLIGHT.values())
+        if len(records) > _SLOT_RECORD_CAP:
+            records.sort(key=lambda rec: float(rec.get("ts") or 0.0))
+            records = records[-_SLOT_RECORD_CAP:]
+        payload = json.dumps(records, sort_keys=True).encode("utf-8")
+        _SLOT_SEQ += 1  # odd: write in progress
+        os.pwrite(fd, _HEADER.pack(_SLOT_SEQ, 0), 0)
+        os.pwrite(fd, payload, _HEADER_SIZE)
+        _SLOT_SEQ += 1  # even: payload valid
+        os.pwrite(fd, _HEADER.pack(_SLOT_SEQ, len(payload)), 0)
+    except OSError:  # pragma: no cover - disk full / dir removed
+        pass
+
+
+def _read_slot(path) -> List[Dict[str, object]]:
+    """Read one slot file; torn or in-progress writes yield ``[]``."""
+    for _ in range(3):
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            return []
+        if len(data) < _HEADER_SIZE:
+            return []
+        seq, length = _HEADER.unpack_from(data, 0)
+        if seq % 2 or len(data) < _HEADER_SIZE + length:
+            continue  # writer mid-flight; retry
+        try:
+            records = json.loads(
+                data[_HEADER_SIZE:_HEADER_SIZE + length].decode("utf-8")
+            )
+        except (ValueError, UnicodeDecodeError):
+            continue  # torn payload the sequence check missed
+        if isinstance(records, list):
+            return [rec for rec in records if isinstance(rec, dict)]
+        return []
+    return []
+
+
+def reset() -> None:
+    """Clear all heartbeat state (test isolation).
+
+    Leaves the enabled flag alone, mirroring the rest of the obs
+    layer's reset discipline."""
+    global _SLOT_FD, _SLOT_KEY, _SLOT_SEQ, _INTERVAL_S
+    _STACK.clear()
+    _INFLIGHT.clear()
+    _DONE.clear()
+    if _SLOT_FD is not None:
+        try:
+            os.close(_SLOT_FD)
+        except OSError:  # pragma: no cover - already closed
+            pass
+    _SLOT_FD = None
+    _SLOT_KEY = None
+    _SLOT_SEQ = 0
+    _INTERVAL_S = _env_interval()

@@ -1,0 +1,179 @@
+"""Stdlib-only HTTP facade over the observability plane.
+
+A thin, read-only ``http.server`` wrapper that the sweep service (and
+any embedding process) mounts to expose:
+
+* ``/metrics``  -- Prometheus text (``obs.export.prometheus_text``);
+* ``/healthz``  -- liveness: 200 while the process serves requests;
+* ``/readyz``   -- readiness: 503 while draining or shedding;
+* ``/jobs``     -- JSON list of queued/running/recent jobs;
+* ``/jobs/<id>``-- one job's status by digest (404 on miss);
+* ``/flight``   -- the flight-recorder ring as JSON lines.
+
+The server is injected with *provider callables* rather than importing
+the service, so it stays dependency-free and trivially testable: every
+endpoint is a pure function of one provider's return value.  Providers
+run on the HTTP thread -- they must be cheap and thread-safe reads
+(the service's providers read plain attributes and the heartbeat
+snapshot, both safe by construction).
+
+``ThreadingHTTPServer`` with daemon threads keeps slow scrapers from
+serialising behind each other while guaranteeing the facade never
+blocks interpreter exit.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs import export as obs_export
+from repro.obs import flightrec
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _default_metrics() -> str:
+    return obs_export.prometheus_text()
+
+
+def _default_health() -> Dict[str, object]:
+    return {"ok": True}
+
+
+def _default_ready() -> Tuple[bool, Dict[str, object]]:
+    return True, {}
+
+
+def _default_jobs() -> List[Dict[str, object]]:
+    return []
+
+
+def _default_job(digest: str) -> Optional[Dict[str, object]]:
+    return None
+
+
+class ObsHttpd:
+    """The facade: bind, serve on a daemon thread, stop on demand.
+
+    ``port=0`` binds an ephemeral port; :attr:`address` holds the
+    actual ``host:port`` once :meth:`start` returns, which is what
+    tests and the CLI print."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        metrics_provider: Callable[[], str] = _default_metrics,
+        health_provider: Callable[[], Dict[str, object]] = _default_health,
+        ready_provider: Callable[[], Tuple[bool, Dict[str, object]]] = _default_ready,
+        jobs_provider: Callable[[], List[Dict[str, object]]] = _default_jobs,
+        job_provider: Callable[[str], Optional[Dict[str, object]]] = _default_job,
+        flight_provider: Callable[[], List[Dict[str, object]]] = flightrec.snapshot,
+    ):
+        self._host = host
+        self._port = int(port)
+        self._providers = {
+            "metrics": metrics_provider,
+            "health": health_provider,
+            "ready": ready_provider,
+            "jobs": jobs_provider,
+            "job": job_provider,
+            "flight": flight_provider,
+        }
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self.address: Optional[str] = None
+
+    def start(self) -> str:
+        """Bind and begin serving; returns the bound ``host:port``."""
+        if self._server is not None:
+            return self.address  # pragma: no cover - double start
+        providers = self._providers
+
+        class _Handler(BaseHTTPRequestHandler):
+            # One facade instance per handler class: the closure is the
+            # whole dependency injection story.
+            def log_message(self, fmt, *args):
+                pass  # scrapes every few seconds must not spam stderr
+
+            def do_GET(self):
+                try:
+                    _route(self, providers)
+                except BrokenPipeError:  # pragma: no cover - peer gone
+                    pass
+
+            def do_POST(self):
+                _reply(self, 405, {"error": "read-only facade"})
+
+            do_PUT = do_DELETE = do_POST
+
+        server = ThreadingHTTPServer((self._host, self._port), _Handler)
+        server.daemon_threads = True
+        self._server = server
+        self.address = f"{server.server_address[0]}:{server.server_address[1]}"
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-obs-httpd",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+
+def _reply(handler, code: int, body, content_type: str = "application/json") -> None:
+    if not isinstance(body, (bytes, str)):
+        body = json.dumps(body, sort_keys=True, default=str)
+    if isinstance(body, str):
+        body = body.encode("utf-8")
+    handler.send_response(code)
+    handler.send_header("Content-Type", content_type)
+    handler.send_header("Content-Length", str(len(body)))
+    handler.end_headers()
+    handler.wfile.write(body)
+
+
+def _route(handler, providers) -> None:
+    path = handler.path.split("?", 1)[0].rstrip("/") or "/"
+    if path == "/metrics":
+        text = providers["metrics"]()
+        _reply(handler, 200, text, content_type=PROMETHEUS_CONTENT_TYPE)
+    elif path == "/healthz":
+        _reply(handler, 200, providers["health"]())
+    elif path == "/readyz":
+        ready, detail = providers["ready"]()
+        body = dict(detail)
+        body["ready"] = bool(ready)
+        _reply(handler, 200 if ready else 503, body)
+    elif path == "/jobs":
+        _reply(handler, 200, {"jobs": providers["jobs"]()})
+    elif path.startswith("/jobs/"):
+        digest = path[len("/jobs/"):]
+        entry = providers["job"](digest)
+        if entry is None:
+            _reply(handler, 404, {"error": f"unknown job {digest!r}"})
+        else:
+            _reply(handler, 200, entry)
+    elif path == "/flight":
+        lines = "".join(
+            json.dumps(record, sort_keys=True, default=str) + "\n"
+            for record in providers["flight"]()
+        )
+        _reply(handler, 200, lines, content_type="application/x-ndjson")
+    else:
+        _reply(handler, 404, {"error": f"no route {path!r}"})

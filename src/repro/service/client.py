@@ -11,7 +11,7 @@ from __future__ import annotations
 import socket
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SimulationError
 from repro.service import protocol
@@ -68,6 +68,10 @@ class ServiceClient:
     def __init__(self, address: Address, timeout: Optional[float] = 30.0):
         self._sock = _connect(address, timeout)
         self._max_frame = protocol.MAX_FRAME_BYTES
+        # Called with each broadcast ``progress`` frame that arrives
+        # while this client waits on a reply or on submit results
+        # (requires :meth:`watch`); never called re-entrantly.
+        self.on_progress: Optional[Callable[[Dict[str, object]], None]] = None
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
@@ -87,10 +91,20 @@ class ServiceClient:
 
     def _request(self, obj: Dict[str, object]) -> Dict[str, object]:
         protocol.send_frame(self._sock, obj)
-        reply = protocol.recv_frame(self._sock, self._max_frame)
-        if reply is None:
-            raise ServiceError("server closed the connection")
-        return reply
+        while True:
+            reply = protocol.recv_frame(self._sock, self._max_frame)
+            if reply is None:
+                raise ServiceError("server closed the connection")
+            # Broadcast progress frames (from a prior ``watch``) may
+            # interleave with any reply; they are never the answer.
+            if reply.get("op") == "progress":
+                self._notify_progress(reply)
+                continue
+            return reply
+
+    def _notify_progress(self, frame: Dict[str, object]) -> None:
+        if self.on_progress is not None:
+            self.on_progress(frame)
 
     # --- verbs --------------------------------------------------------------
 
@@ -101,13 +115,40 @@ class ServiceClient:
             raise ServiceError(str(reply.get("error")))
         return reply
 
-    def status(self) -> Dict[str, object]:
+    def status(self, digest: Optional[str] = None) -> Dict[str, object]:
         """The server's STATUS snapshot (queue depth, cache counters,
-        drain state -- see docs/SERVICE.md)."""
-        reply = self._request({"op": "status"})
+        drain state -- see docs/SERVICE.md).
+
+        With ``digest``, returns that one job's status instead --
+        state, live percent-complete and heartbeat progress for a
+        running job -- raising :class:`ServiceError` if the server does
+        not know the digest."""
+        request: Dict[str, object] = {"op": "status"}
+        if digest is not None:
+            request["digest"] = digest
+        reply = self._request(request)
         if not reply.get("ok"):
             raise ServiceError(str(reply.get("error")))
-        return reply["status"]
+        return reply["job"] if digest is not None else reply["status"]
+
+    def jobs(self) -> List[Dict[str, object]]:
+        """Every queued/running job plus the recently finished tail."""
+        reply = self._request({"op": "jobs"})
+        if not reply.get("ok"):
+            raise ServiceError(str(reply.get("error")))
+        return reply["jobs"]
+
+    def watch(self, on: bool = True) -> bool:
+        """Subscribe to streamed ``progress`` frames.
+
+        While subscribed, the server pushes a frame every
+        ``progress_interval_s`` whenever work is in flight; they are
+        delivered to :attr:`on_progress` as they arrive interleaved
+        with other replies.  Returns the subscription state."""
+        reply = self._request({"op": "watch", "on": bool(on)})
+        if not reply.get("ok"):
+            raise ServiceError(str(reply.get("error")))
+        return bool(reply.get("watching"))
 
     def drain(self) -> Dict[str, object]:
         """Ask the server to drain gracefully (administrative)."""
@@ -159,6 +200,9 @@ class ServiceClient:
                 raise ServiceError(
                     "server closed the connection mid-submission"
                 )
+            if frame.get("op") == "progress":
+                self._notify_progress(frame)
+                continue
             if frame.get("op") != "result":
                 continue  # interleaved reply to another verb
             index = int(frame["index"])

@@ -45,7 +45,11 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.obs import events as obs_events
+from repro.obs import export as obs_export
+from repro.obs import flightrec as obs_flightrec
+from repro.obs import heartbeat as obs_heartbeat
 from repro.obs import metrics as obs_metrics
+from repro.obs.httpd import ObsHttpd
 from repro.service import protocol
 from repro.service.cache import ResultCache
 from repro.sim.supervisor import RunFailure, spec_digest
@@ -79,12 +83,36 @@ class ServiceConfig:
     backoff_max_s: float = 30.0
     timeout_s: Optional[float] = None
     runner: Optional[Callable] = None
+    # ``HOST:PORT`` mounting the read-only HTTP facade (port 0 binds
+    # ephemeral); None leaves it off.
+    http: Optional[str] = None
+    # Cadence of the monitor loop: gauge refresh + progress frames to
+    # watching clients.
+    progress_interval_s: float = 0.5
 
     def __post_init__(self) -> None:
         if self.max_queue <= 0:
             raise SimulationError("max_queue must be > 0")
         if self.max_frame_bytes <= 0:
             raise SimulationError("max_frame_bytes must be > 0")
+        if self.progress_interval_s <= 0.0:
+            raise SimulationError("progress_interval_s must be > 0")
+        if self.http is not None:
+            _parse_hostport(self.http)  # fail at config time, not serve
+
+
+def _parse_hostport(value: str) -> Tuple[str, int]:
+    host, sep, port = str(value).rpartition(":")
+    if not sep or not host:
+        raise SimulationError(
+            f"--http wants HOST:PORT, got {value!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SimulationError(
+            f"--http wants a numeric port, got {value!r}"
+        ) from None
 
 
 @dataclass
@@ -96,6 +124,8 @@ class _Job:
     owner: int  # client id whose round-robin queue holds it
     waiters: List[Tuple["_Connection", int]] = field(default_factory=list)
     state: str = "queued"  # queued -> running -> done
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
 
 
 class _Connection:
@@ -105,6 +135,7 @@ class _Connection:
         self.id = cid
         self.writer = writer
         self.open = True
+        self.watching = False  # subscribed to streamed progress frames
         self._send_lock = asyncio.Lock()
 
     async def send(self, obj: Dict[str, object]) -> None:
@@ -152,6 +183,15 @@ class SweepService:
         self._drain_began: Optional[float] = None
         self.drain_seconds: Optional[float] = None
         self._started = time.monotonic()
+        # Recently finished jobs (state/error/timing) so late status
+        # queries and /jobs still resolve after the result frame went
+        # out; bounded like the heartbeat done-table.
+        self._finished: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self._finished_limit = 128
+        # The mounted HTTP facade (None unless config.http is set).
+        self._httpd: Optional[ObsHttpd] = None
+        self.http_address: Optional[str] = None
+        self._monitor_task: Optional[asyncio.Task] = None
         # Robustness counters, maintained unconditionally so STATUS
         # works with observability off; mirrored into repro.obs when on.
         self.jobs_done = 0
@@ -166,12 +206,47 @@ class SweepService:
     def _count(self, name: str) -> None:
         obs_metrics.inc(f"service.{name}")
 
-    def _gauge_queue(self) -> None:
-        if obs_metrics.enabled():
-            obs_metrics.REGISTRY.gauge(
-                "service.queue_depth",
-                help="jobs admitted but not yet running",
-            ).set(float(self._queued_total))
+    def _event(self, name: str, **fields) -> None:
+        """Emit a structured event, or -- with obs off -- note it into
+        the flight recorder directly.  ``emit`` mirrors its record into
+        the ring itself when enabled, so exactly one ring entry lands
+        either way; service state transitions are precisely what a
+        post-mortem of a wedged server needs."""
+        if obs_events.emit(name, **fields) is None:
+            obs_flightrec.note(name, **fields)
+
+    def refresh_gauges(self) -> None:
+        """Publish the service gauges from current state.
+
+        Unconditional (not gated on the obs flag) and called both on
+        state transitions and from the monitor loop, so a ``/metrics``
+        scrape between jobs sees live queue depth, in-flight count and
+        cache hit-rate rather than values frozen at the last
+        transition.  Cold path: a handful of dict operations every
+        ``progress_interval_s``."""
+        registry = obs_metrics.REGISTRY
+        registry.gauge(
+            "service.queue_depth",
+            help="jobs admitted but not yet running",
+        ).set(float(self._queued_total))
+        registry.gauge(
+            "service.inflight_jobs",
+            help="jobs currently executing (0 or 1: one executor lane)",
+        ).set(1.0 if self._running is not None else 0.0)
+        stats = self.cache.stats()
+        lookups = stats["hits"] + stats["misses"]
+        registry.gauge(
+            "service.cache_hit_rate",
+            help="cache hits / lookups since start (0 before any lookup)",
+        ).set(stats["hits"] / lookups if lookups else 0.0)
+        registry.gauge(
+            "service.clients",
+            help="currently connected clients",
+        ).set(float(len(self._connections)))
+        registry.gauge(
+            "service.draining",
+            help="1 while a graceful drain is in progress",
+        ).set(1.0 if self._draining else 0.0)
 
     # --- lifecycle ----------------------------------------------------------
 
@@ -180,6 +255,14 @@ class SweepService:
         self._loop = asyncio.get_running_loop()
         Path(self.config.cache_dir).mkdir(parents=True, exist_ok=True)
         recovered = self.cache.absorb_journal(self.journal_path)
+        # Live progress is the whole point of running behind a service:
+        # enable per-run heartbeats unless the operator explicitly said
+        # no.  Restored on exit so an embedding process (tests, a
+        # notebook) is left as it was found.
+        if os.environ.get(obs_heartbeat.HEARTBEAT_ENV) is None:
+            heartbeat_prev = obs_heartbeat.set_enabled(True)
+        else:
+            heartbeat_prev = obs_heartbeat.enabled()
         if self.config.socket_path:
             self._server = await self._listen_unix(self.config.socket_path)
             self.address = f"unix:{self.config.socket_path}"
@@ -190,17 +273,41 @@ class SweepService:
             )
             bound = self._server.sockets[0].getsockname()
             self.address = f"{bound[0]}:{bound[1]}"
-        obs_events.emit(
+        self._event(
             "service.start",
             address=self.address,
             cache_entries=len(self.cache),
             recovered_from_journal=recovered,
             max_queue=self.config.max_queue,
         )
+        if self.config.http is not None:
+            host, port = _parse_hostport(self.config.http)
+            self._httpd = ObsHttpd(
+                host,
+                port,
+                metrics_provider=self._metrics_text,
+                health_provider=self._health,
+                ready_provider=self.readiness,
+                jobs_provider=self.jobs,
+                job_provider=self.job_status,
+            )
+            self.http_address = self._httpd.start()
+            self._event("service.http_start", http=self.http_address)
+        self.refresh_gauges()
+        self._monitor_task = asyncio.ensure_future(self._monitor_loop())
         self.ready.set()
         try:
             await self._executor_loop()
         finally:
+            obs_heartbeat.set_enabled(heartbeat_prev)
+            if self._monitor_task is not None:
+                self._monitor_task.cancel()
+                try:
+                    await self._monitor_task
+                except asyncio.CancelledError:
+                    pass
+            if self._httpd is not None:
+                self._httpd.stop()
             self._server.close()
             await self._server.wait_closed()
             for conn in list(self._connections.values()):
@@ -221,7 +328,7 @@ class SweepService:
                         "service.drain_seconds",
                         help="duration of the last graceful drain",
                     ).set(self.drain_seconds)
-                obs_events.emit(
+                self._event(
                     "service.drain_complete",
                     drain_seconds=self.drain_seconds,
                     jobs_done=self.jobs_done,
@@ -268,7 +375,7 @@ class SweepService:
             return
         self._draining = True
         self._drain_began = time.monotonic()
-        obs_events.emit(
+        self._event(
             "service.drain_begin",
             queued=self._queued_total,
             running=self._running.digest if self._running else None,
@@ -297,7 +404,7 @@ class SweepService:
         self._connections[conn.id] = conn
         task = asyncio.current_task()
         self._handler_tasks.add(task)
-        obs_events.emit("service.client_connect", client=conn.id)
+        self._event("service.client_connect", client=conn.id)
         try:
             while True:
                 try:
@@ -310,7 +417,7 @@ class SweepService:
                     # executor and every other client are untouched.
                     self.protocol_errors += 1
                     self._count("protocol_errors")
-                    obs_events.emit(
+                    self._event(
                         "service.protocol_error",
                         client=conn.id,
                         error_type=type(exc).__name__,
@@ -325,7 +432,7 @@ class SweepService:
             self._connections.pop(conn.id, None)
             self._handler_tasks.discard(task)
             await self._cancel_queued_for(conn)
-            obs_events.emit("service.client_disconnect", client=conn.id)
+            self._event("service.client_disconnect", client=conn.id)
             try:
                 writer.close()
             except Exception:  # pragma: no cover - defensive
@@ -341,8 +448,30 @@ class SweepService:
                  "version": protocol.PROTOCOL_VERSION}
             )
         elif op == "status":
+            digest = request.get("digest")
+            if digest is not None:
+                entry = self.job_status(str(digest))
+                if entry is None:
+                    await conn.send(
+                        {"ok": False, "op": "status",
+                         "digest": str(digest),
+                         "error": f"unknown job {digest!r}"}
+                    )
+                else:
+                    await conn.send(
+                        {"ok": True, "op": "status",
+                         "digest": str(digest), "job": entry}
+                    )
+            else:
+                await conn.send(
+                    {"ok": True, "op": "status", "status": self.status()}
+                )
+        elif op == "jobs":
+            await conn.send({"ok": True, "op": "jobs", "jobs": self.jobs()})
+        elif op == "watch":
+            conn.watching = bool(request.get("on", True))
             await conn.send(
-                {"ok": True, "op": "status", "status": self.status()}
+                {"ok": True, "op": "watch", "watching": conn.watching}
             )
         elif op == "drain":
             self.begin_drain()
@@ -401,7 +530,7 @@ class SweepService:
         if self._queued_total + len(new_digests) > self.config.max_queue:
             self.shed += 1
             self._count("shed")
-            obs_events.emit(
+            self._event(
                 "service.busy_shed",
                 client=conn.id,
                 queued=self._queued_total,
@@ -421,7 +550,7 @@ class SweepService:
             {"ok": True, "op": "submit", "accepted": len(specs),
              "digests": digests, "new_jobs": len(new_digests)}
         )
-        obs_events.emit(
+        self._event(
             "service.submit",
             client=conn.id,
             n_specs=len(specs),
@@ -437,7 +566,7 @@ class SweepService:
             cached = self.cache.get(digest)
             if cached is not None:
                 self._count("cache_hits")
-                obs_events.emit("service.cache_hit", digest=digest)
+                self._event("service.cache_hit", digest=digest)
                 await conn.send(self._result_frame(index, digest, cached,
                                                    cached_hit=True))
                 continue
@@ -472,7 +601,7 @@ class SweepService:
             self._rr.append(job.owner)
         queue.append(job)
         self._queued_total += 1
-        self._gauge_queue()
+        self.refresh_gauges()
 
     def _pop_next_job(self) -> Optional[_Job]:
         """Next job under per-client round-robin: take the head of the
@@ -488,7 +617,7 @@ class SweepService:
             self._rr.popleft()
             del self._queues[cid]
         self._queued_total -= 1
-        self._gauge_queue()
+        self.refresh_gauges()
         return job
 
     def _remove_queued(self, job: _Job) -> None:
@@ -500,7 +629,7 @@ class SweepService:
             self._rr.remove(job.owner)
             del self._queues[job.owner]
         self._queued_total -= 1
-        self._gauge_queue()
+        self.refresh_gauges()
 
     async def _cancel_queued_for(self, conn: _Connection) -> None:
         """Client gone: cancel its *queued* jobs.  A running job always
@@ -520,7 +649,7 @@ class SweepService:
             del self._jobs[digest]
             self.cancelled += 1
             self._count("cancelled")
-            obs_events.emit(
+            self._event(
                 "service.job_cancelled", digest=digest, client=conn.id
             )
 
@@ -548,6 +677,7 @@ class SweepService:
                 return
             del self._jobs[job.digest]
             self.cancelled += 1
+            self._record_finished(job, "refused", error="server draining")
             for conn, index in job.waiters:
                 await conn.send(
                     {"ok": False, "op": "result", "index": index,
@@ -564,8 +694,10 @@ class SweepService:
             if job is None:
                 return
             job.state = "running"
+            job.started_at = time.time()
             self._running = job
-            obs_events.emit(
+            self.refresh_gauges()
+            self._event(
                 "service.run_start",
                 digest=job.digest,
                 benchmark=job.spec.workload_name,
@@ -606,13 +738,17 @@ class SweepService:
             error = f"{type(outcome).__name__}: {outcome}"
         else:
             error = None
+        self._record_finished(
+            job, "failed" if error is not None else "done", error=error
+        )
+        self.refresh_gauges()
         if error is not None:
             # Failures are answered but never cached: a resubmission
             # after the fault clears must re-execute, not replay the
             # failure.
             self.jobs_failed += 1
             self._count("jobs_failed")
-            obs_events.emit(
+            self._event(
                 "service.job_failed", digest=job.digest, error=error
             )
             for conn, index in job.waiters:
@@ -624,12 +760,32 @@ class SweepService:
         self.cache.put(job.digest, outcome)
         self.jobs_done += 1
         self._count("jobs_done")
-        obs_events.emit("service.job_done", digest=job.digest)
+        self._event("service.job_done", digest=job.digest)
         for conn, index in job.waiters:
             await conn.send(
                 self._result_frame(index, job.digest, outcome,
                                    cached_hit=False)
             )
+
+    def _record_finished(
+        self, job: _Job, state: str, error: Optional[str] = None
+    ) -> None:
+        entry: Dict[str, object] = {
+            "digest": job.digest,
+            "state": state,
+            "benchmark": str(getattr(job.spec, "workload_name", "?")),
+            "policy": str(getattr(job.spec, "policy", "?")),
+            "submitted_at": job.submitted_at,
+            "started_at": job.started_at,
+            "finished_at": time.time(),
+            "percent": 100.0 if state == "done" else None,
+        }
+        if error is not None:
+            entry["error"] = error
+        self._finished[job.digest] = entry
+        self._finished.move_to_end(job.digest)
+        while len(self._finished) > self._finished_limit:
+            self._finished.popitem(last=False)
 
     # --- status -------------------------------------------------------------
 
@@ -652,8 +808,118 @@ class SweepService:
             "protocol_errors": self.protocol_errors,
             "cache": self.cache.stats(),
             "journal": str(self.journal_path),
+            "http": self.http_address,
             "version": protocol.PROTOCOL_VERSION,
         }
+
+    def jobs(self) -> List[Dict[str, object]]:
+        """Every queued/running job plus the recently finished tail.
+
+        Running (and queued) entries are merged with the heartbeat
+        snapshot by digest, so a mid-run entry carries live
+        ``percent`` / ``time_s`` / ``peak_temp_c`` / ``dtm_state``
+        fields.  This is the payload behind ``/jobs``, the ``jobs``
+        verb and the streamed ``progress`` frames."""
+        progress = obs_heartbeat.snapshot()
+        out = [self._job_entry(job, progress) for job in self._jobs.values()]
+        out.extend(dict(entry) for entry in reversed(self._finished.values()))
+        return out
+
+    def job_status(self, digest: str) -> Optional[Dict[str, object]]:
+        """One job's status by digest, or ``None`` when unknown.
+
+        Resolution order: live jobs (queued/running, with heartbeat
+        progress), recently finished, then the result cache (a job may
+        be long gone from memory yet still answerable)."""
+        job = self._jobs.get(digest)
+        if job is not None:
+            return self._job_entry(job, obs_heartbeat.snapshot())
+        entry = self._finished.get(digest)
+        if entry is not None:
+            return dict(entry)
+        if digest in self.cache:
+            return {"digest": digest, "state": "done", "cached": True,
+                    "percent": 100.0}
+        return None
+
+    def _job_entry(
+        self, job: _Job, progress: Dict[str, Dict[str, object]]
+    ) -> Dict[str, object]:
+        entry: Dict[str, object] = {
+            "digest": job.digest,
+            "state": job.state,
+            "benchmark": str(getattr(job.spec, "workload_name", "?")),
+            "policy": str(getattr(job.spec, "policy", "?")),
+            "waiters": len(job.waiters),
+            "submitted_at": job.submitted_at,
+            "started_at": job.started_at,
+            "percent": 0.0,
+        }
+        record = progress.get(job.digest)
+        if record is not None and job.state == "running":
+            entry["percent"] = record.get("percent")
+            entry["progress"] = {
+                key: record.get(key)
+                for key in (
+                    "done", "total", "time_s", "steps",
+                    "peak_temp_c", "dtm_state", "ts",
+                )
+            }
+        return entry
+
+    def readiness(self) -> Tuple[bool, Dict[str, object]]:
+        """``/readyz`` provider: can this server admit a submission now?
+
+        False (HTTP 503) while draining or while the admission queue is
+        full (shedding) -- the two states in which a submit would be
+        refused."""
+        shedding = self._queued_total >= self.config.max_queue
+        ready = self.ready.is_set() and not self._draining and not shedding
+        return ready, {
+            "draining": self._draining,
+            "shedding": shedding,
+            "queue_depth": self._queued_total,
+            "max_queue": self.config.max_queue,
+        }
+
+    def _health(self) -> Dict[str, object]:
+        """``/healthz`` provider: alive if we can answer at all."""
+        return {
+            "ok": True,
+            "pid": os.getpid(),
+            "uptime_s": time.monotonic() - self._started,
+            "draining": self._draining,
+        }
+
+    def _metrics_text(self) -> str:
+        """``/metrics`` provider: refresh the service gauges, then
+        render whatever the registry holds."""
+        self.refresh_gauges()
+        return obs_export.prometheus_text()
+
+    async def _monitor_loop(self) -> None:
+        """Continuous publication: gauges every interval, plus one
+        ``progress`` frame to each watching client while work is in
+        flight.  Cancelled (not joined) at shutdown."""
+        while True:
+            await asyncio.sleep(self.config.progress_interval_s)
+            self.refresh_gauges()
+            if self._running is None and not self._queued_total:
+                continue
+            watchers = [
+                conn for conn in self._connections.values()
+                if conn.watching and conn.open
+            ]
+            if not watchers:
+                continue
+            frame = {
+                "ok": True,
+                "op": "progress",
+                "ts": time.time(),
+                "jobs": self.jobs(),
+            }
+            for conn in watchers:
+                await conn.send(frame)
 
 
 class ServerThread:

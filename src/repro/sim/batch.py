@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.obs import events as obs_events
+from repro.obs import heartbeat as obs_heartbeat
 from repro.obs import metrics as obs_metrics
 from repro.obs import runctx as obs_runctx
 from repro.obs import spill as obs_spill
@@ -47,6 +48,7 @@ from repro.sim.supervisor import (
     SweepSupervisor,
     _SpecState,
     load_journal,
+    policy_token,
     spec_digest,
 )
 from repro.workloads.workload import Workload
@@ -187,18 +189,22 @@ def _default_substrate() -> tuple:
 # would dominate short sweeps.
 _POOL: Optional[ProcessPoolExecutor] = None
 _POOL_SIZE = 0
-_POOL_OBS: Tuple[bool, str] = (False, "")
+_POOL_OBS: Tuple[bool, bool, str] = (False, False, "")
 
 
-def _obs_pool_key() -> Tuple[bool, str]:
+def _obs_pool_key() -> Tuple[bool, bool, str]:
     # Workers fork with the parent's observability state frozen at fork
     # time; a pool created with obs off (or spilling into a different
-    # directory) would silently drop every worker's run records.  The
-    # directory only matters (and, for the lazily created temp default,
-    # only *exists*) when observability is on.
+    # directory) would silently drop every worker's run records, and a
+    # pool created with heartbeats off would never publish progress
+    # slots.  The directory matters whenever either channel writes into
+    # it (spill files with obs on, hb-*.slot files with heartbeats on).
+    heartbeats = obs_heartbeat.enabled()
     if not obs_metrics.enabled():
-        return (False, "")
-    return (True, str(obs_metrics.obs_dir()))
+        if not heartbeats:
+            return (False, False, "")
+        return (False, True, str(obs_metrics.obs_dir()))
+    return (True, heartbeats, str(obs_metrics.obs_dir()))
 
 
 def _get_pool(processes: int) -> ProcessPoolExecutor:
@@ -346,6 +352,30 @@ def steady_state_for(workload: Union[str, Workload]) -> np.ndarray:
     return cached.copy()
 
 
+def _begin_heartbeat(spec):
+    """Register a progress publisher for ``spec`` (``None`` when off).
+
+    Keyed by the supervisor's spec digest so service jobs and heartbeat
+    records agree on identity; the total is the spec's own progress
+    denominator (instruction budget for single-core runs, simulated
+    duration for dual-core ones)."""
+    if not obs_heartbeat.enabled():
+        return None
+    try:
+        digest = spec_digest(replace(spec, initial=None))
+    except TypeError:  # spec without an ``initial`` field
+        digest = spec_digest(spec)
+    policy = getattr(spec, "policy", "?")
+    if not isinstance(policy, str):
+        policy = policy_token(policy)
+    total = getattr(spec, "instructions", None)
+    if total is None:
+        total = getattr(spec, "duration_s", 0.0)
+    return obs_heartbeat.begin(
+        digest, str(spec.workload_name), str(policy), float(total)
+    )
+
+
 def run_one(spec) -> RunResult:
     """Execute one spec in this process.
 
@@ -353,8 +383,33 @@ def run_one(spec) -> RunResult:
     :class:`~repro.multicore.batch.DualCoreRunSpec`) provide their own
     ``run_in_process`` and are dispatched to it, so every sweep path --
     serial, pooled, lockstep-delegated, retried -- funnels through this
-    one entry point.
+    one entry point.  The heartbeat bracket wraps the whole dispatch:
+    the engine (any of the three implementations) picks the publisher
+    up from the ambient stack when its step loop starts.
     """
+    heartbeat = _begin_heartbeat(spec)
+    if heartbeat is None:
+        return _run_one_impl(spec)
+    try:
+        result = _run_one_impl(spec)
+    except BaseException as exc:
+        obs_heartbeat.finish(heartbeat, error=f"{type(exc).__name__}: {exc}")
+        raise
+    obs_heartbeat.finish(heartbeat)
+    return result
+
+
+def sweep_progress() -> Dict[str, Dict[str, object]]:
+    """Live per-run progress of in-flight (and recent) runs.
+
+    A merged :func:`repro.obs.heartbeat.snapshot`: records published by
+    this process plus every pool worker's slot file, keyed by spec
+    digest, each carrying a computed ``percent``.  Empty unless
+    heartbeats are enabled (``REPRO_HEARTBEAT=1`` or the service)."""
+    return obs_heartbeat.snapshot()
+
+
+def _run_one_impl(spec) -> RunResult:
     runner = getattr(spec, "run_in_process", None)
     if runner is not None:
         return runner()

@@ -43,6 +43,7 @@ from time import perf_counter
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs import flightrec as obs_flightrec
 from repro.obs import trace as obs_trace
 from repro.sim.kernel import DenseSpanTask
 
@@ -258,7 +259,13 @@ class SimEngine(ABC):
         return unsubscribe
 
     def _emit(self, name: str, time_s: float, **payload) -> None:
-        """Publish an event to subscribers (no-op with none attached)."""
+        """Publish an event to subscribers (no-op with none attached).
+
+        Also noted into the crash flight recorder: engine lifecycle
+        events (``run.start`` / ``run.complete`` and friends) are
+        per-run cold-path calls, exactly what a post-mortem ring should
+        hold even with observability off."""
+        obs_flightrec.note("engine." + name, time_s=time_s, **payload)
         if not self._subscribers:
             return
         event = EngineEvent(name=name, time_s=time_s, payload=payload)

@@ -13,6 +13,7 @@ from repro.dtm.none import NoDtmPolicy
 from repro.dtm.thresholds import ThermalThresholds
 from repro.errors import SimulationError, ThermalViolationError
 from repro.obs import events as obs_events
+from repro.obs import heartbeat as obs_heartbeat
 from repro.obs import metrics as obs_metrics
 from repro.obs import runctx as obs_runctx
 from repro.obs import trace as obs_trace
@@ -796,11 +797,24 @@ class SimulationEngine(SimEngine):
                     break
             return stepped
 
+        # Progress heartbeat: the publisher (if a supervisor registered
+        # one) is captured once per run; with heartbeats off the hook
+        # below is a single ``is not None`` compare per sensor sample.
+        # Publishing reads loop locals only -- no physics state is
+        # touched, so results stay bit-identical either way.
+        hb_pub = obs_heartbeat.active()
+        hb_publish = hb_pub.publish if hb_pub is not None else None
+
         while done < instructions:
             # --- sensing and policy -------------------------------------------
             if sensors_due(time_s):
                 sensor_samples += 1
                 stride_ok = True
+                # Every stride and fused dense span stops strictly
+                # before the next sensor sample, so this branch is hit
+                # on all execution paths, kernel or not.
+                if hb_publish is not None:
+                    hb_publish(done, time_s, exec_steps, max_temp, cmd_active)
                 if sensors_sample_hottest is not None:
                     new_command = policy_update_hottest(
                         sensors_sample_hottest(block_temps, time_s),

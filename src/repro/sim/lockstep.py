@@ -36,6 +36,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs import heartbeat as obs_heartbeat
 from repro.obs import metrics as obs_metrics
 from repro.obs import runctx as obs_runctx
 from repro.obs import spill as obs_spill
@@ -88,6 +89,7 @@ class LockstepEngine(SimEngine):
         contract verbatim.
         """
         from repro.sim.batch import (
+            _begin_heartbeat,
             _build_policy,
             _default_substrate,
             _resolve_workload,
@@ -102,6 +104,13 @@ class LockstepEngine(SimEngine):
         results: List[Optional[RunResult]] = [None] * len(specs)
         generators: Dict[int, object] = {}
         pending: Dict[int, tuple] = {}
+        # Progress publishers for the interleaved runs.  Each one is
+        # registered just before its generator's creation-advance (the
+        # engine captures the ambient publisher when its body first
+        # runs) and released right after, so concurrent runs each hold
+        # their own; finish happens when the run completes or in the
+        # finally below on an aborted batch.
+        heartbeats: Dict[int, object] = {}
 
         # One telemetry record per chunk: the interleaved generators
         # share one process, so per-run attribution is impossible here --
@@ -153,7 +162,13 @@ class LockstepEngine(SimEngine):
                     settle_time_s=spec.settle_time_s,
                 )
                 generators[index] = generator
+                publisher = _begin_heartbeat(spec)
+                if publisher is not None:
+                    heartbeats[index] = publisher
                 _advance(index, None, generators, pending, results)
+                obs_heartbeat.release(publisher)
+                if index not in generators:
+                    obs_heartbeat.finish(heartbeats.pop(index, None))
 
             while pending:
                 replies = yield dict(pending)
@@ -161,6 +176,8 @@ class LockstepEngine(SimEngine):
                     _advance(
                         index, replies[index], generators, pending, results
                     )
+                    if index not in generators:
+                        obs_heartbeat.finish(heartbeats.pop(index, None))
         except BaseException as exc:
             error = f"{type(exc).__name__}: {exc}"
             raise
@@ -177,6 +194,9 @@ class LockstepEngine(SimEngine):
                     pass
             generators.clear()
             pending.clear()
+            for publisher in heartbeats.values():
+                obs_heartbeat.finish(publisher, error=error or "aborted")
+            heartbeats.clear()
             if obs_on:
                 obs_spill.record(obs_runctx.end(error=error))
         self._emit("run.complete", 0.0, runs=len(specs))

@@ -1,0 +1,184 @@
+"""Per-run progress heartbeats: publisher lifecycle, the seqlock slot
+file, snapshot merging, and engine integration (bit identity)."""
+
+import json
+import os
+import struct
+
+import pytest
+
+from repro.obs import heartbeat, metrics
+
+
+@pytest.fixture
+def hb_on(obs_dir):
+    previous = heartbeat.set_enabled(True)
+    interval = heartbeat.set_publish_interval(0.0)
+    heartbeat.reset()
+    yield
+    heartbeat.set_enabled(previous)
+    heartbeat.set_publish_interval(interval)
+    heartbeat.reset()
+
+
+class TestPublisher:
+    def test_begin_returns_none_when_disabled(self, obs_dir):
+        previous = heartbeat.set_enabled(False)
+        try:
+            assert heartbeat.begin("k", "gzip", "Hyb", 100.0) is None
+            assert heartbeat.active() is None
+        finally:
+            heartbeat.set_enabled(previous)
+
+    def test_begin_publish_finish_roundtrip(self, hb_on):
+        publisher = heartbeat.begin("k1", "gzip", "Hyb", 200.0)
+        assert heartbeat.active() is publisher
+        publisher.publish(50.0, 0.1, 7, 81.5, True)
+        record = heartbeat.snapshot()["k1"]
+        assert record["state"] == "running"
+        assert record["done"] == 50.0
+        assert record["percent"] == 25.0
+        assert record["steps"] == 7
+        assert record["peak_temp_c"] == 81.5
+        assert record["dtm_state"] == "engaged"
+        heartbeat.finish(publisher)
+        assert heartbeat.active() is None
+        record = heartbeat.snapshot()["k1"]
+        assert record["state"] == "done"
+        assert record["percent"] == 100.0
+
+    def test_finish_with_error_marks_failed(self, hb_on):
+        publisher = heartbeat.begin("k2", "art", "FG", 100.0)
+        heartbeat.finish(publisher, error="RuntimeError: boom")
+        record = heartbeat.snapshot()["k2"]
+        assert record["state"] == "failed"
+        assert record["error"] == "RuntimeError: boom"
+        assert record["percent"] == 0.0  # no progress claimed
+
+    def test_release_pops_stack_without_finishing(self, hb_on):
+        outer = heartbeat.begin("outer", "gzip", "Hyb", 1.0)
+        heartbeat.release(outer)
+        assert heartbeat.active() is None
+        assert heartbeat.snapshot()["outer"]["state"] == "running"
+        heartbeat.finish(outer)
+
+    def test_wall_clock_throttle(self, hb_on):
+        publisher = heartbeat.begin("k3", "gzip", "Hyb", 100.0)
+        publisher.interval_s = 3600.0
+        publisher.publish(10.0, 0.0, 1, 80.0, False)
+        publisher.publish(90.0, 0.0, 2, 80.0, False)  # throttled away
+        assert heartbeat.snapshot()["k3"]["done"] == 10.0
+
+
+class TestSlotFile:
+    def _slot_path(self):
+        return metrics.obs_dir() / f"hb-{os.getpid()}.slot"
+
+    def test_publish_writes_readable_slot(self, hb_on):
+        publisher = heartbeat.begin("k4", "gzip", "Hyb", 100.0)
+        publisher.publish(25.0, 0.5, 3, 82.0, False)
+        records = heartbeat._read_slot(self._slot_path())
+        assert [r["key"] for r in records] == ["k4"]
+        assert records[0]["done"] == 25.0
+        heartbeat.finish(publisher)
+
+    def test_torn_write_is_skipped(self, hb_on):
+        publisher = heartbeat.begin("k5", "gzip", "Hyb", 100.0)
+        publisher.publish(25.0, 0.5, 3, 82.0, False)
+        path = self._slot_path()
+        # Forge a writer-in-progress header (odd sequence).
+        with open(path, "r+b") as handle:
+            handle.write(struct.pack("<QI", 7, 0))
+        assert heartbeat._read_slot(path) == []
+        heartbeat.finish(publisher)
+
+    def test_garbage_payload_is_skipped(self, hb_on, tmp_path):
+        path = tmp_path / "hb-999.slot"
+        payload = b"not json at all"
+        header = struct.pack("<QI", 2, len(payload)).ljust(16, b"\x00")
+        path.write_bytes(header + payload)
+        assert heartbeat._read_slot(path) == []
+
+    def test_snapshot_merges_foreign_slot_by_freshness(self, hb_on):
+        # A (simulated) worker's slot file with a fresher record for
+        # the same key must win over this process's stale one.
+        publisher = heartbeat.begin("k6", "gzip", "Hyb", 100.0)
+        publisher.publish(10.0, 0.1, 1, 80.0, False)
+        local_ts = heartbeat.snapshot()["k6"]["ts"]
+        foreign = dict(heartbeat.snapshot()["k6"])
+        foreign["done"] = 90.0
+        foreign["ts"] = local_ts + 100.0
+        foreign.pop("percent")
+        payload = json.dumps([foreign]).encode()
+        slot = metrics.obs_dir() / "hb-12345.slot"
+        header = struct.pack("<QI", 2, len(payload)).ljust(16, b"\x00")
+        slot.write_bytes(header + payload)
+        assert heartbeat.snapshot()["k6"]["done"] == 90.0
+        heartbeat.finish(publisher)
+
+
+class TestEngineIntegration:
+    def test_single_core_heartbeat_monotonic_and_bit_identical(self, obs_dir):
+        from repro.sim.batch import RunSpec, run_one
+
+        spec = RunSpec("gzip", "Hyb", instructions=40_000_000)
+        baseline = run_one(spec)
+
+        published = []
+        original = heartbeat._Publisher.publish
+
+        def spying(self, done, time_s, steps, peak, engaged):
+            published.append(float(done))
+            return original(self, done, time_s, steps, peak, engaged)
+
+        previous = heartbeat.set_enabled(True)
+        interval = heartbeat.set_publish_interval(0.0)
+        heartbeat._Publisher.publish = spying
+        try:
+            result = run_one(spec)
+        finally:
+            heartbeat._Publisher.publish = original
+            heartbeat.set_enabled(previous)
+            heartbeat.set_publish_interval(interval)
+        assert result.to_json_dict() == baseline.to_json_dict()
+        assert len(published) >= 2  # the engine actually heartbeats
+        assert published == sorted(published)  # progress never regresses
+        record = heartbeat.snapshot()[next(iter(heartbeat.snapshot()))]
+        assert record["state"] == "done"
+        assert record["percent"] == 100.0
+
+    def test_lockstep_runs_all_reach_done(self, obs_dir):
+        from repro.sim.batch import RunSpec
+        from repro.sim.lockstep import run_lockstep
+
+        previous = heartbeat.set_enabled(True)
+        interval = heartbeat.set_publish_interval(0.0)
+        try:
+            specs = [
+                RunSpec("gzip", "none", instructions=1_000_000, seed=s)
+                for s in (1, 2)
+            ]
+            results = run_lockstep(specs)
+            snap = heartbeat.snapshot()
+        finally:
+            heartbeat.set_enabled(previous)
+            heartbeat.set_publish_interval(interval)
+        assert all(r is not None for r in results)
+        assert len(snap) == 2
+        assert all(rec["state"] == "done" for rec in snap.values())
+
+    def test_dual_core_heartbeat_reaches_done(self, obs_dir):
+        from repro.multicore.batch import DualCoreRunSpec
+        from repro.sim.batch import run_one
+
+        previous = heartbeat.set_enabled(True)
+        interval = heartbeat.set_publish_interval(0.0)
+        try:
+            run_one(DualCoreRunSpec(("gzip", "art"), duration_s=0.02))
+            snap = heartbeat.snapshot()
+        finally:
+            heartbeat.set_enabled(previous)
+            heartbeat.set_publish_interval(interval)
+        (record,) = snap.values()
+        assert record["state"] == "done"
+        assert record["percent"] == 100.0

@@ -10,7 +10,7 @@ and returns immediately.  These tests pin that contract with
 import gc
 import sys
 
-from repro.obs import events, metrics, trace
+from repro.obs import events, flightrec, heartbeat, metrics, trace
 
 N = 10_000
 # Interpreter noise allowance: unrelated caches may allocate a handful
@@ -52,3 +52,44 @@ def test_disabled_emit_allocates_nothing(obs_dir):
 
     assert _allocated_blocks(burst) < SLACK
     assert not list(obs_dir.glob("events-*.jsonl"))
+
+
+def test_disabled_heartbeat_begin_allocates_nothing(obs_dir):
+    previous = heartbeat.set_enabled(False)
+    try:
+
+        def burst():
+            for _ in range(N):
+                heartbeat.begin("k", "gzip", "Hyb", 100.0)
+
+        assert _allocated_blocks(burst) < SLACK
+        assert heartbeat.snapshot() == {}
+    finally:
+        heartbeat.set_enabled(previous)
+
+
+def test_disabled_heartbeat_active_allocates_nothing(obs_dir):
+    # ``active`` is the engine's once-per-run capture; with nothing
+    # registered it must be a free read returning None.
+    def burst():
+        for _ in range(N):
+            heartbeat.active()
+
+    assert heartbeat.active() is None
+    assert _allocated_blocks(burst) < SLACK
+
+
+def test_disabled_flightrec_note_allocates_nothing(obs_dir):
+    previous = flightrec.set_enabled(False)
+    try:
+        flightrec.reset()
+
+        def burst():
+            for _ in range(N):
+                flightrec.note("hot.flight")
+
+        assert _allocated_blocks(burst) < SLACK
+        assert flightrec.snapshot() == []
+    finally:
+        flightrec.set_enabled(previous)
+        flightrec.reset()
